@@ -1,0 +1,40 @@
+"""Fig. 6a — ratio of TR violations vs. increasing time requirement.
+
+Paper artifact: one line per system over TR ∈ {0.5, 1, 3, 5, 10} s on the
+mixed workload. Expected shape: MonetDB decreasing, XDB flat and high,
+System X collapsing to zero after 1 s, IDEA at (almost) zero throughout.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import get_overall, write_artifact
+from repro.bench.experiments import MAIN_ENGINES
+from repro.common.config import DEFAULT_TIME_REQUIREMENTS
+
+
+def _render(series) -> str:
+    lines = ["Fig. 6a — %TR violations vs time requirement", ""]
+    header = f"{'engine':<14} " + " ".join(f"{tr:>7}s" for tr in DEFAULT_TIME_REQUIREMENTS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for engine in MAIN_ENGINES:
+        cells = " ".join(f"{value:>7.1f}%" for _tr, value in series[engine])
+        lines.append(f"{engine:<14} {cells}")
+    return "\n".join(lines)
+
+
+def test_fig6a_tr_violations(benchmark, ctx, overall_cache, results_dir):
+    results = get_overall(ctx, overall_cache)
+
+    def extract():
+        return results.series("pct_tr_violated")
+
+    series = benchmark.pedantic(extract, rounds=1, iterations=1)
+    write_artifact(results_dir, "fig6a_tr_violations.txt", _render(series))
+
+    monet = [v for _t, v in series["monetdb-sim"]]
+    idea = [v for _t, v in series["idea-sim"]]
+    xdb = [v for _t, v in series["xdb-sim"]]
+    assert monet == sorted(monet, reverse=True)
+    assert all(v <= 5.0 for v in idea)
+    assert max(xdb) - min(xdb) < 10.0

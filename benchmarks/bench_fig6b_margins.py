@@ -1,0 +1,59 @@
+"""Fig. 6b — median of the mean relative margins of error vs. TR.
+
+Paper artifact: for the AQP/progressive engines (MonetDB returns exact
+answers and reports no margins), the median across queries of the per-query
+mean relative margin of error, at each TR.
+
+Expected shape (§5.2): approXimateDB has *significantly* higher relative
+margins than both IDEA and System X; System X's median is large at
+TR=0.5 s and drops once slower/larger queries make the cut at 1 s, then
+stays constant (fixed offline sample); IDEA's stays low and shrinks as
+more tuples stream in.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import get_overall, write_artifact
+from repro.common.config import DEFAULT_TIME_REQUIREMENTS
+
+AQP_ENGINES = ("xdb-sim", "idea-sim", "system-x-sim")
+
+
+def _render(series) -> str:
+    lines = ["Fig. 6b — median of mean relative margins vs TR", ""]
+    header = f"{'engine':<14} " + " ".join(f"{tr:>8}s" for tr in DEFAULT_TIME_REQUIREMENTS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for engine in AQP_ENGINES:
+        cells = " ".join(
+            ("     nan" if math.isnan(value) else f"{value:>8.3f}")
+            for _tr, value in series[engine]
+        )
+        lines.append(f"{engine:<14} {cells}")
+    return "\n".join(lines)
+
+
+def test_fig6b_margins(benchmark, ctx, overall_cache, results_dir):
+    results = get_overall(ctx, overall_cache)
+    series = benchmark.pedantic(
+        lambda: results.series("margin_median"), rounds=1, iterations=1
+    )
+    write_artifact(results_dir, "fig6b_margins.txt", _render(series))
+
+    xdb = dict(series["xdb-sim"])
+    idea = dict(series["idea-sim"])
+    system_x = dict(series["system-x-sim"])
+
+    # XDB margins dominate at every TR (wander-join sampling is slow).
+    for tr in DEFAULT_TIME_REQUIREMENTS:
+        assert xdb[tr] > idea[tr]
+        assert xdb[tr] > system_x[tr]
+
+    # IDEA margins shrink with more time and stay small.
+    assert idea[10.0] <= idea[0.5]
+    assert idea[10.0] < 0.5
+
+    # System X: constant from TR=1s on (offline sample, §6 discussion).
+    assert abs(system_x[3.0] - system_x[10.0]) < 0.05

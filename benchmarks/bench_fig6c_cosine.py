@@ -1,0 +1,54 @@
+"""Fig. 6c — cosine distance ("shape" error) vs. time requirement.
+
+Paper artifact: per-engine development of the cosine distance between the
+returned result vector and the ground truth as the TR grows.
+
+Expected shape: online/progressive engines (IDEA, XDB) converge toward 0
+with more time; System X stays flat (fixed sample); MonetDB, when it
+answers at all, is exact (distance 0).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import get_overall, write_artifact
+from repro.bench.experiments import MAIN_ENGINES
+from repro.common.config import DEFAULT_TIME_REQUIREMENTS
+
+
+def _render(series) -> str:
+    lines = ["Fig. 6c — mean cosine distance vs TR", ""]
+    header = f"{'engine':<14} " + " ".join(f"{tr:>8}s" for tr in DEFAULT_TIME_REQUIREMENTS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for engine in MAIN_ENGINES:
+        cells = " ".join(
+            ("     nan" if math.isnan(value) else f"{value:>8.4f}")
+            for _tr, value in series[engine]
+        )
+        lines.append(f"{engine:<14} {cells}")
+    return "\n".join(lines)
+
+
+def test_fig6c_cosine(benchmark, ctx, overall_cache, results_dir):
+    results = get_overall(ctx, overall_cache)
+    series = benchmark.pedantic(
+        lambda: results.series("cosine_mean"), rounds=1, iterations=1
+    )
+    write_artifact(results_dir, "fig6c_cosine.txt", _render(series))
+
+    idea = dict(series["idea-sim"])
+    xdb = dict(series["xdb-sim"])
+    system_x = dict(series["system-x-sim"])
+    monet = dict(series["monetdb-sim"])
+
+    # Progressive engines improve with time.
+    assert idea[10.0] <= idea[0.5]
+    assert xdb[10.0] <= xdb[0.5]
+    # System X flat after its queries fit (fixed sample).
+    assert abs(system_x[3.0] - system_x[10.0]) < 0.05
+    # MonetDB answers are exact whenever present.
+    for tr, value in monet.items():
+        if not math.isnan(value):
+            assert value < 1e-9

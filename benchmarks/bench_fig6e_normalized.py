@@ -1,0 +1,59 @@
+"""Fig. 6e — TR violations: normalized vs. de-normalized schema.
+
+Paper artifact: MonetDB and approXimateDB on 100M and 500M datasets, each
+in star-schema (normalized) and flat (de-normalized) form.
+
+Expected shape (§5.3): "both MonetDB and approXimateDB perform slightly
+better in terms of time requirement violations with a normalized schema
+… MonetDB's proportion of TR violations grows with the size of the
+normalized dataset. Conversely, approXimateDB is able to keep it roughly
+at the same level, due to its online join support."
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.bench.experiments import exp_schema
+from repro.common.config import DataSize
+
+ENGINES = ("monetdb-sim", "xdb-sim")
+TR = 1.0  # tight enough that schema effects are visible at both sizes
+
+
+def _render(outcome) -> str:
+    lines = [f"Fig. 6e — %TR violations by schema (TR={TR}s)", ""]
+    header = f"{'engine':<14} {'size':>5} {'denormalized':>13} {'normalized':>11}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for engine in ENGINES:
+        for size in ("S", "M"):
+            denorm = outcome[(engine, size, "denormalized")]
+            norm = outcome[(engine, size, "normalized")]
+            lines.append(
+                f"{engine:<14} {size:>5} {denorm:>12.1f}% {norm:>10.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def test_fig6e_normalized(benchmark, ctx, results_dir):
+    outcome = benchmark.pedantic(
+        lambda: exp_schema(ctx, time_requirement=TR), rounds=1, iterations=1
+    )
+    write_artifact(results_dir, "fig6e_normalized.txt", _render(outcome))
+
+    # Normalized is not worse (slightly better overall) for both engines.
+    for engine in ENGINES:
+        for size in ("S", "M"):
+            assert outcome[(engine, size, "normalized")] <= (
+                outcome[(engine, size, "denormalized")] + 3.0
+            )
+
+    # MonetDB violations grow with the normalized dataset size…
+    assert outcome[("monetdb-sim", "M", "normalized")] > (
+        outcome[("monetdb-sim", "S", "normalized")]
+    )
+    # …while XDB stays roughly level thanks to online joins.
+    assert abs(
+        outcome[("xdb-sim", "M", "normalized")]
+        - outcome[("xdb-sim", "S", "normalized")]
+    ) < 10.0

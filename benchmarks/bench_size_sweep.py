@@ -1,0 +1,88 @@
+"""§6 — data-size sweep: S (100M), M (500M), L (1B).
+
+Paper claim (§6, Main Findings): *"progressive and AQP systems like IDEA
+and System X were able to keep time violations at a minimum while
+maintaining low error rates with increasing data sizes and time
+requirements. This is in stark contrast to classical analytical databases
+represented by MonetDB where time violations increase for larger
+datasets."*
+
+This bench runs the mixed workload at TR=3 s on all three default sizes
+and checks exactly that contrast. (Fig. 5 itself fixes the size at 500M;
+the size sensitivity is a §6 narrative claim, reproduced here.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.bench.experiments import exp_overall
+from repro.common.config import DataSize
+
+ENGINES = ("monetdb-sim", "idea-sim", "system-x-sim")
+SIZES = (DataSize.S, DataSize.M, DataSize.L)
+TR = 3.0
+
+
+def _run(ctx):
+    outcome = {}
+    for size in SIZES:
+        results = exp_overall(
+            ctx, engines=ENGINES, time_requirements=(TR,), size=size
+        )
+        for engine in ENGINES:
+            row = results.summaries[(engine, TR)]
+            outcome[(engine, size.name)] = {
+                "pct_violated": row.pct_tr_violated,
+                "mre_median": row.mre_median,
+                "missing": row.mean_missing_bins,
+            }
+    return outcome
+
+
+def _render(outcome) -> str:
+    lines = [f"§6 — size sweep at TR={TR}s (mixed workload)", ""]
+    header = (
+        f"{'engine':<14} {'size':>5} {'%TR viol':>9} {'MRE med':>8} "
+        f"{'missing':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for engine in ENGINES:
+        for size in SIZES:
+            stats = outcome[(engine, size.name)]
+            mre = stats["mre_median"]
+            mre_text = f"{mre:.3f}" if mre == mre else "exact"
+            lines.append(
+                f"{engine:<14} {size.name:>5} {stats['pct_violated']:>8.1f}% "
+                f"{mre_text:>8} {stats['missing']:>8.3f}"
+            )
+    return "\n".join(lines)
+
+
+def test_size_sweep(benchmark, ctx, results_dir):
+    outcome = benchmark.pedantic(lambda: _run(ctx), rounds=1, iterations=1)
+    write_artifact(results_dir, "size_sweep.txt", _render(outcome))
+
+    # MonetDB: violations increase monotonically with data size.
+    monet = [outcome[("monetdb-sim", size.name)]["pct_violated"] for size in SIZES]
+    assert monet[0] <= monet[1] <= monet[2]
+    assert monet[2] > monet[0] + 20.0  # the growth is substantial
+
+    # IDEA: violations stay at (near) zero across sizes.
+    idea = [outcome[("idea-sim", size.name)]["pct_violated"] for size in SIZES]
+    assert max(idea) <= 2.0
+
+    # System X: stays low too (its sample scales with the 1 % rate, but
+    # per-query overhead dominates at every size).
+    system_x = [
+        outcome[("system-x-sim", size.name)]["pct_violated"] for size in SIZES
+    ]
+    assert max(system_x) <= 25.0
+
+    # Error rates of the AQP engines stay in the same band across sizes
+    # ("maintaining low error rates with increasing data sizes").
+    for engine in ("idea-sim", "system-x-sim"):
+        mres = [outcome[(engine, size.name)]["mre_median"] for size in SIZES]
+        assert max(mres) - min(mres) < 0.15

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Which engine for which interactivity requirement? (the paper's question)
+
+Runs the mixed workload across all four simulated systems and a sweep of
+time requirements, then prints the speed/quality trade-off table of Fig. 5
+and answers the intro's motivating questions with the measured numbers:
+
+* When would MonetDB simply outperform an approximate engine?
+* How much do pre-computed stratified samples (System X) buy — and cost?
+* Which of two approximate engines is better (IDEA vs XDB), and why?
+
+Run with::
+
+    python examples/compare_engines.py
+"""
+
+from repro import BenchmarkSettings, DataSize
+from repro.bench.experiments import (
+    ExperimentContext,
+    MAIN_ENGINES,
+    exp_overall,
+    exp_prep_times,
+)
+
+TIME_REQUIREMENTS = (0.5, 1.0, 3.0, 10.0)
+
+
+def main() -> None:
+    # M = 500M virtual rows (the paper's headline size) over 200k actual.
+    settings = BenchmarkSettings(
+        data_size=DataSize.M, scale=2500, workflows_per_type=4, seed=13
+    )
+    ctx = ExperimentContext(settings)
+
+    print("running 4 engines × 4 time requirements on the mixed workload …\n")
+    results = exp_overall(
+        ctx, engines=MAIN_ENGINES, time_requirements=TIME_REQUIREMENTS
+    )
+    prep = exp_prep_times(ctx)
+
+    header = (
+        f"{'engine':<14} {'prep':>7} " + "".join(
+            f"{f'viol@{tr}s':>10}" for tr in TIME_REQUIREMENTS
+        ) + f" {'MRE med@1s':>11} {'missing@1s':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for engine in MAIN_ENGINES:
+        cells = "".join(
+            f"{results.summaries[(engine, tr)].pct_tr_violated:>9.1f}%"
+            for tr in TIME_REQUIREMENTS
+        )
+        at_1s = results.summaries[(engine, 1.0)]
+        mre = at_1s.mre_median
+        mre_text = f"{mre:.3f}" if mre == mre else "exact/—"
+        print(
+            f"{engine:<14} {prep[engine].minutes:>6.0f}m {cells} "
+            f"{mre_text:>11} {at_1s.mean_missing_bins:>10.1%}"
+        )
+
+    print()
+    monet_10 = results.summaries[("monetdb-sim", 10.0)].pct_tr_violated
+    idea_05 = results.summaries[("idea-sim", 0.5)].pct_tr_violated
+    x_prep = prep["system-x-sim"].minutes
+    idea_prep = prep["idea-sim"].minutes
+    print("Findings (mirroring §6):")
+    print(f"* With a 10s budget MonetDB violates only {monet_10:.0f}% — exact "
+          "answers become viable once users tolerate double-digit latencies.")
+    print(f"* IDEA answers {100 - idea_05:.0f}% of queries even at 500ms, with "
+          "errors shrinking the longer the user waits (progressive).")
+    print(f"* System X needs {x_prep:.0f} min of offline sampling vs IDEA's "
+          f"{idea_prep:.0f} min, and waiting longer buys no quality — its "
+          "sample is fixed ahead of the (unknown) workload.")
+    print("* XDB's violations are flat across TRs: whatever its online "
+          "COUNT/SUM path cannot run falls back to blocking scans.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in pyproject.toml. This file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments where
+the ``wheel`` package (required for PEP 660 editable installs) is not
+available.
+"""
+
+from setuptools import setup
+
+setup()

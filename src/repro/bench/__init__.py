@@ -1,0 +1,41 @@
+"""Benchmark core: driver, metrics, reports, adapters, experiment harness.
+
+This subpackage is the paper's "benchmark driver" component (§4.4) plus
+reporting (§4.8):
+
+* :mod:`repro.bench.metrics` — the §4.7 metric suite (TR violated,
+  missing bins, mean relative error, SMAPE, cosine distance, mean margin
+  of error, out-of-margin, bias);
+* :mod:`repro.bench.driver` — the discrete-event workflow runner: think
+  times, TR deadlines with cancellation, concurrent queries per
+  interaction, speculation hints on linking;
+* :mod:`repro.bench.report` — the detailed per-query report (Table 1) and
+  the aggregated summary report (Fig. 5), including the MRE CDF and its
+  area-above-curve statistic;
+* :mod:`repro.bench.adapters` — the paper's Listing-1 system-adapter
+  facade;
+* :mod:`repro.bench.experiments` — one harness function per experiment of
+  §5, shared by the pytest benchmarks and the CLI.
+"""
+
+from repro.bench.adapters import SystemAdapter
+from repro.bench.driver import BenchmarkDriver, QueryRecord
+from repro.bench.metrics import QueryMetrics, compute_metrics
+from repro.bench.report import (
+    DetailedReport,
+    SummaryReport,
+    mre_cdf,
+    summarize_records,
+)
+
+__all__ = [
+    "BenchmarkDriver",
+    "DetailedReport",
+    "QueryMetrics",
+    "QueryRecord",
+    "SummaryReport",
+    "SystemAdapter",
+    "compute_metrics",
+    "mre_cdf",
+    "summarize_records",
+]

@@ -1,0 +1,122 @@
+"""System adapters — the paper's Listing-1 integration facade (§4.5).
+
+*"To be evaluated by our benchmark a system needs to implement a driver
+interface that acts as proxy between the benchmark and the system under
+test."* The engine simulators in this repository implement the richer
+internal :class:`~repro.engines.base.Engine` interface directly; this
+module provides the paper-faithful adapter facade on top of it, so that
+
+* external systems can be plugged in by subclassing :class:`SystemAdapter`
+  (implementing the exact five methods of Listing 1), and
+* the examples can demonstrate the paper's published integration surface.
+
+``process_request`` accepts a visualization specification plus its
+effective filter — exactly what the original IDEBench hands its drivers as
+JSON — translates it to a query (the adapter may instead translate to SQL
+via :func:`repro.query.sql.query_to_sql`) and executes it against the
+wrapped engine under the given time requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.errors import BenchmarkError
+from repro.query.filters import Filter
+from repro.query.model import AggQuery, QueryResult
+from repro.workflow.spec import VizSpec
+
+
+@dataclass
+class AdapterResponse:
+    """Outcome of one ``process_request`` call."""
+
+    viz_name: str
+    result: Optional[QueryResult]
+    tr_violated: bool
+    started_at: float
+    finished_at: float
+
+
+class SystemAdapter:
+    """Paper-style adapter (Listing 1) over an engine simulator.
+
+    The five methods mirror the published stub::
+
+        class SampleAdapter:
+            def process_request(self, viz_specification): ...
+            def link_vizs(self, viz_from, viz_to): ...
+            def delete_vizs(self, vizs): ...
+            def workflow_start(self): ...
+            def workflow_end(self): ...
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._active_by_viz: dict = {}
+
+    # ------------------------------------------------------------------
+    def process_request(
+        self,
+        viz_specification: VizSpec,
+        filter_expr: Optional[Filter] = None,
+        time_requirement: Optional[float] = None,
+    ) -> AdapterResponse:
+        """Translate a viz spec into a query, execute, fetch, evaluate.
+
+        Implements steps 1–4 of Listing 1: translate → execute → fetch →
+        write back. Blocks (in simulated time) until either the result is
+        complete or the time requirement expires, whichever comes first.
+        """
+        tr = (
+            time_requirement
+            if time_requirement is not None
+            else self.engine.settings.time_requirement
+        )
+        if tr <= 0:
+            raise BenchmarkError(f"time requirement must be positive, got {tr}")
+        query = viz_specification.base_query(filter_expr)
+        clock = self.engine.clock
+        started = clock.now()
+        handle = self.engine.submit(query)
+        self._active_by_viz[viz_specification.name] = handle
+        deadline = started + tr
+        clock_advance = getattr(clock, "advance_to", None)
+        if clock_advance is not None:
+            clock_advance(deadline)
+        else:
+            clock.advance(deadline - started)
+        self.engine.advance_to(deadline)
+        result = self.engine.result_at(handle, deadline)
+        finished = self.engine.completion_time(handle, deadline)
+        self.engine.cancel(handle)
+        return AdapterResponse(
+            viz_name=viz_specification.name,
+            result=result,
+            tr_violated=result is None,
+            started_at=started,
+            finished_at=finished,
+        )
+
+    def link_vizs(
+        self,
+        viz_from: VizSpec,
+        viz_to: VizSpec,
+        speculative_queries: Sequence[AggQuery] = (),
+    ) -> None:
+        """Forward the link hint for speculative execution, if supported."""
+        self.engine.link_vizs(list(speculative_queries))
+
+    def delete_vizs(self, vizs: Sequence[VizSpec]) -> None:
+        """Free per-viz resources (cancel any still-active queries)."""
+        for viz in vizs:
+            handle = self._active_by_viz.pop(viz.name, None)
+            if handle is not None:
+                self.engine.cancel(handle)
+
+    def workflow_start(self) -> None:
+        self.engine.workflow_start()
+
+    def workflow_end(self) -> None:
+        self.engine.workflow_end()

@@ -1,0 +1,237 @@
+"""The benchmark driver: discrete-event execution of workflows (§4.4).
+
+The driver "runs/simulates workflows, delegates interactions to system
+drivers, and generates reports". Concretely, for every workflow:
+
+1. interactions fire ``think_time`` seconds apart (§4.6) — under the
+   stress configuration (think 1 s, TR up to 10 s) queries from earlier
+   interactions are still running when the next interaction fires, and the
+   simulation handles the overlap faithfully;
+2. each interaction updates the viz graph and submits one query per
+   affected visualization — *simultaneously*, so they share engine
+   capacity (§2.2's multiple concurrent queries);
+3. every query gets a deadline ``submit + TR``; at the deadline the driver
+   fetches whatever answer is visible, cancels the query ("queries whose
+   run-time exceed TR are cancelled", §4.7), computes all metrics against
+   the cached exact ground truth, and appends a row to the detailed
+   report;
+4. on ``link`` interactions the driver hands the engine the speculative
+   queries every single-bin selection on the source would trigger
+   (the Exp.-3 extension; engines without speculation ignore the hint).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.clock import VirtualClock
+from repro.common.config import BenchmarkSettings
+from repro.common.errors import BenchmarkError
+from repro.bench.metrics import QueryMetrics, compute_metrics
+from repro.query.filters import conjoin
+from repro.query.groundtruth import GroundTruthOracle
+from repro.query.model import AggQuery
+from repro.workflow.graph import VizGraph, VizNode
+from repro.workflow.spec import DiscardViz, Link, Workflow
+
+#: Cap on speculative queries enumerated per link (the Exp.-3 source viz
+#: has 25 bins; a small headroom covers other workflows).
+MAX_SPECULATIVE_PER_LINK = 40
+
+
+@dataclass
+class QueryRecord:
+    """One row of the detailed report — the columns of Table 1."""
+
+    query_id: int
+    interaction_id: int
+    viz_name: str
+    driver: str
+    data_size: str
+    think_time: float
+    time_requirement: float
+    workflow: str
+    workflow_type: str
+    start_time: float
+    end_time: float
+    metrics: QueryMetrics
+    bin_dims: int
+    binning_type: str
+    agg_type: str
+    rows_processed: int
+    fraction: float
+    num_concurrent: int
+    qualifying_fraction: float
+
+    @property
+    def tr_violated(self) -> bool:
+        return self.metrics.tr_violated
+
+
+@dataclass(order=True)
+class _Deadline:
+    time: float
+    sequence: int
+    handle: int = field(compare=False)
+    viz_name: str = field(compare=False)
+    interaction_id: int = field(compare=False)
+    query: AggQuery = field(compare=False)
+    submitted_at: float = field(compare=False)
+    num_concurrent: int = field(compare=False)
+
+
+class BenchmarkDriver:
+    """Runs workflows against one engine and collects detailed records."""
+
+    def __init__(
+        self,
+        engine,
+        oracle: GroundTruthOracle,
+        settings: BenchmarkSettings,
+    ):
+        if engine.settings.scale != settings.scale:
+            raise BenchmarkError("engine and driver settings disagree on scale")
+        self.engine = engine
+        self.oracle = oracle
+        self.settings = settings
+        self.clock = engine.clock
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------
+    def run_workflow(self, workflow: Workflow) -> List[QueryRecord]:
+        """Execute one workflow; returns one record per submitted query."""
+        records: List[QueryRecord] = []
+        graph = VizGraph()
+        deadlines: List[_Deadline] = []
+        sequence = 0
+
+        self.engine.workflow_start()
+        start = self.clock.now()
+        think = self.settings.think_time
+        tr = self.settings.time_requirement
+
+        for interaction_id, interaction in enumerate(workflow.interactions):
+            fire_at = start + interaction_id * think
+            self._drain_deadlines(deadlines, records, workflow, until=fire_at)
+            self._advance(fire_at)
+
+            if isinstance(interaction, DiscardViz):
+                # Tell the engine before the node disappears (Listing 1's
+                # delete_vizs: "free memory, if applicable").
+                if interaction.viz_name in graph:
+                    self.engine.delete_vizs([graph.query_for(interaction.viz_name)])
+            applied = graph.apply(interaction)
+            if isinstance(interaction, Link):
+                self._hint_speculation(graph, interaction)
+
+            submitted: List[Tuple[int, str, AggQuery]] = []
+            for viz_name in applied.affected:
+                query = graph.query_for(viz_name)
+                handle = self.engine.submit(query)
+                submitted.append((handle, viz_name, query))
+            for handle, viz_name, query in submitted:
+                heapq.heappush(
+                    deadlines,
+                    _Deadline(
+                        time=fire_at + tr,
+                        sequence=sequence,
+                        handle=handle,
+                        viz_name=viz_name,
+                        interaction_id=interaction_id,
+                        query=query,
+                        submitted_at=fire_at,
+                        num_concurrent=len(submitted),
+                    ),
+                )
+                sequence += 1
+
+        self._drain_deadlines(deadlines, records, workflow, until=None)
+        self.engine.workflow_end()
+        return records
+
+    def run_suite(self, workflows: Sequence[Workflow]) -> List[QueryRecord]:
+        """Run several workflows back to back (records concatenated)."""
+        records: List[QueryRecord] = []
+        for workflow in workflows:
+            records.extend(self.run_workflow(workflow))
+        return records
+
+    # ------------------------------------------------------------------
+    def _advance(self, time: float) -> None:
+        now = self.clock.now()
+        if time > now:
+            if isinstance(self.clock, VirtualClock):
+                self.clock.advance_to(time)
+            else:
+                self.clock.advance(time - now)
+        self.engine.advance_to(self.clock.now())
+
+    def _drain_deadlines(
+        self,
+        deadlines: List[_Deadline],
+        records: List[QueryRecord],
+        workflow: Workflow,
+        until: Optional[float],
+    ) -> None:
+        """Evaluate every deadline due before ``until`` (None = all)."""
+        while deadlines and (until is None or deadlines[0].time <= until + 1e-12):
+            deadline = heapq.heappop(deadlines)
+            self._advance(deadline.time)
+            records.append(self._evaluate(deadline, workflow))
+
+    def _evaluate(self, deadline: _Deadline, workflow: Workflow) -> QueryRecord:
+        result = self.engine.result_at(deadline.handle, deadline.time)
+        end_time = self.engine.completion_time(deadline.handle, deadline.time)
+        self.engine.cancel(deadline.handle)
+        ground_truth = self.oracle.answer(deadline.query)
+        metrics = compute_metrics(result, ground_truth)
+        record = QueryRecord(
+            query_id=self._query_counter,
+            interaction_id=deadline.interaction_id,
+            viz_name=deadline.viz_name,
+            driver=self.engine.name,
+            data_size=self.settings.data_size.name,
+            think_time=self.settings.think_time,
+            time_requirement=self.settings.time_requirement,
+            workflow=workflow.name,
+            workflow_type=workflow.workflow_type.value,
+            start_time=deadline.submitted_at,
+            end_time=end_time,
+            metrics=metrics,
+            bin_dims=deadline.query.num_bin_dims,
+            binning_type=" ".join(deadline.query.binning_types),
+            agg_type=deadline.query.agg_type,
+            rows_processed=result.rows_processed if result else 0,
+            fraction=result.fraction if result else 0.0,
+            num_concurrent=deadline.num_concurrent,
+            qualifying_fraction=self.engine.qualifying_fraction(deadline.query),
+        )
+        self._query_counter += 1
+        return record
+
+    def _hint_speculation(self, graph: VizGraph, link: Link) -> None:
+        """Enumerate the single-bin-selection queries a link enables (§5.4).
+
+        IDEA's experimental extension "executes queries for every possible
+        single bin selection in the source visualization". The candidate
+        bins come from the exact answer of the source's current query —
+        the same bins the source visualization is displaying.
+        """
+        source_query = graph.query_for(link.source)
+        source_result = self.oracle.answer(source_query)
+        source_node: VizNode = graph.node(link.source)
+        target_node: VizNode = graph.node(link.target)
+        upstream = graph.effective_filter(link.source)
+        speculative: List[AggQuery] = []
+        for key in source_result.values:
+            probe = VizNode(spec=source_node.spec, selection=(key,))
+            selection_filter = probe.selection_filter()
+            effective = conjoin(
+                [target_node.own_filter, selection_filter, upstream]
+            )
+            speculative.append(target_node.spec.base_query(effective))
+            if len(speculative) >= MAX_SPECULATIVE_PER_LINK:
+                break
+        self.engine.link_vizs(speculative)

@@ -1,0 +1,549 @@
+"""Experiment harness: one entry point per table/figure of the paper (§5).
+
+Each ``exp_*`` function reproduces one evaluation artifact:
+
+==============  ============================================================
+``exp_overall``        Fig. 5 + Fig. 6a/6b/6c — four engines × five TRs on
+                       the mixed workload (500M, de-normalized)
+``exp_workflow_types`` Fig. 6d — missing bins by system × workflow type
+``exp_schema``         Fig. 6e — normalized vs de-normalized, 100M & 500M,
+                       MonetDB vs XDB
+``exp_think_time``     Fig. 6f — missing bins vs think time under IDEA's
+                       speculative extension
+``exp_detailed_table`` Table 1 — detailed report of one mixed workflow on
+                       IDEA
+``exp_prep_times``     §5.2 — data preparation time per system
+``exp_effects``        §5.5 (Exp. 4) — metric sensitivity to bin count,
+                       dimensionality, binning type, concurrency,
+                       selectivity
+``exp_system_y``       §5.6 (Exp. 5) — frontend layer over MonetDB
+==============  ============================================================
+
+:class:`ExperimentContext` caches datasets, oracles, profiles and workflow
+suites so parameter sweeps do not regenerate shared state. All functions
+are deterministic given the context's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.driver import BenchmarkDriver, QueryRecord
+from repro.bench.report import DetailedReport, summarize_records
+from repro.common.clock import VirtualClock
+from repro.common.config import (
+    BenchmarkSettings,
+    DataSize,
+    DEFAULT_TIME_REQUIREMENTS,
+)
+from repro.common.errors import BenchmarkError
+from repro.data.generator import CopulaScaler
+from repro.data.normalize import FLIGHTS_STAR_SPEC, normalize
+from repro.data.schema import ColumnProfile, profile_table
+from repro.data.seed import generate_flights_seed
+from repro.data.storage import Dataset, Table
+from repro.engines import (
+    ColumnStoreEngine,
+    FrontendEngine,
+    OnlineAggEngine,
+    ProgressiveEngine,
+    StratifiedSamplingEngine,
+)
+from repro.query.groundtruth import GroundTruthOracle
+from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
+from repro.workflow.generator import WorkflowGenerator, WorkloadConfig
+from repro.workflow.spec import (
+    CreateViz,
+    Link,
+    SelectBins,
+    VizSpec,
+    Workflow,
+    WorkflowType,
+)
+
+#: Engines of the paper's main experiment, in presentation order.
+MAIN_ENGINES = ("monetdb-sim", "xdb-sim", "idea-sim", "system-x-sim")
+
+#: Seed-table size used to fit the copula scaler.
+SEED_ROWS = 60_000
+
+
+def make_engine(
+    name: str,
+    dataset: Dataset,
+    settings: BenchmarkSettings,
+    clock: VirtualClock,
+    speculation: bool = False,
+):
+    """Instantiate an engine simulator by its registry name."""
+    if name == "monetdb-sim":
+        return ColumnStoreEngine(dataset, settings, clock)
+    if name == "xdb-sim":
+        return OnlineAggEngine(dataset, settings, clock)
+    if name == "idea-sim":
+        return ProgressiveEngine(dataset, settings, clock, speculation=speculation)
+    if name == "system-x-sim":
+        return StratifiedSamplingEngine(dataset, settings, clock)
+    if name == "system-y-sim":
+        return FrontendEngine(ColumnStoreEngine(dataset, settings, clock))
+    raise BenchmarkError(f"unknown engine {name!r}")
+
+
+class ExperimentContext:
+    """Caches data, oracles and workload suites across experiment calls."""
+
+    def __init__(self, settings: Optional[BenchmarkSettings] = None):
+        self.settings = settings if settings is not None else BenchmarkSettings()
+        self._seed_table: Optional[Table] = None
+        self._scaler: Optional[CopulaScaler] = None
+        self._tables: Dict[DataSize, Table] = {}
+        self._datasets: Dict[Tuple[DataSize, bool], Dataset] = {}
+        self._oracles: Dict[Tuple[DataSize, bool], GroundTruthOracle] = {}
+        self._profiles: Dict[DataSize, Dict[str, ColumnProfile]] = {}
+        self._suites: Dict[Tuple[DataSize, WorkflowType, int], List[Workflow]] = {}
+
+    # -- data ----------------------------------------------------------
+    @property
+    def seed_table(self) -> Table:
+        if self._seed_table is None:
+            self._seed_table = generate_flights_seed(
+                SEED_ROWS, seed=self.settings.seed
+            )
+        return self._seed_table
+
+    @property
+    def scaler(self) -> CopulaScaler:
+        if self._scaler is None:
+            self._scaler = CopulaScaler.fit(
+                self.seed_table, seed_value=self.settings.seed
+            )
+        return self._scaler
+
+    def table(self, size: DataSize) -> Table:
+        """The scaled flat table for ``size`` (copula-generated, cached)."""
+        if size not in self._tables:
+            rows = self.settings.with_(data_size=size).actual_rows
+            self._tables[size] = self.scaler.generate(rows, stream=size.name)
+        return self._tables[size]
+
+    def dataset(self, size: DataSize, normalized: bool = False) -> Dataset:
+        key = (size, normalized)
+        if key not in self._datasets:
+            table = self.table(size)
+            if normalized:
+                self._datasets[key] = normalize(table, FLIGHTS_STAR_SPEC)
+            else:
+                self._datasets[key] = Dataset.from_table(table)
+        return self._datasets[key]
+
+    def oracle(self, size: DataSize, normalized: bool = False) -> GroundTruthOracle:
+        key = (size, normalized)
+        if key not in self._oracles:
+            self._oracles[key] = GroundTruthOracle(self.dataset(size, normalized))
+        return self._oracles[key]
+
+    def profiles(self, size: DataSize) -> Dict[str, ColumnProfile]:
+        if size not in self._profiles:
+            self._profiles[size] = profile_table(self.table(size))
+        return self._profiles[size]
+
+    # -- workloads -------------------------------------------------------
+    def workflows(
+        self,
+        workflow_type: WorkflowType,
+        count: int,
+        size: Optional[DataSize] = None,
+        config: Optional[WorkloadConfig] = None,
+    ) -> List[Workflow]:
+        size = size if size is not None else self.settings.data_size
+        key = (size, workflow_type, count)
+        if config is not None or key not in self._suites:
+            generator = WorkflowGenerator(
+                self.profiles(size),
+                table="flights",
+                config=config,
+                seed=self.settings.seed,
+            )
+            suite = generator.generate_suite(workflow_type, count)
+            if config is not None:
+                return suite
+            self._suites[key] = suite
+        return self._suites[key]
+
+    # -- running -----------------------------------------------------------
+    def run(
+        self,
+        engine_name: str,
+        workflows: Sequence[Workflow],
+        settings: Optional[BenchmarkSettings] = None,
+        normalized: bool = False,
+        speculation: bool = False,
+    ) -> List[QueryRecord]:
+        """Run ``workflows`` on a fresh engine; returns detailed records."""
+        settings = settings if settings is not None else self.settings
+        dataset = self.dataset(settings.data_size, normalized)
+        oracle = self.oracle(settings.data_size, normalized)
+        clock = VirtualClock()
+        engine = make_engine(engine_name, dataset, settings, clock, speculation)
+        engine.prepare()
+        driver = BenchmarkDriver(engine, oracle, settings)
+        return driver.run_suite(workflows)
+
+
+# ----------------------------------------------------------------------
+# Exp. 1: overall results (Fig. 5, 6a, 6b, 6c)
+# ----------------------------------------------------------------------
+
+@dataclass
+class OverallResults:
+    """Per (engine, TR): summary row over the mixed workload."""
+
+    settings: BenchmarkSettings
+    summaries: Dict[Tuple[str, float], "object"] = field(default_factory=dict)
+    records: Dict[Tuple[str, float], List[QueryRecord]] = field(default_factory=dict)
+
+    def series(self, metric: str) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-engine [(TR, value)] series for plotting/printing."""
+        result: Dict[str, List[Tuple[float, float]]] = {}
+        for (engine, tr), row in sorted(self.summaries.items()):
+            result.setdefault(engine, []).append((tr, getattr(row, metric)))
+        return result
+
+
+def exp_overall(
+    ctx: ExperimentContext,
+    engines: Sequence[str] = MAIN_ENGINES,
+    time_requirements: Sequence[float] = DEFAULT_TIME_REQUIREMENTS,
+    workflows_per_type: Optional[int] = None,
+    size: Optional[DataSize] = None,
+) -> OverallResults:
+    """Fig. 5 / 6a–6c: mixed workload, five TRs, four engines, 500M."""
+    size = size if size is not None else ctx.settings.data_size
+    count = (
+        workflows_per_type
+        if workflows_per_type is not None
+        else ctx.settings.workflows_per_type
+    )
+    workflows = ctx.workflows(WorkflowType.MIXED, count, size=size)
+    results = OverallResults(settings=ctx.settings)
+    for engine_name in engines:
+        for tr in time_requirements:
+            settings = ctx.settings.with_(time_requirement=tr, data_size=size)
+            records = ctx.run(engine_name, workflows, settings=settings)
+            rows = summarize_records(records, group_key=lambda r: "all")
+            results.summaries[(engine_name, tr)] = rows[-1]
+            results.records[(engine_name, tr)] = records
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 6d: missing bins by system and workflow type
+# ----------------------------------------------------------------------
+
+def exp_workflow_types(
+    ctx: ExperimentContext,
+    engines: Sequence[str] = MAIN_ENGINES,
+    time_requirement: float = 3.0,
+    workflows_per_type: Optional[int] = None,
+    size: Optional[DataSize] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 6d: engine → workflow type → mean missing bins."""
+    size = size if size is not None else ctx.settings.data_size
+    count = (
+        workflows_per_type
+        if workflows_per_type is not None
+        else ctx.settings.workflows_per_type
+    )
+    settings = ctx.settings.with_(time_requirement=time_requirement, data_size=size)
+    outcome: Dict[str, Dict[str, float]] = {}
+    for engine_name in engines:
+        per_type: Dict[str, float] = {}
+        for workflow_type in (
+            WorkflowType.INDEPENDENT,
+            WorkflowType.SEQUENTIAL,
+            WorkflowType.ONE_TO_N,
+            WorkflowType.N_TO_ONE,
+        ):
+            workflows = ctx.workflows(workflow_type, count, size=size)
+            records = ctx.run(engine_name, workflows, settings=settings)
+            per_type[workflow_type.value] = float(
+                np.mean([r.metrics.missing_bins for r in records])
+            )
+        outcome[engine_name] = per_type
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Fig. 6e: normalized vs de-normalized
+# ----------------------------------------------------------------------
+
+def exp_schema(
+    ctx: ExperimentContext,
+    engines: Sequence[str] = ("monetdb-sim", "xdb-sim"),
+    sizes: Sequence[DataSize] = (DataSize.S, DataSize.M),
+    time_requirement: float = 3.0,
+    workflows_per_type: Optional[int] = None,
+) -> Dict[Tuple[str, str, str], float]:
+    """Fig. 6e: (engine, size, schema) → % TR violations.
+
+    IDEA is excluded (no join support) and System X only works
+    de-normalized, exactly as in §5.3.
+    """
+    count = (
+        workflows_per_type
+        if workflows_per_type is not None
+        else ctx.settings.workflows_per_type
+    )
+    outcome: Dict[Tuple[str, str, str], float] = {}
+    for engine_name in engines:
+        for size in sizes:
+            workflows = ctx.workflows(WorkflowType.MIXED, count, size=size)
+            for normalized in (False, True):
+                settings = ctx.settings.with_(
+                    time_requirement=time_requirement,
+                    data_size=size,
+                    use_joins=normalized,
+                )
+                records = ctx.run(
+                    engine_name, workflows, settings=settings, normalized=normalized
+                )
+                violated = float(
+                    np.mean([r.metrics.tr_violated for r in records]) * 100.0
+                )
+                schema = "normalized" if normalized else "denormalized"
+                outcome[(engine_name, size.name, schema)] = violated
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Fig. 6f: think-time sweep with speculation
+# ----------------------------------------------------------------------
+
+def speculation_workflow(
+    profiles: Dict[str, ColumnProfile], carrier: Optional[str] = None
+) -> Workflow:
+    """The custom 4-interaction workflow of §5.4.
+
+    1. 2-D count histogram (100 bins) of arrival vs departure delays;
+    2. 1-D count histogram (25 bins) of carriers;
+    3. link 1-D histogram (source) → 2-D histogram (target);
+    4. select a single carrier in the 1-D histogram, forcing the 2-D
+       histogram to update.
+    """
+    dep = profiles["DEP_DELAY"]
+    arr = profiles["ARR_DELAY"]
+    viz_2d = VizSpec(
+        name="delays_2d",
+        source="flights",
+        bins=(
+            BinDimension(
+                "ARR_DELAY", BinKind.QUANTITATIVE, bin_count=10
+            ).resolved(arr.minimum, arr.maximum),
+            BinDimension(
+                "DEP_DELAY", BinKind.QUANTITATIVE, bin_count=10
+            ).resolved(dep.minimum, dep.maximum),
+        ),
+        aggregates=(Aggregate(AggFunc.COUNT),),
+    )
+    viz_1d = VizSpec(
+        name="carriers_1d",
+        source="flights",
+        bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+        aggregates=(Aggregate(AggFunc.COUNT),),
+    )
+    chosen = carrier if carrier is not None else profiles["UNIQUE_CARRIER"].categories[2]
+    return Workflow(
+        name="speculation_probe",
+        workflow_type=WorkflowType.CUSTOM,
+        interactions=(
+            CreateViz(viz_2d),
+            CreateViz(viz_1d),
+            Link("carriers_1d", "delays_2d"),
+            SelectBins("carriers_1d", ((chosen,),)),
+        ),
+    )
+
+
+def exp_think_time(
+    ctx: ExperimentContext,
+    think_times: Sequence[float] = tuple(float(t) for t in range(1, 11)),
+    time_requirement: float = 3.0,
+    size: Optional[DataSize] = None,
+    speculation: bool = True,
+) -> List[Tuple[float, float]]:
+    """Fig. 6f: [(think time, missing bins of the selection query)]."""
+    size = size if size is not None else ctx.settings.data_size
+    workflow = speculation_workflow(ctx.profiles(size))
+    outcome: List[Tuple[float, float]] = []
+    for think in think_times:
+        settings = ctx.settings.with_(
+            think_time=float(think),
+            time_requirement=time_requirement,
+            data_size=size,
+        )
+        records = ctx.run(
+            "idea-sim", [workflow], settings=settings, speculation=speculation
+        )
+        # The probe is the query triggered by the final selection.
+        final = [r for r in records if r.interaction_id == 3]
+        if len(final) != 1:
+            raise BenchmarkError(
+                f"expected exactly one selection query, got {len(final)}"
+            )
+        outcome.append((float(think), final[0].metrics.missing_bins))
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Table 1: detailed report
+# ----------------------------------------------------------------------
+
+def exp_detailed_table(
+    ctx: ExperimentContext,
+    engine: str = "idea-sim",
+    time_requirement: float = 0.5,
+    think_time: float = 3.0,
+    size: Optional[DataSize] = None,
+) -> DetailedReport:
+    """Table 1: one mixed workflow on IDEA, TR=500 ms, think 3 s."""
+    size = size if size is not None else ctx.settings.data_size
+    settings = ctx.settings.with_(
+        time_requirement=time_requirement, think_time=think_time, data_size=size
+    )
+    workflows = ctx.workflows(WorkflowType.MIXED, 3, size=size)[2:3]
+    records = ctx.run(engine, workflows, settings=settings)
+    return DetailedReport(records)
+
+
+# ----------------------------------------------------------------------
+# §5.2: data preparation times
+# ----------------------------------------------------------------------
+
+def exp_prep_times(
+    ctx: ExperimentContext,
+    engines: Sequence[str] = MAIN_ENGINES,
+    size: Optional[DataSize] = None,
+) -> Dict[str, "object"]:
+    """§5.2: engine → PreparationReport (modeled minutes at ``size``)."""
+    size = size if size is not None else ctx.settings.data_size
+    settings = ctx.settings.with_(data_size=size)
+    dataset = ctx.dataset(size, normalized=False)
+    reports = {}
+    for engine_name in engines:
+        clock = VirtualClock()
+        engine = make_engine(engine_name, dataset, settings, clock)
+        reports[engine_name] = engine.prepare()
+    return reports
+
+
+# ----------------------------------------------------------------------
+# Exp. 4 (§5.5): factor analysis over detailed records
+# ----------------------------------------------------------------------
+
+def exp_effects(records: Sequence[QueryRecord]) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """§5.5: group mean metrics by candidate performance factors.
+
+    Returns factor → level → {violated%, missing, mre}. The paper found no
+    significant effect of bin dimensionality, binning type or concurrency,
+    but a dominant effect of predicate selectivity — the same conclusion
+    these groupings support (see EXPERIMENTS.md).
+    """
+    def bucket_selectivity(fraction: float) -> str:
+        if fraction >= 0.5:
+            return "broad (>=50%)"
+        if fraction >= 0.05:
+            return "medium (5-50%)"
+        return "narrow (<5%)"
+
+    def bucket_concurrency(n: int) -> str:
+        return "1" if n == 1 else ("2-3" if n <= 3 else ">=4")
+
+    factors: Dict[str, Callable[[QueryRecord], str]] = {
+        "bin_dims": lambda r: str(r.bin_dims),
+        "binning_type": lambda r: r.binning_type,
+        "agg_type": lambda r: r.agg_type,
+        "concurrency": lambda r: bucket_concurrency(r.num_concurrent),
+        "selectivity": lambda r: bucket_selectivity(r.qualifying_fraction),
+    }
+    outcome: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for factor, key_fn in factors.items():
+        groups: Dict[str, List[QueryRecord]] = {}
+        for record in records:
+            groups.setdefault(key_fn(record), []).append(record)
+        levels: Dict[str, Dict[str, float]] = {}
+        for level, group in sorted(groups.items()):
+            answered = [r for r in group if not r.metrics.tr_violated]
+            mres = np.array(
+                [
+                    r.metrics.rel_error_avg
+                    for r in answered
+                    if np.isfinite(r.metrics.rel_error_avg)
+                ]
+            )
+            levels[level] = {
+                "queries": float(len(group)),
+                "pct_violated": 100.0 * float(np.mean([r.tr_violated for r in group])),
+                "mean_missing": float(np.mean([r.metrics.missing_bins for r in group])),
+                "mre_median": float(np.median(mres)) if len(mres) else float("nan"),
+            }
+        outcome[factor] = levels
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Exp. 5 (§5.6): System Y
+# ----------------------------------------------------------------------
+
+def exp_system_y(
+    ctx: ExperimentContext,
+    time_requirement: float = 10.0,
+    num_variants: int = 3,
+    size: Optional[DataSize] = None,
+) -> Dict[str, Dict[str, float]]:
+    """§5.6: System Y (frontend over MonetDB) vs MonetDB directly.
+
+    Runs ``num_variants`` 1:N workflows on both engines. The headline
+    comparison is the mean end-to-end latency of *answered* queries: the
+    paper observed System Y to track MonetDB "with an added delay of about
+    1-2s per query" and found no prefetching layer. A long TR is used so
+    most queries complete and the latency difference is observable.
+    """
+    size = size if size is not None else ctx.settings.data_size
+    settings = ctx.settings.with_(time_requirement=time_requirement, data_size=size)
+    workflows = ctx.workflows(WorkflowType.ONE_TO_N, num_variants, size=size)
+    per_engine_records: Dict[str, List[QueryRecord]] = {}
+    outcome: Dict[str, Dict[str, float]] = {}
+    for engine_name in ("monetdb-sim", "system-y-sim"):
+        records = ctx.run(engine_name, workflows, settings=settings)
+        per_engine_records[engine_name] = records
+        answered = [r for r in records if not r.tr_violated]
+        latencies = [r.end_time - r.start_time for r in answered]
+        outcome[engine_name] = {
+            "pct_violated": 100.0 * float(np.mean([r.tr_violated for r in records])),
+            "mean_latency_answered": float(np.mean(latencies)) if latencies else float("nan"),
+            "num_queries": float(len(records)),
+            "num_answered": float(len(answered)),
+        }
+    # Paired rendering-overhead estimate: compare the same query (by id)
+    # across the two runs, over queries both engines answered. This avoids
+    # the survivor bias of comparing unpaired means (the frontend's slowest
+    # queries drop out of its own answered set).
+    monet_by_id = {
+        r.query_id: r
+        for r in per_engine_records["monetdb-sim"]
+        if not r.tr_violated
+    }
+    deltas = [
+        (y.end_time - y.start_time) - (
+            monet_by_id[y.query_id].end_time - monet_by_id[y.query_id].start_time
+        )
+        for y in per_engine_records["system-y-sim"]
+        if not y.tr_violated and y.query_id in monet_by_id
+    ]
+    outcome["system-y-sim"]["paired_overhead"] = (
+        float(np.mean(deltas)) if deltas else float("nan")
+    )
+    return outcome

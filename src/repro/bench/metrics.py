@@ -1,0 +1,195 @@
+"""The IDEBench metric suite (§4.7).
+
+For every executed query the benchmark evaluates, against the exact ground
+truth:
+
+=====================  ======================================================
+Time Requirement       boolean — no result was available at the deadline
+Violated
+Missing Bins           |bins missing| / |bins in ground truth|
+Mean Relative Error    mean over delivered bins of |Fᵢ−Aᵢ| / |Aᵢ|
+SMAPE                  mean of |Fᵢ−Aᵢ| / (|Fᵢ|+|Aᵢ|) — defined at Aᵢ = 0
+Cosine Distance        1 − cos(F, A) with missing bins zero-filled
+Mean Margin of Error   mean and stdev of the *relative* margins of error
+Out of Margin          number of per-bin results outside their margin
+Bias                   Σ returned values / Σ true values of returned bins
+=====================  ======================================================
+
+Queries may carry several aggregates (e.g. COUNT + AVG); value-based
+metrics are computed per aggregate and averaged (out-of-margin counts are
+summed), while bin-based metrics (missing bins) are aggregate-independent.
+A violated query has no result: missing bins is 1 and the value metrics
+are NaN — the summary report only folds value metrics over non-violating
+queries, exactly like Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import BenchmarkError
+from repro.query.model import QueryResult
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """All §4.7 metrics of one executed query."""
+
+    tr_violated: bool
+    bins_delivered: int
+    bins_in_gt: int
+    missing_bins: float
+    rel_error_avg: float
+    rel_error_stdev: float
+    smape: float
+    cosine_distance: float
+    margin_avg: float
+    margin_stdev: float
+    bins_out_of_margin: int
+    bias: float
+
+    @classmethod
+    def violated(cls, bins_in_gt: int) -> "QueryMetrics":
+        """Metrics of a query that produced no result within its TR."""
+        nan = float("nan")
+        return cls(
+            tr_violated=True,
+            bins_delivered=0,
+            bins_in_gt=bins_in_gt,
+            missing_bins=1.0,
+            rel_error_avg=nan,
+            rel_error_stdev=nan,
+            smape=nan,
+            cosine_distance=nan,
+            margin_avg=nan,
+            margin_stdev=nan,
+            bins_out_of_margin=0,
+            bias=nan,
+        )
+
+
+def _per_aggregate_vectors(
+    result: QueryResult, ground_truth: QueryResult, aggregate_index: int
+) -> Tuple[np.ndarray, np.ndarray, List[Optional[float]]]:
+    """Aligned (estimate, truth, margin) vectors over the GT bin set.
+
+    Bins the engine did not deliver contribute estimate 0 (the §4.7 cosine
+    definition: "we set the value at each missing bin to zero") and margin
+    None.
+    """
+    keys = list(ground_truth.values.keys())
+    estimates = np.zeros(len(keys))
+    truths = np.zeros(len(keys))
+    margins: List[Optional[float]] = [None] * len(keys)
+    for i, key in enumerate(keys):
+        truths[i] = ground_truth.values[key][aggregate_index]
+        delivered = result.values.get(key)
+        if delivered is not None:
+            estimates[i] = delivered[aggregate_index]
+            margin_row = result.margins.get(key)
+            if margin_row is not None:
+                margins[i] = margin_row[aggregate_index]
+    return estimates, truths, margins
+
+
+def _cosine_distance(estimates: np.ndarray, truths: np.ndarray) -> float:
+    norm_f = float(np.linalg.norm(estimates))
+    norm_a = float(np.linalg.norm(truths))
+    if norm_f == 0.0 and norm_a == 0.0:
+        return 0.0
+    if norm_f == 0.0 or norm_a == 0.0:
+        return 1.0
+    cosine = float(np.dot(estimates, truths) / (norm_f * norm_a))
+    return float(min(max(1.0 - cosine, 0.0), 2.0))
+
+
+def compute_metrics(
+    result: Optional[QueryResult], ground_truth: QueryResult
+) -> QueryMetrics:
+    """Evaluate one query's answer against its exact ground truth.
+
+    ``result=None`` means nothing was available at the deadline — a TR
+    violation.
+    """
+    if not ground_truth.exact:
+        raise BenchmarkError("ground truth must be an exact result")
+    bins_in_gt = ground_truth.num_bins
+    if result is None:
+        return QueryMetrics.violated(bins_in_gt)
+
+    delivered_keys = set(result.values)
+    gt_keys = set(ground_truth.values)
+    delivered_in_gt = len(delivered_keys & gt_keys)
+    missing = (
+        (bins_in_gt - delivered_in_gt) / bins_in_gt if bins_in_gt else 0.0
+    )
+
+    num_aggs = len(ground_truth.query.aggregates)
+    rel_means: List[float] = []
+    rel_stds: List[float] = []
+    smapes: List[float] = []
+    cosines: List[float] = []
+    margin_values: List[float] = []
+    biases: List[float] = []
+    out_of_margin = 0
+
+    for j in range(num_aggs):
+        estimates, truths, margins = _per_aggregate_vectors(
+            result, ground_truth, j
+        )
+        cosines.append(_cosine_distance(estimates, truths))
+
+        # Per-delivered-bin statistics (the §4.7 error definitions are over
+        # "all bins returned in the result").
+        delivered_mask = np.array(
+            [key in delivered_keys for key in ground_truth.values], dtype=bool
+        )
+        est_d = estimates[delivered_mask]
+        tru_d = truths[delivered_mask]
+        if len(est_d):
+            nonzero = tru_d != 0
+            if nonzero.any():
+                rel = np.abs(est_d[nonzero] - tru_d[nonzero]) / np.abs(tru_d[nonzero])
+                rel_means.append(float(rel.mean()))
+                rel_stds.append(float(rel.std()))
+            denom = np.abs(est_d) + np.abs(tru_d)
+            smape_terms = np.where(
+                denom > 0, np.abs(est_d - tru_d) / np.where(denom > 0, denom, 1.0), 0.0
+            )
+            smapes.append(float(smape_terms.mean()))
+            truth_sum = float(np.abs(tru_d).sum())
+            if truth_sum > 0:
+                biases.append(float(est_d.sum()) / float(tru_d.sum()))
+        # Relative margins and out-of-margin checks over delivered bins.
+        for i, key in enumerate(ground_truth.values):
+            if not delivered_mask[i]:
+                continue
+            margin = margins[i]
+            if margin is None:
+                continue
+            estimate = estimates[i]
+            if abs(estimate) > 1e-12:
+                margin_values.append(abs(margin) / abs(estimate))
+            elif margin == 0.0:
+                margin_values.append(0.0)
+            if abs(estimate - truths[i]) > margin + 1e-12:
+                out_of_margin += 1
+
+    nan = float("nan")
+    return QueryMetrics(
+        tr_violated=False,
+        bins_delivered=result.num_bins,
+        bins_in_gt=bins_in_gt,
+        missing_bins=float(missing),
+        rel_error_avg=float(np.mean(rel_means)) if rel_means else nan,
+        rel_error_stdev=float(np.mean(rel_stds)) if rel_stds else nan,
+        smape=float(np.mean(smapes)) if smapes else nan,
+        cosine_distance=float(np.mean(cosines)) if cosines else nan,
+        margin_avg=float(np.mean(margin_values)) if margin_values else nan,
+        margin_stdev=float(np.std(margin_values)) if margin_values else nan,
+        bins_out_of_margin=int(out_of_margin),
+        bias=float(np.mean(biases)) if biases else nan,
+    )

@@ -1,0 +1,166 @@
+"""Terminal plotting for benchmark reports.
+
+Fig. 5 of the paper presents the distribution of mean relative errors as a
+CDF truncated at 100 % error, with the area *above* the curve printed as a
+single quality number; Fig. 6a–c are per-engine line series over the time
+requirement. This module renders both as ASCII so the CLI and the
+benchmark artifacts can show the same visuals without a plotting stack:
+
+* :func:`ascii_cdf` — a CDF curve in a fixed-size character grid;
+* :func:`ascii_series` — one or more (x, y) series with shared axes;
+* :func:`ascii_bars` — labeled horizontal bars (used for Fig.-6d-style
+  per-group comparisons).
+
+All functions return plain strings; nothing is printed implicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import BenchmarkError
+
+#: Characters used for multi-series plots, in assignment order.
+SERIES_MARKS = "*o+x#@"
+
+
+def _check_dimensions(width: int, height: int) -> None:
+    if width < 10 or height < 3:
+        raise BenchmarkError(
+            f"plot area must be at least 10×3 characters, got {width}×{height}"
+        )
+
+
+def ascii_cdf(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render CDF ``points`` — [(x, F(x))] with F in [0, 1] — as ASCII.
+
+    NaN fractions (no data) render as an empty plot with a note, matching
+    how Fig. 5 leaves the MonetDB CDF blank at TRs where nothing finished.
+    """
+    _check_dimensions(width, height)
+    finite = [(x, y) for x, y in points if not math.isnan(y)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not finite:
+        lines.append("(no answered queries — CDF undefined)")
+        return "\n".join(lines)
+
+    xs = [x for x, _ in finite]
+    x_low, x_high = min(xs), max(xs)
+    span = (x_high - x_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in finite:
+        column = int(round((x - x_low) / span * (width - 1)))
+        row = int(round((1.0 - min(max(y, 0.0), 1.0)) * (height - 1)))
+        grid[row][column] = "*"
+    # CDFs are step functions — carry each level rightward through
+    # columns that received no point of their own.
+    last_row = None
+    for column in range(width):
+        rows = [r for r in range(height) if grid[r][column] == "*"]
+        if rows:
+            last_row = rows[-1]
+        elif last_row is not None:
+            grid[last_row][column] = "·"
+
+    for index, row_chars in enumerate(grid):
+        level = 1.0 - index / (height - 1)
+        axis = f"{level:4.0%} |" if index % max(1, (height - 1) // 4) == 0 else "     |"
+        lines.append(axis + "".join(row_chars))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_low:<10.3g}{'':^{max(0, width - 20)}}{x_high:>10.3g}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render several named (x, y) series in one shared-axis ASCII plot.
+
+    Used for the Fig.-6a/6b/6c artifacts: x = time requirement, y = the
+    metric, one mark per engine (legend appended).
+    """
+    _check_dimensions(width, height)
+    if not series:
+        raise BenchmarkError("ascii_series needs at least one series")
+    if len(series) > len(SERIES_MARKS):
+        raise BenchmarkError(
+            f"at most {len(SERIES_MARKS)} series supported, got {len(series)}"
+        )
+    all_points = [
+        (x, y)
+        for points in series.values()
+        for x, y in points
+        if not math.isnan(y)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not all_points:
+        lines.append("(no finite data)")
+        return "\n".join(lines)
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for mark, (name, points) in zip(SERIES_MARKS, sorted(series.items())):
+        legend.append(f"{mark} = {name}")
+        for x, y in points:
+            if math.isnan(y):
+                continue
+            column = int(round((x - x_low) / x_span * (width - 1)))
+            row = int(round((1.0 - (y - y_low) / y_span) * (height - 1)))
+            grid[row][column] = mark
+
+    for index, row_chars in enumerate(grid):
+        value = y_high - index / (height - 1) * y_span
+        axis = (
+            f"{value:8.3g} |"
+            if index % max(1, (height - 1) // 4) == 0
+            else "         |"
+        )
+        lines.append(axis + "".join(row_chars))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_low:<10.3g}{'':^{max(0, width - 20)}}{x_high:>10.3g}")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render labeled horizontal bars (values must be non-negative)."""
+    if not values:
+        raise BenchmarkError("ascii_bars needs at least one value")
+    for label, value in values.items():
+        if math.isnan(value) or value < 0:
+            raise BenchmarkError(
+                f"bar value for {label!r} must be a non-negative number"
+            )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        bar = "█" * int(round(value / peak * width))
+        lines.append(f"{label:<{label_width}} |{bar:<{width}} " + fmt.format(value))
+    return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Report generation (§4.8): detailed per-query and aggregated summary.
+
+Upon completing a run IDEBench produces:
+
+1. a **detailed report** — one row per query with every setting and metric
+   (the paper's Table 1); here a CSV with the same columns;
+2. a **summary report** — per workflow type (and overall): how often the
+   TR was violated, mean missing bins, and the distribution of mean
+   relative errors for queries that did *not* violate the TR, presented
+   as a CDF truncated at 100 % error together with the area **above** the
+   curve (Fig. 5 — the smaller the area, the better the engine).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.bench.driver import QueryRecord
+
+#: Column order of the detailed CSV — mirrors Table 1 of the paper.
+DETAILED_COLUMNS = (
+    "id",
+    "interaction",
+    "viz_name",
+    "driver",
+    "data_size",
+    "think_time",
+    "time_req",
+    "workflow",
+    "workflow_type",
+    "start_time",
+    "end_time",
+    "tr_violated",
+    "bin_dims",
+    "binning_type",
+    "agg_type",
+    "bins_ofm",
+    "bins_delivered",
+    "bins_in_gt",
+    "rel_error_avg",
+    "rel_error_stdev",
+    "smape",
+    "missing_bins",
+    "cosine_distance",
+    "margin_avg",
+    "margin_stdev",
+    "bias",
+    "rows_processed",
+    "fraction",
+    "num_concurrent",
+    "qualifying_fraction",
+)
+
+
+def _record_row(record: QueryRecord) -> List[object]:
+    metrics = record.metrics
+    return [
+        record.query_id,
+        record.interaction_id,
+        record.viz_name,
+        record.driver,
+        record.data_size,
+        record.think_time,
+        record.time_requirement,
+        record.workflow,
+        record.workflow_type,
+        round(record.start_time, 6),
+        round(record.end_time, 6),
+        metrics.tr_violated,
+        record.bin_dims,
+        record.binning_type,
+        record.agg_type,
+        metrics.bins_out_of_margin,
+        metrics.bins_delivered,
+        metrics.bins_in_gt,
+        _fmt(metrics.rel_error_avg),
+        _fmt(metrics.rel_error_stdev),
+        _fmt(metrics.smape),
+        _fmt(metrics.missing_bins),
+        _fmt(metrics.cosine_distance),
+        _fmt(metrics.margin_avg),
+        _fmt(metrics.margin_stdev),
+        _fmt(metrics.bias),
+        record.rows_processed,
+        _fmt(record.fraction),
+        record.num_concurrent,
+        _fmt(record.qualifying_fraction),
+    ]
+
+
+def _fmt(value: float) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return ""
+    return f"{value:.6f}"
+
+
+class DetailedReport:
+    """The per-query report (Table 1)."""
+
+    def __init__(self, records: Sequence[QueryRecord]):
+        self.records = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_csv(self, path: Union[str, Path, io.TextIOBase]) -> None:
+        """Write the report as CSV with the Table-1 column set."""
+        if isinstance(path, (str, Path)):
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                self._write(handle)
+        else:
+            self._write(path)
+
+    def _write(self, handle) -> None:
+        writer = csv.writer(handle)
+        writer.writerow(DETAILED_COLUMNS)
+        for record in self.records:
+            writer.writerow(_record_row(record))
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Records as dictionaries keyed by the CSV column names."""
+        return [
+            dict(zip(DETAILED_COLUMNS, _record_row(record)))
+            for record in self.records
+        ]
+
+
+# ----------------------------------------------------------------------
+# Summary (Fig. 5)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """Aggregated metrics of one group (workflow type, engine, or TR)."""
+
+    group: str
+    num_queries: int
+    pct_tr_violated: float
+    mean_missing_bins: float
+    mre_median: float
+    mre_area_above_cdf: float
+    margin_median: float
+    cosine_mean: float
+    cosine_median: float
+    mean_bias: float
+    out_of_margin_rate: float
+
+
+def _finite(values: Iterable[float]) -> np.ndarray:
+    array = np.array([v for v in values if v is not None], dtype=np.float64)
+    return array[np.isfinite(array)]
+
+
+def summarize_records(
+    records: Sequence[QueryRecord],
+    group_key=lambda record: record.workflow_type,
+) -> List[SummaryRow]:
+    """Aggregate records into summary rows, one per group plus ``all``.
+
+    Violated queries contribute to the violation percentage and (with
+    value 1.0) to mean missing bins; value metrics are folded over
+    non-violating queries only, following Fig. 5's methodology.
+    """
+    groups: Dict[str, List[QueryRecord]] = {}
+    for record in records:
+        groups.setdefault(str(group_key(record)), []).append(record)
+    rows = [
+        _summarize_group(name, group) for name, group in sorted(groups.items())
+    ]
+    rows.append(_summarize_group("all", list(records)))
+    return rows
+
+
+def _summarize_group(name: str, records: List[QueryRecord]) -> SummaryRow:
+    if not records:
+        raise ValueError(f"group {name!r} has no records")
+    violated = [r for r in records if r.metrics.tr_violated]
+    answered = [r for r in records if not r.metrics.tr_violated]
+    mres = _finite(r.metrics.rel_error_avg for r in answered)
+    margins = _finite(r.metrics.margin_avg for r in answered)
+    cosines = _finite(r.metrics.cosine_distance for r in answered)
+    biases = _finite(r.metrics.bias for r in answered)
+    missing = np.array([r.metrics.missing_bins for r in records])
+    bins_delivered = sum(r.metrics.bins_delivered for r in answered)
+    ofm = sum(r.metrics.bins_out_of_margin for r in answered)
+    nan = float("nan")
+    return SummaryRow(
+        group=name,
+        num_queries=len(records),
+        pct_tr_violated=100.0 * len(violated) / len(records),
+        mean_missing_bins=float(missing.mean()),
+        mre_median=float(np.median(mres)) if len(mres) else nan,
+        mre_area_above_cdf=float(np.minimum(mres, 1.0).mean()) if len(mres) else nan,
+        margin_median=float(np.median(margins)) if len(margins) else nan,
+        cosine_mean=float(cosines.mean()) if len(cosines) else nan,
+        cosine_median=float(np.median(cosines)) if len(cosines) else nan,
+        mean_bias=float(biases.mean()) if len(biases) else nan,
+        out_of_margin_rate=(ofm / bins_delivered) if bins_delivered else nan,
+    )
+
+
+def mre_cdf(
+    records: Sequence[QueryRecord], points: int = 21, truncate: float = 1.0
+) -> List[Tuple[float, float]]:
+    """CDF of mean relative errors over non-violating queries (Fig. 5).
+
+    Returns ``points`` samples of (error level x, fraction of queries with
+    MRE ≤ x) for x ∈ [0, truncate]. The area *above* this truncated curve
+    equals ``mean(min(MRE, truncate))`` — the percentage printed above
+    each CDF in the paper's Fig. 5.
+    """
+    answered = _finite(
+        r.metrics.rel_error_avg for r in records if not r.metrics.tr_violated
+    )
+    xs = np.linspace(0.0, truncate, points)
+    if len(answered) == 0:
+        return [(float(x), float("nan")) for x in xs]
+    return [(float(x), float((answered <= x).mean())) for x in xs]
+
+
+class SummaryReport:
+    """Renderable summary over a set of detailed records."""
+
+    def __init__(
+        self,
+        records: Sequence[QueryRecord],
+        group_key=lambda record: record.workflow_type,
+    ):
+        self.records = list(records)
+        self.rows = summarize_records(self.records, group_key)
+
+    def render(self, title: str = "IDEBench summary report") -> str:
+        """Plain-text table in the spirit of Fig. 5."""
+        header = (
+            f"{'group':<16} {'queries':>7} {'%TR viol':>9} {'missing':>8} "
+            f"{'MRE med':>8} {'MRE area':>9} {'margin med':>10} "
+            f"{'cos dist':>9} {'bias':>7}"
+        )
+        lines = [title, "=" * len(header), header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                f"{row.group:<16} {row.num_queries:>7} "
+                f"{row.pct_tr_violated:>8.1f}% {row.mean_missing_bins:>8.3f} "
+                f"{_cell(row.mre_median):>8} {_cell(row.mre_area_above_cdf):>9} "
+                f"{_cell(row.margin_median):>10} {_cell(row.cosine_mean):>9} "
+                f"{_cell(row.mean_bias):>7}"
+            )
+        return "\n".join(lines)
+
+
+def _cell(value: float) -> str:
+    if value is None or math.isnan(value):
+        return "—"
+    return f"{value:.3f}"

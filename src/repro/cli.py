@@ -1,0 +1,255 @@
+"""Command-line interface — the paper's §4.4 "benchmark driver" binary.
+
+The original IDEBench is "a simple command line application (written in
+Python) configured to load and simulate workflows". This reproduction's
+CLI exposes the same lifecycle::
+
+    idebench-repro generate-data --rows 500000 --out flights.csv
+    idebench-repro generate-workflows --out workflows/ --per-type 10
+    idebench-repro view workflows/mixed_0.json
+    idebench-repro run --engine idea-sim --tr 3 --out report.csv
+    idebench-repro report report.csv
+
+``run`` executes the default configuration (mixed workflows) against one
+engine simulator under the given settings and writes the detailed report;
+``report`` renders the Fig.-5-style summary from a detailed CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.experiments import ExperimentContext, MAIN_ENGINES, make_engine
+from repro.bench.driver import BenchmarkDriver
+from repro.bench.report import DetailedReport, SummaryReport
+from repro.common.clock import VirtualClock
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.data.generator import scale_dataset
+from repro.data.seed import generate_flights_seed
+from repro.workflow.spec import Workflow, WorkflowType, load_suite, save_suite
+from repro.workflow.viewer import render_workflow
+
+
+def _add_settings_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", default="M", help="data size: S, M, or L")
+    parser.add_argument("--scale", type=int, default=1000,
+                        help="virtual-to-actual row scale factor")
+    parser.add_argument("--seed", type=int, default=42, help="root random seed")
+
+
+def _settings_from_args(args) -> BenchmarkSettings:
+    return BenchmarkSettings(
+        data_size=DataSize.parse(args.size),
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=getattr(args, "tr", 3.0),
+        think_time=getattr(args, "think_time", 1.0),
+        workflows_per_type=getattr(args, "per_type", 10),
+    )
+
+
+def _cmd_generate_data(args) -> int:
+    settings = _settings_from_args(args)
+    rows = args.rows if args.rows is not None else settings.actual_rows
+    if args.seed_csv:
+        from repro.data.storage import Table
+
+        seed_table = Table.from_csv(args.seed_csv, name="flights")
+    else:
+        seed_table = generate_flights_seed(min(rows, 100_000), seed=settings.seed)
+    table = scale_dataset(seed_table, rows, seed_value=settings.seed)
+    if args.normalize_spec or args.normalize:
+        from repro.data.normalize import (
+            FLIGHTS_STAR_SPEC,
+            load_star_spec,
+            normalize,
+        )
+
+        specs = (
+            load_star_spec(args.normalize_spec)
+            if args.normalize_spec
+            else FLIGHTS_STAR_SPEC
+        )
+        dataset = normalize(table, specs)
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name, part in dataset.tables.items():
+            part.to_csv(out_dir / f"{name}.csv")
+        print(
+            f"wrote star schema ({', '.join(sorted(dataset.tables))}) "
+            f"with {rows} fact rows to {out_dir}/"
+        )
+    else:
+        table.to_csv(args.out)
+        print(f"wrote {rows} rows to {args.out}")
+    return 0
+
+
+def _cmd_generate_workflows(args) -> int:
+    settings = _settings_from_args(args)
+    ctx = ExperimentContext(settings)
+    config = None
+    if args.config:
+        from repro.workflow.generator import WorkloadConfig
+
+        config = WorkloadConfig.from_json(args.config)
+    workflows: List[Workflow] = []
+    for workflow_type in (
+        WorkflowType.INDEPENDENT,
+        WorkflowType.SEQUENTIAL,
+        WorkflowType.ONE_TO_N,
+        WorkflowType.N_TO_ONE,
+        WorkflowType.MIXED,
+    ):
+        workflows.extend(ctx.workflows(workflow_type, args.per_type, config=config))
+    paths = save_suite(workflows, args.out)
+    print(f"wrote {len(paths)} workflows to {args.out}")
+    return 0
+
+
+def _cmd_view(args) -> int:
+    workflow = Workflow.from_json(args.workflow)
+    print(render_workflow(workflow, show_sql=args.sql))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    settings = _settings_from_args(args)
+    ctx = ExperimentContext(settings)
+    if args.workflows:
+        workflows = load_suite(args.workflows)
+    else:
+        workflows = ctx.workflows(WorkflowType.MIXED, args.per_type)
+    normalized = args.normalized
+    dataset = ctx.dataset(settings.data_size, normalized)
+    oracle = ctx.oracle(settings.data_size, normalized)
+    clock = VirtualClock()
+    engine = make_engine(
+        args.engine, dataset, settings, clock, speculation=args.speculation
+    )
+    prep = engine.prepare()
+    print(f"{engine.name}: data preparation {prep.minutes:.1f} min (modeled)")
+    driver = BenchmarkDriver(engine, oracle, settings)
+    records = driver.run_suite(workflows)
+    report = DetailedReport(records)
+    if args.out:
+        report.to_csv(args.out)
+        print(f"wrote detailed report ({len(report)} queries) to {args.out}")
+    print()
+    print(SummaryReport(records).render(
+        f"{engine.name} @ TR={settings.time_requirement}s, "
+        f"{settings.data_size.name} ({settings.virtual_rows:,} virtual rows)"
+    ))
+    if args.cdf:
+        from repro.bench.plotting import ascii_cdf
+        from repro.bench.report import mre_cdf
+
+        print()
+        print(ascii_cdf(
+            mre_cdf(records, points=41),
+            title="CDF of mean relative errors (truncated at 100%)",
+        ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    # Rebuild a summary from a detailed CSV (settings travel in the rows).
+    import csv
+
+    with open(args.detailed, "r", encoding="utf-8", newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows:
+        print("detailed report is empty", file=sys.stderr)
+        return 1
+    violated = sum(row["tr_violated"] == "True" for row in rows)
+    print(f"queries: {len(rows)}")
+    print(f"TR violated: {100.0 * violated / len(rows):.1f}%")
+    missing = [float(row["missing_bins"]) for row in rows if row["missing_bins"]]
+    if missing:
+        print(f"mean missing bins: {sum(missing) / len(missing):.3f}")
+    errors = [
+        float(row["rel_error_avg"])
+        for row in rows
+        if row["rel_error_avg"] and row["tr_violated"] == "False"
+    ]
+    if errors:
+        errors.sort()
+        median = errors[len(errors) // 2]
+        area = sum(min(e, 1.0) for e in errors) / len(errors)
+        print(f"MRE median: {median:.3f}")
+        print(f"MRE area above CDF (<=100%): {area:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="idebench-repro",
+        description="IDEBench reproduction: benchmark driver CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_data = sub.add_parser("generate-data", help="generate a scaled flights CSV")
+    _add_settings_arguments(p_data)
+    p_data.add_argument("--rows", type=int, default=None,
+                        help="actual rows to generate (default: size/scale)")
+    p_data.add_argument("--out", required=True,
+                        help="output CSV path (directory when normalizing)")
+    p_data.add_argument("--seed-csv", default=None, dest="seed_csv",
+                        help="scale this CSV instead of the synthetic seed")
+    p_data.add_argument("--normalize", action="store_true",
+                        help="emit the default flights star schema")
+    p_data.add_argument("--normalize-spec", default=None, dest="normalize_spec",
+                        help="JSON star-schema specification to apply")
+    p_data.set_defaults(func=_cmd_generate_data)
+
+    p_wf = sub.add_parser("generate-workflows", help="generate workflow JSON files")
+    _add_settings_arguments(p_wf)
+    p_wf.add_argument("--per-type", type=int, default=10, dest="per_type")
+    p_wf.add_argument("--config", default=None,
+                      help="JSON WorkloadConfig with custom probabilities")
+    p_wf.add_argument("--out", required=True, help="output directory")
+    p_wf.set_defaults(func=_cmd_generate_workflows)
+
+    p_view = sub.add_parser("view", help="inspect a workflow JSON file")
+    p_view.add_argument("workflow", help="path to workflow JSON")
+    p_view.add_argument("--sql", action="store_true", help="show triggered SQL")
+    p_view.set_defaults(func=_cmd_view)
+
+    p_run = sub.add_parser("run", help="run the benchmark on one engine")
+    _add_settings_arguments(p_run)
+    p_run.add_argument("--engine", default="idea-sim",
+                       choices=list(MAIN_ENGINES) + ["system-y-sim"])
+    p_run.add_argument("--tr", type=float, default=3.0,
+                       help="time requirement in seconds")
+    p_run.add_argument("--think-time", type=float, default=1.0, dest="think_time")
+    p_run.add_argument("--per-type", type=int, default=10, dest="per_type",
+                       help="number of mixed workflows to run")
+    p_run.add_argument("--workflows", default=None,
+                       help="directory of workflow JSONs (default: generated)")
+    p_run.add_argument("--normalized", action="store_true",
+                       help="run on the star schema (joins)")
+    p_run.add_argument("--speculation", action="store_true",
+                       help="enable speculative execution (idea-sim)")
+    p_run.add_argument("--out", default=None, help="detailed report CSV path")
+    p_run.add_argument("--cdf", action="store_true",
+                       help="render the MRE CDF as ASCII (Fig.-5 style)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_rep = sub.add_parser("report", help="summarize a detailed report CSV")
+    p_rep.add_argument("detailed", help="path to detailed report CSV")
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``idebench-repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

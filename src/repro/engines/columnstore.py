@@ -1,0 +1,65 @@
+"""Blocking analytical column store — the MonetDB stand-in.
+
+Execution model (§5: "a blocking query execution model that requires users
+to wait until an exact query result is computed. Thus, upon initiating a
+query, the run-time of the query is unknown"):
+
+* every query runs to completion as a full scan (plus hash joins on the
+  star schema) and returns an **exact** answer;
+* no intermediate results exist — before completion, ``result_at`` is
+  None, so any TR shorter than the query's run time is violated and the
+  proportion of missing bins for that query is 100 %;
+* concurrent queries share capacity (processor sharing), which is what
+  hurts this engine on 1:N workflows (Fig. 6d).
+
+Answers are computed lazily at the first successful poll: queries that are
+cancelled before completion (the common case at tight TRs) never pay the
+evaluation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engines.base import Engine, EngineCapabilities, _HandleState
+from repro.engines.cost import (
+    COLUMNSTORE_COST,
+    COLUMNSTORE_PREP,
+    EngineCostModel,
+    PreparationModel,
+)
+from repro.query.groundtruth import evaluate_exact
+from repro.query.model import QueryResult
+
+
+class ColumnStoreEngine(Engine):
+    """MonetDB-like blocking, exact execution."""
+
+    name = "monetdb-sim"
+    capabilities = EngineCapabilities(
+        supports_joins=True, progressive=False, returns_margins=False
+    )
+
+    def _default_cost(self) -> EngineCostModel:
+        return COLUMNSTORE_COST
+
+    def _default_prep(self) -> PreparationModel:
+        return COLUMNSTORE_PREP
+
+    def _do_submit(self, state: _HandleState) -> None:
+        demand = self.cost_model.blocking_service_demand(
+            query=state.query,
+            dataset=self.dataset,
+            virtual_rows=self.settings.virtual_rows,
+            scale=self.settings.scale,
+            qualifying_fraction=self.qualifying_fraction(state.query),
+        )
+        state.task_id = self.scheduler.add_task(demand)
+
+    def _result_at(self, state: _HandleState, time: float) -> Optional[QueryResult]:
+        finished = self.scheduler.finished_at(state.task_id)
+        if finished is None or finished > time + 1e-12:
+            return None
+        if "result" not in state.extra:
+            state.extra["result"] = evaluate_exact(self.dataset, state.query)
+        return state.extra["result"]

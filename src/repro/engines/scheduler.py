@@ -1,0 +1,230 @@
+"""Weighted processor-sharing scheduler for concurrent query execution.
+
+§2.2: one interaction on a linked dashboard can trigger *multiple
+concurrent queries*. On a real DBMS those queries contend for CPU and
+memory bandwidth; the simulators model that contention with classic
+(weighted) processor sharing: at any instant, each active task receives a
+share of the engine's capacity proportional to its weight. A blocking
+query that would take 2 s alone takes ~6 s when a 1:N interaction launches
+it alongside two siblings — which is exactly why 1:N workflows hurt
+blocking engines in Fig. 6d.
+
+Each task records its cumulative *service* (seconds of exclusive capacity)
+as a step-linear history, so engines can ask "how much work had task T
+received at time t?" for any past t. That is what report-interval engines
+(XDB) need to reconstruct the result that was available at a tick, and
+what makes driver-side polling deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import Clock
+from repro.common.errors import EngineError
+
+
+@dataclass
+class _Task:
+    task_id: int
+    work_total: float  # seconds of exclusive service needed; inf = open-ended
+    weight: float
+    work_done: float = 0.0
+    finished_at: Optional[float] = None
+    cancelled: bool = False
+    #: (time, cumulative work) breakpoints; service is linear in between.
+    history: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def active(self) -> bool:
+        return self.finished_at is None and not self.cancelled
+
+    @property
+    def remaining(self) -> float:
+        return self.work_total - self.work_done
+
+    def record(self, time: float) -> None:
+        if not self.history or self.history[-1] != (time, self.work_done):
+            self.history.append((time, self.work_done))
+
+    def work_at(self, time: float) -> float:
+        """Cumulative service received by ``time`` (linear interpolation)."""
+        if not self.history or time <= self.history[0][0]:
+            return 0.0
+        if time >= self.history[-1][0]:
+            return self.history[-1][1]
+        # Binary search for the segment containing ``time``.
+        low, high = 0, len(self.history) - 1
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self.history[mid][0] <= time:
+                low = mid
+            else:
+                high = mid
+        t0, w0 = self.history[low]
+        t1, w1 = self.history[high]
+        if t1 <= t0:
+            return w1
+        frac = (time - t0) / (t1 - t0)
+        return w0 + frac * (w1 - w0)
+
+
+class ProcessorSharingScheduler:
+    """Simulates an engine's capacity shared among concurrent tasks.
+
+    The scheduler is driven by :meth:`advance_to`; between calls no state
+    changes. Total capacity is 1.0 service-second per second; an exclusive
+    task therefore completes ``work_total`` after exactly ``work_total``
+    seconds.
+    """
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self._tasks: Dict[int, _Task] = {}
+        self._next_id = 0
+        self._last_advance = clock.now()
+
+    # ------------------------------------------------------------------
+    # Task management
+    # ------------------------------------------------------------------
+    def add_task(self, work_total: float, weight: float = 1.0) -> int:
+        """Register a task at the current time; returns its id.
+
+        ``work_total`` may be ``math.inf`` for open-ended (speculative)
+        tasks that run until cancelled.
+        """
+        if work_total < 0:
+            raise EngineError(f"work_total must be >= 0, got {work_total}")
+        if weight <= 0:
+            raise EngineError(f"weight must be positive, got {weight}")
+        now = self._clock.now()
+        self._settle(now)
+        task = _Task(task_id=self._next_id, work_total=work_total, weight=weight)
+        task.record(now)
+        if work_total == 0.0:
+            task.finished_at = now
+        self._tasks[task.task_id] = task
+        self._next_id += 1
+        return task.task_id
+
+    def cancel(self, task_id: int) -> None:
+        """Cancel a task (no-op if already finished)."""
+        task = self._get(task_id)
+        now = self._clock.now()
+        self._settle(now)
+        if task.active:
+            task.cancelled = True
+            task.record(now)
+
+    def set_weight(self, task_id: int, weight: float) -> None:
+        """Change a task's weight (e.g. promote a speculative task)."""
+        if weight <= 0:
+            raise EngineError(f"weight must be positive, got {weight}")
+        self._settle(self._clock.now())
+        self._get(task_id).weight = weight
+
+    def credit_work(self, task_id: int, amount: float) -> None:
+        """Grant ``amount`` of pre-done service (result reuse).
+
+        The credit is applied instantaneously at the current time; if it
+        completes the task, the task finishes now.
+        """
+        if amount < 0:
+            raise EngineError(f"credit must be >= 0, got {amount}")
+        now = self._clock.now()
+        self._settle(now)
+        task = self._get(task_id)
+        if not task.active:
+            return
+        task.work_done = min(task.work_total, task.work_done + amount)
+        if task.remaining <= 1e-12:
+            task.finished_at = now
+        task.record(now)
+
+    # ------------------------------------------------------------------
+    # Time advancement
+    # ------------------------------------------------------------------
+    def advance_to(self, time: float) -> None:
+        """Distribute service up to ``time`` (clock must already be there).
+
+        Engines call this after the driver advanced the shared clock; it
+        is idempotent for the same target time.
+        """
+        self._settle(time)
+
+    def _settle(self, until: float) -> None:
+        if until < self._last_advance - 1e-9:
+            raise EngineError(
+                f"cannot settle scheduler backwards: {until} < {self._last_advance}"
+            )
+        now = self._last_advance
+        remaining_dt = until - now
+        while remaining_dt > 1e-12:
+            active = [t for t in self._tasks.values() if t.active]
+            if not active:
+                break
+            total_weight = sum(t.weight for t in active)
+            # Time until the earliest finite task finishes at current rates.
+            earliest: Optional[float] = None
+            for task in active:
+                if math.isinf(task.work_total):
+                    continue
+                rate = task.weight / total_weight
+                eta = task.remaining / rate if rate > 0 else math.inf
+                if earliest is None or eta < earliest:
+                    earliest = eta
+            step = remaining_dt if earliest is None else min(remaining_dt, earliest)
+            for task in active:
+                rate = task.weight / total_weight
+                task.work_done = min(task.work_total, task.work_done + step * rate)
+            now += step
+            remaining_dt -= step
+            for task in active:
+                if not math.isinf(task.work_total) and task.remaining <= 1e-9:
+                    task.finished_at = now
+                    task.record(now)
+        for task in self._tasks.values():
+            if task.active:
+                task.record(until)
+        self._last_advance = until
+
+    # ------------------------------------------------------------------
+    # Queries
+    @property
+    def settled_until(self) -> float:
+        """Latest time the scheduler state is valid for (see work_at)."""
+        return self._last_advance
+
+    # ------------------------------------------------------------------
+    def work_done(self, task_id: int) -> float:
+        """Cumulative service received so far."""
+        return self._get(task_id).work_done
+
+    def work_at(self, task_id: int, time: float) -> float:
+        """Cumulative service the task had received at past time ``time``."""
+        task = self._get(task_id)
+        if time > self._last_advance + 1e-9:
+            raise EngineError(
+                f"cannot query work at future time {time} "
+                f"(settled up to {self._last_advance})"
+            )
+        return task.work_at(time)
+
+    def finished_at(self, task_id: int) -> Optional[float]:
+        """Completion time, or None while running/cancelled."""
+        return self._get(task_id).finished_at
+
+    def is_cancelled(self, task_id: int) -> bool:
+        return self._get(task_id).cancelled
+
+    def active_tasks(self) -> List[int]:
+        """Ids of tasks still consuming capacity."""
+        return [t.task_id for t in self._tasks.values() if t.active]
+
+    def _get(self, task_id: int) -> _Task:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise EngineError(f"unknown task id {task_id}") from None

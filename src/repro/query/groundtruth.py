@@ -1,0 +1,197 @@
+"""Exact query evaluation and the shared grouped-statistics kernel.
+
+Two consumers:
+
+* the **ground-truth oracle** — every metric of §4.7 compares an engine's
+  answer against the exact answer on the full dataset; the oracle caches
+  those exact answers per query (workloads re-issue many identical
+  queries, e.g. when a filter is cleared);
+* the **engine simulators** — approximate engines aggregate *subsets*
+  (samples) of the data and need, per bin, the count and the sum/sum-of-
+  squares of each aggregated column to form estimates and confidence
+  intervals. :func:`compute_grouped_stats` provides exactly that, over
+  either the full dataset or a caller-supplied row subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.data.storage import Dataset
+from repro.query.binning import GroupedRows, group_rows
+from repro.query.filters import evaluate_filter
+from repro.query.model import AggFunc, AggQuery, BinKey, QueryResult
+
+
+@dataclass
+class GroupedStats:
+    """Sufficient statistics of one query over one set of rows.
+
+    ``counts[g]`` is the number of aggregated rows in group ``g``; for
+    every aggregate ``j`` over a column, ``sums[j][g]`` / ``sumsqs[j][g]``
+    / ``mins[j][g]`` / ``maxs[j][g]`` hold the within-group moments.
+    COUNT aggregates have no entry in the per-column dictionaries.
+    """
+
+    query: AggQuery
+    keys: List[BinKey]
+    counts: np.ndarray
+    sums: Dict[int, np.ndarray]
+    sumsqs: Dict[int, np.ndarray]
+    mins: Dict[int, np.ndarray]
+    maxs: Dict[int, np.ndarray]
+    rows_aggregated: int
+    rows_scanned: int
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.keys)
+
+
+def compute_grouped_stats(
+    dataset: Dataset,
+    query: AggQuery,
+    row_indices: Optional[np.ndarray] = None,
+) -> GroupedStats:
+    """Aggregate ``query`` over ``dataset`` (optionally only ``row_indices``).
+
+    ``row_indices`` is how sampling engines evaluate a prefix of their
+    shuffled row permutation; ``None`` aggregates everything (exact).
+    """
+    if not query.is_resolved:
+        raise QueryError(
+            "query has unresolved bin dimensions; call resolve_query first"
+        )
+
+    def get_column(name: str) -> np.ndarray:
+        column = dataset.gather_column(name)
+        if row_indices is not None:
+            return column[row_indices]
+        return column
+
+    num_rows = (
+        len(row_indices) if row_indices is not None else dataset.num_fact_rows
+    )
+    mask = evaluate_filter(query.filter, get_column, num_rows)
+    bin_columns = [get_column(dim.field)[mask] for dim in query.bins]
+    grouped: GroupedRows = group_rows(query.bins, bin_columns)
+
+    counts = (
+        np.bincount(grouped.inverse, minlength=grouped.num_groups).astype(np.int64)
+        if grouped.num_groups
+        else np.zeros(0, dtype=np.int64)
+    )
+
+    sums: Dict[int, np.ndarray] = {}
+    sumsqs: Dict[int, np.ndarray] = {}
+    mins: Dict[int, np.ndarray] = {}
+    maxs: Dict[int, np.ndarray] = {}
+    for j, agg in enumerate(query.aggregates):
+        if agg.func is AggFunc.COUNT:
+            continue
+        values = get_column(agg.field)[mask].astype(np.float64)
+        if grouped.num_groups == 0:
+            sums[j] = np.zeros(0)
+            sumsqs[j] = np.zeros(0)
+            mins[j] = np.zeros(0)
+            maxs[j] = np.zeros(0)
+            continue
+        sums[j] = np.bincount(
+            grouped.inverse, weights=values, minlength=grouped.num_groups
+        )
+        sumsqs[j] = np.bincount(
+            grouped.inverse, weights=values * values, minlength=grouped.num_groups
+        )
+        group_min = np.full(grouped.num_groups, np.inf)
+        group_max = np.full(grouped.num_groups, -np.inf)
+        np.minimum.at(group_min, grouped.inverse, values)
+        np.maximum.at(group_max, grouped.inverse, values)
+        mins[j] = group_min
+        maxs[j] = group_max
+
+    return GroupedStats(
+        query=query,
+        keys=grouped.keys,
+        counts=counts,
+        sums=sums,
+        sumsqs=sumsqs,
+        mins=mins,
+        maxs=maxs,
+        rows_aggregated=int(mask.sum()),
+        rows_scanned=num_rows,
+    )
+
+
+def stats_to_exact_values(stats: GroupedStats) -> Dict[BinKey, Tuple[float, ...]]:
+    """Turn sufficient statistics into exact per-bin aggregate values."""
+    values: Dict[BinKey, Tuple[float, ...]] = {}
+    for g, key in enumerate(stats.keys):
+        row: List[float] = []
+        for j, agg in enumerate(stats.query.aggregates):
+            if agg.func is AggFunc.COUNT:
+                row.append(float(stats.counts[g]))
+            elif agg.func is AggFunc.SUM:
+                row.append(float(stats.sums[j][g]))
+            elif agg.func is AggFunc.AVG:
+                row.append(float(stats.sums[j][g] / stats.counts[g]))
+            elif agg.func is AggFunc.MIN:
+                row.append(float(stats.mins[j][g]))
+            elif agg.func is AggFunc.MAX:
+                row.append(float(stats.maxs[j][g]))
+        values[key] = tuple(row)
+    return values
+
+
+def evaluate_exact(dataset: Dataset, query: AggQuery) -> QueryResult:
+    """Exact (blocking-engine / ground-truth) evaluation of a query."""
+    stats = compute_grouped_stats(dataset, query)
+    return QueryResult(
+        query=query,
+        values=stats_to_exact_values(stats),
+        margins={},
+        rows_processed=stats.rows_scanned,
+        fraction=1.0,
+        exact=True,
+    )
+
+
+class GroundTruthOracle:
+    """Caches exact answers; the reference all metrics compare against.
+
+    Workloads re-issue structurally identical queries (clearing a filter
+    restores a previous query; linked updates repeat on every selection
+    change), so caching exact answers speeds benchmark runs up considerably
+    without changing any measured quantity — ground truth is computed
+    outside the simulated clock.
+    """
+
+    def __init__(self, dataset: Dataset):
+        self._dataset = dataset
+        self._cache: Dict[AggQuery, QueryResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def dataset(self) -> Dataset:
+        return self._dataset
+
+    def answer(self, query: AggQuery) -> QueryResult:
+        """Exact result for ``query`` (cached)."""
+        cached = self._cache.get(query)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = evaluate_exact(self._dataset, query)
+        self._cache[query] = result
+        return result
+
+    def clear(self) -> None:
+        """Drop all cached answers (e.g. after switching datasets)."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,398 @@
+"""Round-trip parser for the SQL emitted by :mod:`repro.query.sql`.
+
+A real IDEBench deployment hands SQL to external systems; adapters that
+*receive* SQL (e.g. a proxy in front of an actual DBMS) need to get the
+structured query back. This module implements a tokenizer plus a recursive-
+descent parser for exactly the statement shape :func:`query_to_sql`
+produces::
+
+    SELECT <bin-expr> AS bin_0 [, ...], <agg> AS <label> [, ...]
+    FROM <table>
+    [JOIN <dim> AS <alias> ON <fact>.<fk> = <alias>.<key>]*
+    [WHERE <boolean-expr>]
+    GROUP BY bin_0 [, ...]
+
+The parser reconstructs an :class:`AggQuery`; when given the
+:class:`Dataset` the SQL was generated against, dimension-table columns
+are resolved back to their logical (de-normalized) names, making
+``parse_sql(query_to_sql(q, ds), ds)`` semantically identical to ``q``
+(tests assert both structural and mask-level equivalence).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.common.errors import SQLParseError
+from repro.data.storage import Dataset
+from repro.query.filters import (
+    And,
+    Comparison,
+    Filter,
+    Or,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.model import AggFunc, Aggregate, AggQuery, BinDimension, BinKind
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),.*/+\-])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "IN",
+    "JOIN", "ON", "FLOOR", "COUNT", "SUM", "AVG", "MIN", "MAX",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "punct"
+    text: str
+
+
+def tokenize(sql: str) -> List[_Token]:
+    """Split a statement into tokens, upper-casing keywords."""
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SQLParseError(
+                f"unexpected character {sql[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        text = match.group()
+        if kind == "ident" and text.upper() in _KEYWORDS:
+            tokens.append(_Token("keyword", text.upper()))
+        else:
+            tokens.append(_Token(kind, text))
+    return tokens
+
+
+class _TokenStream:
+    """Cursor over the token list with expectation helpers."""
+
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self._index + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise SQLParseError("unexpected end of statement")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = f"{kind} {text!r}" if text else kind
+            raise SQLParseError(
+                f"expected {expected}, got {token.kind} {token.text!r}"
+            )
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self.peek()
+        if token is not None and token.kind == kind and (text is None or token.text == text):
+            self._index += 1
+            return token
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")
+
+
+def _parse_number(text: str) -> float:
+    value = float(text)
+    return value
+
+
+@dataclass
+class _SelectItem:
+    label: str
+    bin_dim: Optional[BinDimension] = None
+    aggregate: Optional[Aggregate] = None
+    source_column: Optional[str] = None  # nominal bin column (possibly qualified)
+
+
+class _Parser:
+    """Recursive-descent parser for generated statements."""
+
+    def __init__(self, sql: str, dataset: Optional[Dataset] = None):
+        self._stream = _TokenStream(tokenize(sql))
+        self._dataset = dataset
+        # Aliases are deterministic (``t_<fk column>``), so the map can be
+        # built upfront — the SELECT list references them before the JOIN
+        # clauses have been parsed.
+        self._alias_to_fk: Dict[str, object] = {}
+        if dataset is not None:
+            for fk in dataset.foreign_keys:
+                self._alias_to_fk[f"t_{fk.fact_column.lower()}"] = fk
+
+    # -- entry point ----------------------------------------------------
+    def parse(self) -> AggQuery:
+        self._stream.expect("keyword", "SELECT")
+        items = [self._parse_select_item()]
+        while self._stream.accept("punct", ","):
+            items.append(self._parse_select_item())
+        self._stream.expect("keyword", "FROM")
+        table = self._stream.expect("ident").text
+        self._parse_joins()
+        filter_expr: Optional[Filter] = None
+        if self._stream.accept("keyword", "WHERE"):
+            filter_expr = self._parse_or_expr()
+        self._stream.expect("keyword", "GROUP")
+        self._stream.expect("keyword", "BY")
+        group_labels = [self._stream.expect("ident").text]
+        while self._stream.accept("punct", ","):
+            group_labels.append(self._stream.expect("ident").text)
+        if not self._stream.exhausted:
+            token = self._stream.peek()
+            raise SQLParseError(f"trailing input at {token.text!r}")
+
+        bins, aggregates = self._assemble(items, group_labels)
+        logical_table = self._logical_table_name(table)
+        return AggQuery(
+            table=logical_table,
+            bins=tuple(bins),
+            aggregates=tuple(aggregates),
+            filter=filter_expr,
+        )
+
+    # -- pieces ----------------------------------------------------------
+    def _parse_select_item(self) -> _SelectItem:
+        token = self._stream.peek()
+        if token is None:
+            raise SQLParseError("unexpected end in SELECT list")
+        if token.kind == "keyword" and token.text == "FLOOR":
+            item = self._parse_floor_bin()
+        elif token.kind == "keyword" and token.text in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            item = self._parse_aggregate()
+        elif token.kind == "ident":
+            column = self._parse_column_ref()
+            item = _SelectItem(label="", source_column=column)
+        else:
+            raise SQLParseError(f"unexpected token {token.text!r} in SELECT list")
+        self._stream.expect("keyword", "AS")
+        item.label = self._parse_label()
+        return item
+
+    def _parse_label(self) -> str:
+        # Labels like ``count`` collide with keywords; accept both forms.
+        token = self._stream.next()
+        if token.kind not in ("ident", "keyword"):
+            raise SQLParseError(f"expected label, got {token.text!r}")
+        return token.text if token.kind == "ident" else token.text.lower()
+
+    def _parse_floor_bin(self) -> _SelectItem:
+        self._stream.expect("keyword", "FLOOR")
+        self._stream.expect("punct", "(")
+        self._stream.expect("punct", "(")
+        column = self._parse_column_ref()
+        self._stream.expect("punct", "-")
+        reference = self._parse_signed_number()
+        self._stream.expect("punct", ")")
+        self._stream.expect("punct", "/")
+        width = self._parse_signed_number()
+        self._stream.expect("punct", ")")
+        dim = BinDimension(
+            field=column,
+            kind=BinKind.QUANTITATIVE,
+            width=width,
+            reference=reference,
+        )
+        return _SelectItem(label="", bin_dim=dim)
+
+    def _parse_aggregate(self) -> _SelectItem:
+        func_token = self._stream.next()
+        func = AggFunc(func_token.text.lower())
+        self._stream.expect("punct", "(")
+        if func is AggFunc.COUNT:
+            self._stream.expect("punct", "*")
+            self._stream.expect("punct", ")")
+            return _SelectItem(label="", aggregate=Aggregate(AggFunc.COUNT))
+        column = self._parse_column_ref()
+        self._stream.expect("punct", ")")
+        return _SelectItem(label="", aggregate=Aggregate(func, column))
+
+    def _parse_column_ref(self) -> str:
+        first = self._stream.expect("ident").text
+        if self._stream.accept("punct", "."):
+            second = self._stream.expect("ident").text
+            return self._resolve_qualified(first, second)
+        return first
+
+    def _parse_signed_number(self) -> float:
+        token = self._stream.next()
+        if token.kind != "number":
+            raise SQLParseError(f"expected number, got {token.text!r}")
+        return _parse_number(token.text)
+
+    def _parse_joins(self) -> None:
+        while self._stream.accept("keyword", "JOIN"):
+            dim_table = self._stream.expect("ident").text
+            self._stream.expect("keyword", "AS")
+            alias = self._stream.expect("ident").text
+            self._stream.expect("keyword", "ON")
+            self._parse_column_ref_raw()
+            self._stream.expect("op", "=")
+            self._parse_column_ref_raw()
+            fk = self._alias_to_fk.get(alias)
+            if fk is not None and fk.dim_table != dim_table:
+                raise SQLParseError(
+                    f"alias {alias!r} joins {dim_table!r} but the dataset "
+                    f"maps it to {fk.dim_table!r}"
+                )
+
+    def _parse_column_ref_raw(self) -> Tuple[str, Optional[str]]:
+        first = self._stream.expect("ident").text
+        if self._stream.accept("punct", "."):
+            return first, self._stream.expect("ident").text
+        return first, None
+
+    def _resolve_qualified(self, qualifier: str, column: str) -> str:
+        """Map ``alias.dim_column`` back to the logical column name."""
+        fk = self._alias_to_fk.get(qualifier)
+        if fk is not None:
+            for denorm, dim_col in fk.attribute_map:
+                if dim_col == column:
+                    return denorm
+            raise SQLParseError(
+                f"column {column!r} not part of dimension alias {qualifier!r}"
+            )
+        # Fact-table qualification: ``fact.column`` → ``column``.
+        return column
+
+    def _logical_table_name(self, physical: str) -> str:
+        if physical.endswith("_fact"):
+            return physical[: -len("_fact")]
+        return physical
+
+    # -- WHERE grammar ----------------------------------------------------
+    def _parse_or_expr(self) -> Filter:
+        parts = [self._parse_and_expr()]
+        while self._stream.accept("keyword", "OR"):
+            parts.append(self._parse_and_expr())
+        return parts[0] if len(parts) == 1 else Or(*parts)
+
+    def _parse_and_expr(self) -> Filter:
+        parts = [self._parse_predicate()]
+        while self._stream.accept("keyword", "AND"):
+            parts.append(self._parse_predicate())
+        if len(parts) == 1:
+            return parts[0]
+        return _canonicalize_and(parts)
+
+    def _parse_predicate(self) -> Filter:
+        if self._stream.accept("punct", "("):
+            inner = self._parse_or_expr()
+            self._stream.expect("punct", ")")
+            return inner
+        column = self._parse_column_ref()
+        if self._stream.accept("keyword", "IN"):
+            self._stream.expect("punct", "(")
+            values = [self._parse_literal()]
+            while self._stream.accept("punct", ","):
+                values.append(self._parse_literal())
+            self._stream.expect("punct", ")")
+            return SetPredicate(column, frozenset(str(v) for v in values))
+        op_token = self._stream.next()
+        if op_token.kind != "op":
+            raise SQLParseError(f"expected comparison operator, got {op_token.text!r}")
+        value = self._parse_literal()
+        return Comparison(column, op_token.text, value)
+
+    def _parse_literal(self) -> Union[float, str]:
+        token = self._stream.next()
+        if token.kind == "number":
+            return _parse_number(token.text)
+        if token.kind == "string":
+            return _unquote(token.text)
+        raise SQLParseError(f"expected literal, got {token.text!r}")
+
+    # -- assembly ----------------------------------------------------------
+    def _assemble(
+        self, items: List[_SelectItem], group_labels: List[str]
+    ) -> Tuple[List[BinDimension], List[Aggregate]]:
+        by_label = {item.label: item for item in items}
+        if len(by_label) != len(items):
+            raise SQLParseError("duplicate SELECT labels")
+        bins: List[BinDimension] = []
+        for label in group_labels:
+            item = by_label.get(label)
+            if item is None:
+                raise SQLParseError(f"GROUP BY references unknown label {label!r}")
+            if item.bin_dim is not None:
+                bins.append(item.bin_dim)
+            elif item.source_column is not None:
+                bins.append(BinDimension(item.source_column, BinKind.NOMINAL))
+            else:
+                raise SQLParseError(f"GROUP BY label {label!r} is an aggregate")
+        aggregates = [item.aggregate for item in items if item.aggregate is not None]
+        if not aggregates:
+            raise SQLParseError("statement has no aggregate functions")
+        return bins, aggregates
+
+
+def _canonicalize_and(parts: List[Filter]) -> Filter:
+    """Fuse ``col >= lo AND col < hi`` comparison pairs into ranges.
+
+    The SQL generator renders :class:`RangePredicate` as that comparison
+    pair; fusing them back makes generate→parse a structural round-trip.
+    """
+    lows: Dict[str, float] = {}
+    highs: Dict[str, float] = {}
+    others: List[Filter] = []
+    for part in parts:
+        if isinstance(part, Comparison) and not isinstance(part.value, str):
+            if part.op == ">=" and part.field not in lows:
+                lows[part.field] = float(part.value)
+                continue
+            if part.op == "<" and part.field not in highs:
+                highs[part.field] = float(part.value)
+                continue
+        others.append(part)
+
+    fused: List[Filter] = []
+    for field in list(lows):
+        if field in highs:
+            fused.append(RangePredicate(field, lows.pop(field), highs.pop(field)))
+    for field, low in lows.items():
+        fused.append(Comparison(field, ">=", low))
+    for field, high in highs.items():
+        fused.append(Comparison(field, "<", high))
+    remaining = fused + others
+    return remaining[0] if len(remaining) == 1 else And(*remaining)
+
+
+def parse_sql(sql: str, dataset: Optional[Dataset] = None) -> AggQuery:
+    """Parse a statement produced by :func:`repro.query.sql.query_to_sql`.
+
+    ``dataset`` enables resolution of star-schema column qualifications
+    back to logical names; omit it for de-normalized statements.
+    """
+    return _Parser(sql, dataset).parse()

@@ -1,0 +1,94 @@
+"""Terminal viewer for generated workflows.
+
+§4.3: *"Once generated, they can be inspected with an interactive
+viewer."* This reproduction renders workflows as annotated text — each
+interaction with the queries it would trigger, plus the final dashboard's
+link structure — which serves the same inspection purpose without a GUI.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.query.sql import query_to_sql
+from repro.workflow.graph import VizGraph
+from repro.workflow.spec import (
+    CreateViz,
+    DiscardViz,
+    Link,
+    SelectBins,
+    SetFilter,
+    Workflow,
+)
+
+
+def _describe_interaction(interaction) -> str:
+    if isinstance(interaction, CreateViz):
+        viz = interaction.viz
+        dims = " × ".join(
+            f"{d.field}[{d.kind.value}]" for d in viz.bins
+        )
+        aggs = ", ".join(a.label for a in viz.aggregates)
+        return f"create {viz.name}: {dims} → {aggs}"
+    if isinstance(interaction, SetFilter):
+        if interaction.filter is None:
+            return f"clear filter on {interaction.viz_name}"
+        return f"filter {interaction.viz_name}: {interaction.filter.to_dict()}"
+    if isinstance(interaction, Link):
+        return f"link {interaction.source} → {interaction.target}"
+    if isinstance(interaction, SelectBins):
+        keys = ", ".join(str(key) for key in interaction.keys) or "∅"
+        return f"select on {interaction.viz_name}: {keys}"
+    if isinstance(interaction, DiscardViz):
+        return f"discard {interaction.viz_name}"
+    return repr(interaction)
+
+
+def render_workflow(
+    workflow: Workflow, show_sql: bool = False, max_sql: Optional[int] = None
+) -> str:
+    """Render ``workflow`` as human-readable text.
+
+    With ``show_sql=True`` each interaction also lists the SQL of every
+    query it triggers (capped at ``max_sql`` statements overall) — the
+    same information Fig. 4 of the paper shows for a 1:N workflow.
+    """
+    lines: List[str] = [
+        f"workflow {workflow.name!r} ({workflow.workflow_type.value}, "
+        f"{workflow.num_interactions} interactions)",
+        "",
+    ]
+    graph = VizGraph()
+    sql_emitted = 0
+    for index, interaction in enumerate(workflow.interactions):
+        applied = graph.apply(interaction)
+        queries = len(applied.affected)
+        lines.append(
+            f"{index:3d}. {_describe_interaction(interaction)}"
+            f"   [{queries} quer{'y' if queries == 1 else 'ies'}]"
+        )
+        if show_sql:
+            for viz_name in applied.affected:
+                if max_sql is not None and sql_emitted >= max_sql:
+                    break
+                statement = query_to_sql(graph.query_for(viz_name))
+                indented = "\n".join(
+                    "        " + line for line in statement.splitlines()
+                )
+                lines.append(f"      {viz_name}:")
+                lines.append(indented)
+                sql_emitted += 1
+    lines.append("")
+    lines.append("final dashboard:")
+    for name in graph.viz_names:
+        children = graph.children(name)
+        arrow = f" → {', '.join(children)}" if children else ""
+        node = graph.node(name)
+        marks = []
+        if node.own_filter is not None:
+            marks.append("filtered")
+        if node.selection:
+            marks.append(f"{len(node.selection)} selected")
+        suffix = f"  ({'; '.join(marks)})" if marks else ""
+        lines.append(f"  {name}{arrow}{suffix}")
+    return "\n".join(lines)

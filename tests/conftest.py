@@ -1,0 +1,95 @@
+"""Shared fixtures for the test suite.
+
+Fixture sizing: test datasets are a few thousand rows — big enough for
+statistical assertions (sampling estimators, copula marginals) yet small
+enough that the full suite runs in well under a minute. Session scope is
+used for anything immutable (tables, datasets, profiles); engines and
+clocks are function-scoped because they are stateful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.data.schema import profile_table
+from repro.data.seed import generate_flights_seed
+from repro.data.storage import Dataset
+from repro.query.groundtruth import GroundTruthOracle
+from repro.query.model import (
+    AggFunc,
+    Aggregate,
+    AggQuery,
+    BinDimension,
+    BinKind,
+)
+
+
+@pytest.fixture(scope="session")
+def flights_table():
+    """A 6 000-row synthetic flights table (shared, treat as immutable)."""
+    return generate_flights_seed(6_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def flights_dataset(flights_table):
+    return Dataset.from_table(flights_table)
+
+
+@pytest.fixture(scope="session")
+def flights_profiles(flights_table):
+    return profile_table(flights_table)
+
+
+@pytest.fixture(scope="session")
+def flights_oracle(flights_dataset):
+    return GroundTruthOracle(flights_dataset)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture(scope="session")
+def tiny_settings():
+    """Settings mapping the paper's S size onto ~6 000 actual rows.
+
+    ``scale`` is chosen so engines process row counts comparable to the
+    session fixtures' tables; individual tests override fields via
+    ``tiny_settings.with_(...)`` (the dataclass is frozen, so sharing is
+    safe).
+    """
+    return BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=100_000_000 // 6_000,
+        seed=11,
+        workflows_per_type=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def carrier_count_query():
+    """1-D nominal COUNT histogram over carriers."""
+    return AggQuery(
+        table="flights",
+        bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+        aggregates=(Aggregate(AggFunc.COUNT),),
+    )
+
+
+@pytest.fixture(scope="session")
+def delay_avg_query():
+    """1-D quantitative AVG histogram over departure delays."""
+    return AggQuery(
+        table="flights",
+        bins=(BinDimension("DEP_DELAY", BinKind.QUANTITATIVE, width=20.0),),
+        aggregates=(Aggregate(AggFunc.AVG, "ARR_DELAY"),),
+    )
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,102 @@
+"""Tests for the Listing-1 system-adapter facade."""
+
+import pytest
+
+from repro.bench.adapters import SystemAdapter
+from repro.common.clock import VirtualClock
+from repro.common.errors import BenchmarkError
+from repro.engines.columnstore import ColumnStoreEngine
+from repro.engines.progressive import ProgressiveEngine
+from repro.query.filters import RangePredicate
+from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
+from repro.workflow.spec import VizSpec
+
+
+@pytest.fixture
+def viz():
+    return VizSpec(
+        name="v0",
+        source="flights",
+        bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+        aggregates=(Aggregate(AggFunc.COUNT),),
+    )
+
+
+def _adapter(engine_cls, dataset, settings, **kwargs):
+    engine = engine_cls(dataset, settings, VirtualClock(), **kwargs)
+    engine.prepare()
+    return SystemAdapter(engine)
+
+
+class TestProcessRequest:
+    def test_progressive_answers_within_tr(self, flights_dataset,
+                                           tiny_settings, viz):
+        adapter = _adapter(ProgressiveEngine, flights_dataset, tiny_settings)
+        adapter.workflow_start()
+        response = adapter.process_request(viz, time_requirement=2.0)
+        assert not response.tr_violated
+        assert response.result is not None
+        assert response.finished_at <= response.started_at + 2.0 + 1e-9
+
+    def test_blocking_violates_tight_tr(self, flights_dataset, tiny_settings,
+                                        viz):
+        adapter = _adapter(ColumnStoreEngine, flights_dataset, tiny_settings)
+        response = adapter.process_request(viz, time_requirement=0.05)
+        assert response.tr_violated
+        assert response.result is None
+
+    def test_filter_applied(self, flights_dataset, tiny_settings, viz,
+                            flights_oracle):
+        adapter = _adapter(ColumnStoreEngine, flights_dataset, tiny_settings)
+        filter_expr = RangePredicate("DISTANCE", 0, 300)
+        response = adapter.process_request(
+            viz, filter_expr=filter_expr, time_requirement=120.0
+        )
+        truth = flights_oracle.answer(viz.base_query(filter_expr))
+        assert response.result.values == truth.values
+
+    def test_default_tr_from_settings(self, flights_dataset, tiny_settings, viz):
+        adapter = _adapter(ProgressiveEngine, flights_dataset, tiny_settings)
+        adapter.workflow_start()
+        response = adapter.process_request(viz)
+        expected_deadline = response.started_at + tiny_settings.time_requirement
+        assert response.finished_at <= expected_deadline + 1e-9
+
+    def test_invalid_tr_rejected(self, flights_dataset, tiny_settings, viz):
+        adapter = _adapter(ProgressiveEngine, flights_dataset, tiny_settings)
+        with pytest.raises(BenchmarkError):
+            adapter.process_request(viz, time_requirement=0.0)
+
+
+class TestLifecycle:
+    def test_link_vizs_forwards_speculation(self, flights_dataset,
+                                            tiny_settings, viz):
+        adapter = _adapter(
+            ProgressiveEngine, flights_dataset, tiny_settings, speculation=True
+        )
+        adapter.workflow_start()
+        target = VizSpec(
+            name="v1",
+            source="flights",
+            bins=(BinDimension("DEP_DELAY", BinKind.QUANTITATIVE, width=20.0),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        query = target.base_query(None)
+        adapter.link_vizs(viz, target, speculative_queries=[query])
+        clock = adapter.engine.clock
+        clock.advance_to(clock.now() + 5.0)
+        adapter.engine.advance_to(clock.now())
+        assert adapter.engine.speculative_tuples(query) > 0
+
+    def test_delete_vizs_cancels_active_query(self, flights_dataset,
+                                              tiny_settings, viz):
+        adapter = _adapter(ColumnStoreEngine, flights_dataset, tiny_settings)
+        adapter.process_request(viz, time_requirement=0.05)
+        adapter.delete_vizs([viz])  # must not raise (idempotent cancel)
+
+    def test_workflow_start_end_delegate(self, flights_dataset, tiny_settings,
+                                         viz):
+        adapter = _adapter(ProgressiveEngine, flights_dataset, tiny_settings)
+        adapter.workflow_start()
+        adapter.process_request(viz, time_requirement=1.0)
+        adapter.workflow_end()

@@ -1,0 +1,255 @@
+"""Tests for the discrete-event benchmark driver (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.driver import BenchmarkDriver
+from repro.common.clock import VirtualClock
+from repro.engines.columnstore import ColumnStoreEngine
+from repro.engines.progressive import ProgressiveEngine
+from repro.query.filters import RangePredicate
+from repro.query.groundtruth import GroundTruthOracle
+from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
+from repro.workflow.spec import (
+    CreateViz,
+    Link,
+    SelectBins,
+    SetFilter,
+    VizSpec,
+    Workflow,
+    WorkflowType,
+)
+
+
+def _viz(name, field="DEP_DELAY", nominal=False):
+    bins = (
+        (BinDimension(field, BinKind.NOMINAL),)
+        if nominal
+        else (BinDimension(field, BinKind.QUANTITATIVE, width=20.0),)
+    )
+    return VizSpec(name, "flights", bins, (Aggregate(AggFunc.COUNT),))
+
+
+@pytest.fixture
+def simple_workflow(flights_table):
+    # Select a carrier that actually exists (the most frequent one), so
+    # downstream queries have non-empty ground truth.
+    import numpy as np
+
+    carriers, counts = np.unique(
+        flights_table["UNIQUE_CARRIER"], return_counts=True
+    )
+    top_carrier = str(carriers[np.argmax(counts)])
+    return Workflow(
+        name="probe",
+        workflow_type=WorkflowType.CUSTOM,
+        interactions=(
+            CreateViz(_viz("a", "UNIQUE_CARRIER", nominal=True)),
+            CreateViz(_viz("b")),
+            Link("a", "b"),
+            SelectBins("a", ((top_carrier,),)),
+            SetFilter("b", RangePredicate("DISTANCE", 100, 800)),
+        ),
+    )
+
+
+def _driver(engine_cls, dataset, settings, oracle=None, **engine_kwargs):
+    engine = engine_cls(dataset, settings, VirtualClock(), **engine_kwargs)
+    engine.prepare()
+    oracle = oracle or GroundTruthOracle(dataset)
+    return BenchmarkDriver(engine, oracle, settings)
+
+
+class TestRunWorkflow:
+    def test_one_record_per_triggered_query(self, flights_dataset,
+                                            tiny_settings, flights_oracle,
+                                            simple_workflow):
+        driver = _driver(ProgressiveEngine, flights_dataset, tiny_settings,
+                         flights_oracle)
+        records = driver.run_workflow(simple_workflow)
+        # create a (1) + create b (1) + link (1: b) + select (1: b) +
+        # filter b (1: b) = 5 queries.
+        assert len(records) == 5
+        assert [r.interaction_id for r in records] == [0, 1, 2, 3, 4]
+
+    def test_think_time_spacing(self, flights_dataset, tiny_settings,
+                                flights_oracle, simple_workflow):
+        settings = tiny_settings.with_(think_time=2.0, time_requirement=0.5)
+        driver = _driver(ProgressiveEngine, flights_dataset, settings,
+                         flights_oracle)
+        records = driver.run_workflow(simple_workflow)
+        starts = [r.start_time for r in records]
+        assert starts == [0.0, 2.0, 4.0, 6.0, 8.0]
+
+    def test_deadline_is_start_plus_tr(self, flights_dataset, tiny_settings,
+                                       flights_oracle, simple_workflow):
+        settings = tiny_settings.with_(time_requirement=1.5, think_time=3.0)
+        driver = _driver(ProgressiveEngine, flights_dataset, settings,
+                         flights_oracle)
+        records = driver.run_workflow(simple_workflow)
+        for record in records:
+            assert record.end_time <= record.start_time + 1.5 + 1e-9
+
+    def test_blocking_engine_violations_recorded(self, flights_dataset,
+                                                 tiny_settings, flights_oracle,
+                                                 simple_workflow):
+        settings = tiny_settings.with_(time_requirement=0.05)
+        driver = _driver(ColumnStoreEngine, flights_dataset, settings,
+                         flights_oracle)
+        records = driver.run_workflow(simple_workflow)
+        assert all(r.tr_violated for r in records)
+        assert all(r.metrics.missing_bins == 1.0 for r in records)
+
+    def test_progressive_engine_mostly_answers(self, flights_dataset,
+                                               tiny_settings, flights_oracle,
+                                               simple_workflow):
+        settings = tiny_settings.with_(time_requirement=3.0)
+        driver = _driver(ProgressiveEngine, flights_dataset, settings,
+                         flights_oracle)
+        records = driver.run_workflow(simple_workflow)
+        violations = [r for r in records if r.tr_violated]
+        assert len(violations) == 0
+
+    def test_concurrency_recorded(self, flights_dataset, tiny_settings,
+                                  flights_oracle):
+        workflow = Workflow(
+            name="fanout",
+            workflow_type=WorkflowType.CUSTOM,
+            interactions=(
+                CreateViz(_viz("hub", "UNIQUE_CARRIER", nominal=True)),
+                CreateViz(_viz("t1")),
+                Link("hub", "t1"),
+                CreateViz(_viz("t2", "DISTANCE")),
+                Link("hub", "t2"),
+                SelectBins("hub", (("AA",),)),
+            ),
+        )
+        driver = _driver(ProgressiveEngine, flights_dataset, tiny_settings,
+                         flights_oracle)
+        records = driver.run_workflow(workflow)
+        final = [r for r in records if r.interaction_id == 5]
+        assert len(final) == 2
+        assert all(r.num_concurrent == 2 for r in final)
+
+    def test_metrics_match_ground_truth_for_exact_engine(
+        self, flights_dataset, tiny_settings, flights_oracle, simple_workflow
+    ):
+        settings = tiny_settings.with_(time_requirement=60.0, think_time=80.0)
+        driver = _driver(ColumnStoreEngine, flights_dataset, settings,
+                         flights_oracle)
+        records = driver.run_workflow(simple_workflow)
+        for record in records:
+            assert not record.tr_violated
+            assert record.metrics.rel_error_avg == pytest.approx(0.0)
+            assert record.metrics.missing_bins == 0.0
+
+    def test_records_carry_settings(self, flights_dataset, tiny_settings,
+                                    flights_oracle, simple_workflow):
+        driver = _driver(ProgressiveEngine, flights_dataset, tiny_settings,
+                         flights_oracle)
+        record = driver.run_workflow(simple_workflow)[0]
+        assert record.driver == "idea-sim"
+        assert record.data_size == tiny_settings.data_size.name
+        assert record.time_requirement == tiny_settings.time_requirement
+        assert record.workflow == "probe"
+        assert record.workflow_type == "custom"
+        assert record.agg_type == "count"
+
+    def test_run_suite_concatenates(self, flights_dataset, tiny_settings,
+                                    flights_oracle, simple_workflow):
+        driver = _driver(ProgressiveEngine, flights_dataset, tiny_settings,
+                         flights_oracle)
+        other = Workflow("second", WorkflowType.CUSTOM,
+                         simple_workflow.interactions)
+        records = driver.run_suite([simple_workflow, other])
+        assert {r.workflow for r in records} == {"probe", "second"}
+        assert len(records) == 10
+
+    def test_query_ids_unique_and_increasing(self, flights_dataset,
+                                             tiny_settings, flights_oracle,
+                                             simple_workflow):
+        driver = _driver(ProgressiveEngine, flights_dataset, tiny_settings,
+                         flights_oracle)
+        records = driver.run_suite([simple_workflow])
+        ids = [r.query_id for r in records]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestOverlappingInteractions:
+    def test_stress_configuration_overlaps(self, flights_dataset,
+                                           tiny_settings, flights_oracle,
+                                           simple_workflow):
+        """Paper stress setup: think 1 s < TR 10 s → queries overlap, all
+        still evaluated at their own deadline."""
+        settings = tiny_settings.with_(think_time=1.0, time_requirement=10.0)
+        driver = _driver(ColumnStoreEngine, flights_dataset, settings,
+                         flights_oracle)
+        records = driver.run_workflow(simple_workflow)
+        assert len(records) == 5
+        for record in records:
+            assert record.end_time <= record.start_time + 10.0 + 1e-9
+
+    def test_determinism(self, flights_dataset, tiny_settings, flights_oracle,
+                         simple_workflow):
+        import math
+
+        def canonical(value):
+            return None if isinstance(value, float) and math.isnan(value) else value
+
+        settings = tiny_settings.with_(think_time=1.0, time_requirement=2.0)
+        results = []
+        for _ in range(2):
+            driver = _driver(ProgressiveEngine, flights_dataset, settings,
+                             flights_oracle)
+            records = driver.run_workflow(simple_workflow)
+            results.append(
+                [
+                    (
+                        canonical(r.metrics.missing_bins),
+                        canonical(r.metrics.rel_error_avg),
+                        canonical(r.end_time),
+                    )
+                    for r in records
+                ]
+            )
+        assert results[0] == results[1]
+
+
+class TestSpeculationPath:
+    def test_link_passes_hint_to_engine(self, flights_dataset, tiny_settings,
+                                        flights_oracle):
+        workflow = Workflow(
+            name="spec",
+            workflow_type=WorkflowType.CUSTOM,
+            interactions=(
+                CreateViz(_viz("src", "UNIQUE_CARRIER", nominal=True)),
+                CreateViz(_viz("dst")),
+                Link("src", "dst"),
+            ),
+        )
+        engine = ProgressiveEngine(
+            flights_dataset, tiny_settings, VirtualClock(), speculation=True
+        )
+        engine.prepare()
+        driver = BenchmarkDriver(engine, flights_oracle, tiny_settings)
+        driver.run_workflow(workflow)
+        # Speculative queries registered (cleared at workflow_end, so check
+        # via a fresh run without workflow_end — drive manually instead).
+        engine.workflow_start()
+        graph_queries = []
+        engine.link_vizs(
+            graph_queries
+        )  # no-op sanity: empty hint accepted
+
+
+class TestSettingsGuard:
+    def test_scale_mismatch_rejected(self, flights_dataset, tiny_settings,
+                                     flights_oracle):
+        from repro.common.errors import BenchmarkError
+
+        engine = ProgressiveEngine(flights_dataset, tiny_settings, VirtualClock())
+        engine.prepare()
+        other = tiny_settings.with_(scale=tiny_settings.scale * 2)
+        with pytest.raises(BenchmarkError):
+            BenchmarkDriver(engine, flights_oracle, other)

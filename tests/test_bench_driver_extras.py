@@ -1,0 +1,138 @@
+"""Additional driver behaviours: discard plumbing, confidence levels,
+empty-effect interactions, and per-workflow-type summaries."""
+
+import numpy as np
+import pytest
+
+from repro.bench.driver import BenchmarkDriver
+from repro.bench.report import summarize_records
+from repro.common.clock import VirtualClock
+from repro.engines.progressive import ProgressiveEngine
+from repro.engines.sampling import StratifiedSamplingEngine
+from repro.query.groundtruth import GroundTruthOracle
+from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
+from repro.workflow.spec import (
+    CreateViz,
+    DiscardViz,
+    Link,
+    SelectBins,
+    VizSpec,
+    Workflow,
+    WorkflowType,
+)
+
+
+def _viz(name, field="DEP_DELAY", nominal=False):
+    bins = (
+        (BinDimension(field, BinKind.NOMINAL),)
+        if nominal
+        else (BinDimension(field, BinKind.QUANTITATIVE, width=20.0),)
+    )
+    return VizSpec(name, "flights", bins, (Aggregate(AggFunc.COUNT),))
+
+
+class TestDiscardPlumbing:
+    def test_discard_notifies_engine_and_drops_reuse(self, flights_dataset,
+                                                     tiny_settings,
+                                                     flights_oracle):
+        workflow = Workflow(
+            "discarding", WorkflowType.CUSTOM,
+            interactions=(
+                CreateViz(_viz("a", "UNIQUE_CARRIER", nominal=True)),
+                CreateViz(_viz("b")),
+                DiscardViz("a"),
+                DiscardViz("b"),
+            ),
+        )
+        settings = tiny_settings.with_(time_requirement=1.0, think_time=2.0)
+        engine = ProgressiveEngine(flights_dataset, settings, VirtualClock())
+        engine.prepare()
+        driver = BenchmarkDriver(engine, flights_oracle, settings)
+        records = driver.run_workflow(workflow)
+        # Discards trigger no queries of their own here (no descendants).
+        assert len(records) == 2
+        # Reuse cache was purged for the discarded vizs' queries.
+        assert engine._reuse == {}
+
+    def test_discard_with_descendants_requeries_them(self, flights_dataset,
+                                                     tiny_settings,
+                                                     flights_oracle):
+        workflow = Workflow(
+            "cascade", WorkflowType.CUSTOM,
+            interactions=(
+                CreateViz(_viz("src", "UNIQUE_CARRIER", nominal=True)),
+                CreateViz(_viz("dst")),
+                Link("src", "dst"),
+                SelectBins("src", (("ZZ",),)),
+                DiscardViz("src"),
+            ),
+        )
+        engine = ProgressiveEngine(flights_dataset, tiny_settings, VirtualClock())
+        engine.prepare()
+        driver = BenchmarkDriver(engine, flights_oracle, tiny_settings)
+        records = driver.run_workflow(workflow)
+        # The final discard re-queries dst (its input disappeared).
+        final = [r for r in records if r.interaction_id == 4]
+        assert [r.viz_name for r in final] == ["dst"]
+        # dst's post-discard query no longer carries src's selection.
+        assert final[0].qualifying_fraction == pytest.approx(1.0)
+
+
+class TestConfidenceLevelSetting:
+    # Note: the query must not bin on the stratification column — counts
+    # per stratum are deterministic there (margin exactly 0 regardless of
+    # the confidence level).
+    def _distance_query(self):
+        from repro.query.model import AggQuery
+
+        return AggQuery(
+            "flights",
+            bins=(BinDimension("DISTANCE", BinKind.QUANTITATIVE, width=250.0),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+
+    def _result_at_confidence(self, flights_dataset, tiny_settings, confidence):
+        settings = tiny_settings.with_(confidence_level=confidence)
+        engine = StratifiedSamplingEngine(
+            flights_dataset, settings, VirtualClock(), sampling_rate=0.05
+        )
+        engine.prepare()
+        handle = engine.submit(self._distance_query())
+        engine.clock.advance_to(30.0)
+        engine.advance_to(30.0)
+        return engine.result_at(handle, 30.0)
+
+    def test_higher_confidence_widens_margins(self, flights_dataset,
+                                              tiny_settings):
+        def margin_at(confidence):
+            result = self._result_at_confidence(
+                flights_dataset, tiny_settings, confidence
+            )
+            margins = [m[0] for m in result.margins.values() if m[0] is not None]
+            return float(np.mean(margins))
+
+        assert margin_at(0.99) > margin_at(0.8) > 0.0
+
+    def test_estimates_unaffected_by_confidence(self, flights_dataset,
+                                                tiny_settings):
+        low = self._result_at_confidence(flights_dataset, tiny_settings, 0.8)
+        high = self._result_at_confidence(flights_dataset, tiny_settings, 0.99)
+        assert low.values == high.values
+
+
+class TestSummaryGroupings:
+    def test_workflow_type_grouping_from_driver_records(self, flights_dataset,
+                                                        tiny_settings,
+                                                        flights_oracle):
+        workflows = [
+            Workflow("ind", WorkflowType.INDEPENDENT,
+                     (CreateViz(_viz("x")),)),
+            Workflow("mix", WorkflowType.MIXED,
+                     (CreateViz(_viz("y", "UNIQUE_CARRIER", nominal=True)),)),
+        ]
+        engine = ProgressiveEngine(flights_dataset, tiny_settings, VirtualClock())
+        engine.prepare()
+        driver = BenchmarkDriver(engine, flights_oracle, tiny_settings)
+        records = driver.run_suite(workflows)
+        rows = summarize_records(records)
+        assert [row.group for row in rows] == ["independent", "mixed", "all"]

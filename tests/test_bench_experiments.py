@@ -1,0 +1,211 @@
+"""Tests for the experiment harness (quick configurations).
+
+These run tiny versions of every experiment and assert the *qualitative*
+shapes the paper reports — the full-size reproductions live in
+``benchmarks/``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    ExperimentContext,
+    MAIN_ENGINES,
+    exp_detailed_table,
+    exp_effects,
+    exp_overall,
+    exp_prep_times,
+    exp_schema,
+    exp_system_y,
+    exp_think_time,
+    exp_workflow_types,
+    make_engine,
+    speculation_workflow,
+)
+from repro.common.clock import VirtualClock
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.common.errors import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    # S → 20k actual rows; 2 workflows per type: fast but non-trivial.
+    return ExperimentContext(
+        BenchmarkSettings(
+            data_size=DataSize.S, scale=5000, workflows_per_type=2, seed=17
+        )
+    )
+
+
+class TestContextCaching:
+    def test_dataset_cached(self, ctx):
+        assert ctx.dataset(DataSize.S) is ctx.dataset(DataSize.S)
+
+    def test_normalized_and_flat_differ(self, ctx):
+        assert ctx.dataset(DataSize.S, True) is not ctx.dataset(DataSize.S, False)
+        assert ctx.dataset(DataSize.S, True).is_normalized
+
+    def test_workflows_cached_and_deterministic(self, ctx):
+        from repro.workflow.spec import WorkflowType
+
+        a = ctx.workflows(WorkflowType.MIXED, 2)
+        b = ctx.workflows(WorkflowType.MIXED, 2)
+        assert a is b
+
+    def test_actual_rows_match_scale(self, ctx):
+        assert ctx.dataset(DataSize.S).num_fact_rows == 100_000_000 // 5000
+
+    def test_make_engine_rejects_unknown(self, ctx):
+        with pytest.raises(BenchmarkError):
+            make_engine("nonsense", ctx.dataset(DataSize.S), ctx.settings,
+                        VirtualClock())
+
+
+class TestOverall:
+    @pytest.fixture(scope="class")
+    def results(self, ctx):
+        return exp_overall(
+            ctx,
+            engines=("monetdb-sim", "idea-sim"),
+            time_requirements=(0.5, 5.0),
+            workflows_per_type=2,
+        )
+
+    def test_every_cell_present(self, results):
+        assert set(results.summaries) == {
+            ("monetdb-sim", 0.5), ("monetdb-sim", 5.0),
+            ("idea-sim", 0.5), ("idea-sim", 5.0),
+        }
+
+    def test_monetdb_improves_with_tr(self, results):
+        series = dict(results.series("pct_tr_violated")["monetdb-sim"])
+        assert series[5.0] <= series[0.5]
+
+    def test_idea_rarely_violates(self, results):
+        series = dict(results.series("pct_tr_violated")["idea-sim"])
+        assert series[5.0] == 0.0
+        assert series[0.5] < 20.0
+
+    def test_records_kept_per_cell(self, results):
+        records = results.records[("idea-sim", 0.5)]
+        assert len(records) > 10
+
+
+class TestWorkflowTypes:
+    def test_shape(self, ctx):
+        outcome = exp_workflow_types(
+            ctx, engines=("idea-sim",), workflows_per_type=2,
+            time_requirement=3.0,
+        )
+        per_type = outcome["idea-sim"]
+        assert set(per_type) == {"independent", "sequential", "one_to_n", "n_to_1"}
+        for value in per_type.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestSchema:
+    def test_normalized_not_worse_for_monetdb(self, ctx):
+        outcome = exp_schema(
+            ctx, engines=("monetdb-sim",), sizes=(DataSize.S,),
+            workflows_per_type=2, time_requirement=0.5,
+        )
+        denorm = outcome[("monetdb-sim", "S", "denormalized")]
+        norm = outcome[("monetdb-sim", "S", "normalized")]
+        assert norm <= denorm + 5.0  # normalized is (at worst marginally) better
+
+    def test_xdb_flat_across_schemas(self, ctx):
+        outcome = exp_schema(
+            ctx, engines=("xdb-sim",), sizes=(DataSize.S,),
+            workflows_per_type=2, time_requirement=3.0,
+        )
+        assert outcome[("xdb-sim", "S", "normalized")] == pytest.approx(
+            outcome[("xdb-sim", "S", "denormalized")], abs=10.0
+        )
+
+
+class TestThinkTime:
+    def test_speculation_monotone_trend(self, ctx):
+        outcome = exp_think_time(ctx, think_times=(1.0, 8.0), size=DataSize.S)
+        assert len(outcome) == 2
+        (think_a, missing_a), (think_b, missing_b) = outcome
+        assert think_a == 1.0 and think_b == 8.0
+        assert missing_b <= missing_a  # more think time → fewer missing bins
+
+    def test_speculation_workflow_structure(self, ctx):
+        workflow = speculation_workflow(ctx.profiles(DataSize.S))
+        assert workflow.num_interactions == 4
+        dims = workflow.interactions[0].viz.bins
+        assert len(dims) == 2  # 2-D histogram
+
+
+class TestDetailedTable:
+    def test_table1_report(self, ctx):
+        report = exp_detailed_table(ctx, size=DataSize.S)
+        assert len(report) > 5
+        rows = report.rows()
+        assert rows[0]["driver"] == "idea-sim"
+        assert rows[0]["time_req"] == 0.5
+        assert rows[0]["think_time"] == 3.0
+
+
+class TestPrepTimes:
+    def test_paper_numbers_at_500m(self):
+        ctx_m = ExperimentContext(
+            BenchmarkSettings(data_size=DataSize.M, scale=50_000, seed=17)
+        )
+        reports = exp_prep_times(ctx_m)
+        assert reports["monetdb-sim"].minutes == pytest.approx(19, rel=0.1)
+        assert reports["xdb-sim"].minutes == pytest.approx(130, rel=0.1)
+        assert reports["idea-sim"].minutes == pytest.approx(3, rel=0.1)
+        assert reports["system-x-sim"].minutes == pytest.approx(27, rel=0.15)
+
+    def test_ordering_matches_paper(self, ctx):
+        reports = exp_prep_times(ctx)
+        assert (
+            reports["idea-sim"].seconds
+            < reports["monetdb-sim"].seconds
+            < reports["system-x-sim"].seconds
+            < reports["xdb-sim"].seconds
+        )
+
+
+class TestEffects:
+    def test_factor_grouping(self, ctx):
+        results = exp_overall(
+            ctx, engines=("idea-sim",), time_requirements=(3.0,),
+            workflows_per_type=2,
+        )
+        records = results.records[("idea-sim", 3.0)]
+        effects = exp_effects(records)
+        assert set(effects) == {
+            "bin_dims", "binning_type", "agg_type", "concurrency", "selectivity"
+        }
+        for levels in effects.values():
+            assert levels
+            for stats in levels.values():
+                assert stats["queries"] >= 1
+
+    def test_selectivity_buckets_cover_records(self, ctx):
+        results = exp_overall(
+            ctx, engines=("monetdb-sim",), time_requirements=(1.0,),
+            workflows_per_type=2,
+        )
+        records = results.records[("monetdb-sim", 1.0)]
+        effects = exp_effects(records)
+        total = sum(s["queries"] for s in effects["selectivity"].values())
+        assert total == len(records)
+
+
+class TestSystemY:
+    def test_frontend_slower_than_backend(self, ctx):
+        outcome = exp_system_y(ctx, num_variants=1, size=DataSize.S)
+        monet = outcome["monetdb-sim"]
+        system_y = outcome["system-y-sim"]
+        assert system_y["num_queries"] == monet["num_queries"]
+        if not math.isnan(system_y["mean_latency_answered"]) and not math.isnan(
+            monet["mean_latency_answered"]
+        ):
+            delta = system_y["mean_latency_answered"] - monet["mean_latency_answered"]
+            assert 0.5 <= delta <= 2.5  # the §5.6 rendering overhead

@@ -1,0 +1,215 @@
+"""Tests for the §4.7 metric suite."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.bench.metrics import QueryMetrics, compute_metrics
+from repro.common.errors import BenchmarkError
+from repro.query.model import (
+    AggFunc,
+    Aggregate,
+    AggQuery,
+    BinDimension,
+    BinKind,
+    QueryResult,
+)
+
+
+def _query(num_aggs=1):
+    aggs = [Aggregate(AggFunc.COUNT)]
+    if num_aggs == 2:
+        aggs.append(Aggregate(AggFunc.AVG, "v"))
+    return AggQuery(
+        "t",
+        bins=(BinDimension("g", BinKind.NOMINAL),),
+        aggregates=tuple(aggs),
+    )
+
+
+def _ground_truth(values, num_aggs=1):
+    return QueryResult(
+        query=_query(num_aggs), values=values, exact=True, fraction=1.0
+    )
+
+
+def _approx(values, margins=None, num_aggs=1):
+    return QueryResult(
+        query=_query(num_aggs),
+        values=values,
+        margins=margins or {},
+        exact=False,
+        fraction=0.1,
+        rows_processed=100,
+    )
+
+
+class TestViolatedQueries:
+    def test_violation_metrics(self):
+        truth = _ground_truth({("a",): (10.0,), ("b",): (20.0,)})
+        metrics = compute_metrics(None, truth)
+        assert metrics.tr_violated
+        assert metrics.missing_bins == 1.0
+        assert metrics.bins_delivered == 0
+        assert metrics.bins_in_gt == 2
+        assert math.isnan(metrics.rel_error_avg)
+        assert math.isnan(metrics.cosine_distance)
+
+    def test_ground_truth_must_be_exact(self):
+        fake_truth = _approx({("a",): (1.0,)})
+        with pytest.raises(BenchmarkError):
+            compute_metrics(None, fake_truth)
+
+
+class TestPerfectAnswer:
+    def test_all_zero_errors(self):
+        values = {("a",): (10.0,), ("b",): (20.0,)}
+        truth = _ground_truth(dict(values))
+        metrics = compute_metrics(_approx(dict(values)), truth)
+        assert not metrics.tr_violated
+        assert metrics.missing_bins == 0.0
+        assert metrics.rel_error_avg == 0.0
+        assert metrics.smape == 0.0
+        assert metrics.cosine_distance == pytest.approx(0.0, abs=1e-12)
+        assert metrics.bias == pytest.approx(1.0)
+
+
+class TestMissingBins:
+    def test_ratio_definition(self):
+        truth = _ground_truth({("a",): (1.0,), ("b",): (2.0,), ("c",): (3.0,)})
+        result = _approx({("a",): (1.0,)})
+        metrics = compute_metrics(result, truth)
+        assert metrics.missing_bins == pytest.approx(2 / 3)
+        assert metrics.bins_delivered == 1
+        assert metrics.bins_in_gt == 3
+
+    def test_empty_ground_truth(self):
+        truth = _ground_truth({})
+        metrics = compute_metrics(_approx({}), truth)
+        assert metrics.missing_bins == 0.0
+
+
+class TestRelativeError:
+    def test_mean_relative_error(self):
+        truth = _ground_truth({("a",): (10.0,), ("b",): (20.0,)})
+        result = _approx({("a",): (12.0,), ("b",): (15.0,)})
+        metrics = compute_metrics(result, truth)
+        # |12-10|/10 = 0.2; |15-20|/20 = 0.25 → mean 0.225
+        assert metrics.rel_error_avg == pytest.approx(0.225)
+
+    def test_zero_truth_bins_excluded_from_mre(self):
+        truth = _ground_truth({("a",): (0.0,), ("b",): (10.0,)})
+        result = _approx({("a",): (1.0,), ("b",): (10.0,)})
+        metrics = compute_metrics(result, truth)
+        assert metrics.rel_error_avg == pytest.approx(0.0)  # only bin b counted
+
+    def test_smape_defined_at_zero_truth(self):
+        truth = _ground_truth({("a",): (0.0,)})
+        result = _approx({("a",): (1.0,)})
+        metrics = compute_metrics(result, truth)
+        assert metrics.smape == pytest.approx(1.0)  # |1-0|/(1+0)
+
+    def test_smape_zero_when_both_zero(self):
+        truth = _ground_truth({("a",): (0.0,)})
+        result = _approx({("a",): (0.0,)})
+        metrics = compute_metrics(result, truth)
+        assert metrics.smape == 0.0
+
+
+class TestCosineDistance:
+    def test_proportional_vectors_have_zero_distance(self):
+        truth = _ground_truth({("a",): (10.0,), ("b",): (20.0,)})
+        result = _approx({("a",): (5.0,), ("b",): (10.0,)})  # same shape, half scale
+        metrics = compute_metrics(result, truth)
+        assert metrics.cosine_distance == pytest.approx(0.0, abs=1e-12)
+        assert metrics.bias == pytest.approx(0.5)
+
+    def test_missing_bins_zero_filled(self):
+        truth = _ground_truth({("a",): (10.0,), ("b",): (10.0,)})
+        result = _approx({("a",): (10.0,)})
+        metrics = compute_metrics(result, truth)
+        # cos([10,0],[10,10]) = 1/sqrt(2)
+        assert metrics.cosine_distance == pytest.approx(1 - 1 / math.sqrt(2))
+
+    def test_empty_result_against_nonzero_truth(self):
+        truth = _ground_truth({("a",): (10.0,)})
+        metrics = compute_metrics(_approx({}), truth)
+        assert metrics.cosine_distance == 1.0
+
+
+class TestMargins:
+    def test_relative_margins_and_out_of_margin(self):
+        truth = _ground_truth({("a",): (10.0,), ("b",): (20.0,)})
+        result = _approx(
+            {("a",): (11.0,), ("b",): (30.0,)},
+            margins={("a",): (2.0,), ("b",): (3.0,)},
+        )
+        metrics = compute_metrics(result, truth)
+        # relative margins: 2/11, 3/30
+        assert metrics.margin_avg == pytest.approx((2 / 11 + 3 / 30) / 2)
+        # bin b is off by 10 > 3 → out of margin
+        assert metrics.bins_out_of_margin == 1
+
+    def test_none_margins_skipped(self):
+        truth = _ground_truth({("a",): (10.0,)})
+        result = _approx({("a",): (11.0,)}, margins={("a",): (None,)})
+        metrics = compute_metrics(result, truth)
+        assert math.isnan(metrics.margin_avg)
+        assert metrics.bins_out_of_margin == 0
+
+
+class TestMultiAggregate:
+    def test_metrics_average_across_aggregates(self):
+        truth = _ground_truth(
+            {("a",): (10.0, 100.0)}, num_aggs=2
+        )
+        result = _approx({("a",): (10.0, 50.0)}, num_aggs=2)
+        metrics = compute_metrics(result, truth)
+        # agg0 perfect (0.0), agg1 rel error 0.5 → mean 0.25
+        assert metrics.rel_error_avg == pytest.approx(0.25)
+
+
+class TestBias:
+    def test_overestimation(self):
+        truth = _ground_truth({("a",): (10.0,), ("b",): (10.0,)})
+        result = _approx({("a",): (15.0,), ("b",): (15.0,)})
+        metrics = compute_metrics(result, truth)
+        assert metrics.bias == pytest.approx(1.5)
+
+    def test_bias_only_over_returned_bins(self):
+        truth = _ground_truth({("a",): (10.0,), ("b",): (1000.0,)})
+        result = _approx({("a",): (10.0,)})
+        metrics = compute_metrics(result, truth)
+        assert metrics.bias == pytest.approx(1.0)
+
+
+@hyp_settings(max_examples=60, deadline=None)
+@given(
+    truths=st.lists(st.floats(0.5, 1e4), min_size=1, max_size=12),
+    noise=st.lists(st.floats(0.0, 2.0), min_size=12, max_size=12),
+    keep=st.lists(st.booleans(), min_size=12, max_size=12),
+)
+def test_metric_bounds_property(truths, noise, keep):
+    """Property: metric ranges hold for arbitrary results.
+
+    missing ∈ [0,1]; MRE ≥ 0; SMAPE ∈ [0,1]; cosine ∈ [0,2]; bias > 0 for
+    positive vectors; out-of-margin ≤ delivered bins.
+    """
+    keys = [(f"k{i}",) for i in range(len(truths))]
+    truth = _ground_truth({k: (t,) for k, t in zip(keys, truths)})
+    values = {}
+    for i, (key, t) in enumerate(zip(keys, truths)):
+        if keep[i % len(keep)]:
+            values[key] = (t * noise[i % len(noise)],)
+    result = _approx(values)
+    metrics = compute_metrics(result, truth)
+    assert 0.0 <= metrics.missing_bins <= 1.0
+    if values:
+        assert metrics.rel_error_avg >= 0.0
+        assert 0.0 <= metrics.smape <= 1.0
+        assert 0.0 <= metrics.cosine_distance <= 2.0
+        if not math.isnan(metrics.bias):
+            assert metrics.bias >= 0.0
+    assert metrics.bins_out_of_margin <= max(len(values), 1)

@@ -1,0 +1,86 @@
+"""Tests for ASCII report plotting."""
+
+import math
+
+import pytest
+
+from repro.bench.plotting import ascii_bars, ascii_cdf, ascii_series
+from repro.common.errors import BenchmarkError
+
+
+class TestAsciiCdf:
+    def test_renders_grid_with_axes(self):
+        points = [(x / 10, min(1.0, x / 10 + 0.1)) for x in range(11)]
+        text = ascii_cdf(points, width=40, height=8, title="cdf")
+        lines = text.splitlines()
+        assert lines[0] == "cdf"
+        assert any("100%" in line for line in lines)
+        assert "*" in text
+        assert "+" + "-" * 40 in text
+
+    def test_monotone_curve_occupies_increasing_rows(self):
+        points = [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)]
+        text = ascii_cdf(points, width=30, height=10)
+        rows_with_star = [
+            i for i, line in enumerate(text.splitlines()) if "*" in line
+        ]
+        assert len(rows_with_star) == 3  # three distinct levels
+
+    def test_nan_data_notes_empty_plot(self):
+        text = ascii_cdf([(0.0, float("nan"))], title="t")
+        assert "undefined" in text
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(BenchmarkError):
+            ascii_cdf([(0, 1)], width=3, height=1)
+
+
+class TestAsciiSeries:
+    def test_legend_and_marks(self):
+        series = {
+            "alpha": [(1.0, 10.0), (2.0, 5.0)],
+            "beta": [(1.0, 2.0), (2.0, 8.0)],
+        }
+        text = ascii_series(series, width=30, height=8, title="s")
+        assert "* = alpha" in text
+        assert "o = beta" in text
+        assert "*" in text and "o" in text
+
+    def test_nan_points_skipped(self):
+        series = {"only": [(1.0, float("nan")), (2.0, 3.0)]}
+        text = ascii_series(series, width=20, height=6)
+        assert "*" in text
+
+    def test_all_nan_noted(self):
+        text = ascii_series({"x": [(1.0, float("nan"))]})
+        assert "no finite data" in text
+
+    def test_rejects_empty_or_too_many(self):
+        with pytest.raises(BenchmarkError):
+            ascii_series({})
+        too_many = {f"s{i}": [(0.0, 1.0)] for i in range(9)}
+        with pytest.raises(BenchmarkError):
+            ascii_series(too_many)
+
+
+class TestAsciiBars:
+    def test_bar_lengths_proportional(self):
+        text = ascii_bars({"a": 1.0, "b": 2.0}, width=20)
+        line_a, line_b = text.splitlines()
+        assert line_b.count("█") == 2 * line_a.count("█")
+
+    def test_values_printed(self):
+        text = ascii_bars({"x": 0.25}, fmt="{:.2f}")
+        assert "0.25" in text
+
+    def test_zero_values_ok(self):
+        text = ascii_bars({"x": 0.0, "y": 0.0})
+        assert "█" not in text
+
+    def test_rejects_negative_and_nan(self):
+        with pytest.raises(BenchmarkError):
+            ascii_bars({"x": -1.0})
+        with pytest.raises(BenchmarkError):
+            ascii_bars({"x": float("nan")})
+        with pytest.raises(BenchmarkError):
+            ascii_bars({})

@@ -1,0 +1,177 @@
+"""Tests for detailed and summary report generation (§4.8)."""
+
+import csv
+import io
+import math
+
+import pytest
+
+from repro.bench.driver import QueryRecord
+from repro.bench.metrics import QueryMetrics
+from repro.bench.report import (
+    DETAILED_COLUMNS,
+    DetailedReport,
+    SummaryReport,
+    mre_cdf,
+    summarize_records,
+)
+
+
+def _metrics(violated=False, mre=0.1, missing=0.2, margin=0.05, cosine=0.01,
+             ofm=0, bias=1.0):
+    if violated:
+        return QueryMetrics.violated(bins_in_gt=10)
+    return QueryMetrics(
+        tr_violated=False,
+        bins_delivered=8,
+        bins_in_gt=10,
+        missing_bins=missing,
+        rel_error_avg=mre,
+        rel_error_stdev=mre / 2,
+        smape=mre / 2,
+        cosine_distance=cosine,
+        margin_avg=margin,
+        margin_stdev=margin / 2,
+        bins_out_of_margin=ofm,
+        bias=bias,
+    )
+
+
+def _record(query_id=0, workflow_type="mixed", violated=False, mre=0.1,
+            **metric_kwargs):
+    return QueryRecord(
+        query_id=query_id,
+        interaction_id=query_id,
+        viz_name=f"viz_{query_id}",
+        driver="idea-sim",
+        data_size="M",
+        think_time=1.0,
+        time_requirement=3.0,
+        workflow="wf_0",
+        workflow_type=workflow_type,
+        start_time=float(query_id),
+        end_time=float(query_id) + 0.5,
+        metrics=_metrics(violated=violated, mre=mre, **metric_kwargs),
+        bin_dims=1,
+        binning_type="nominal",
+        agg_type="count",
+        rows_processed=1000,
+        fraction=0.1,
+        num_concurrent=1,
+        qualifying_fraction=0.5,
+    )
+
+
+class TestDetailedReport:
+    def test_csv_has_table1_columns(self):
+        report = DetailedReport([_record(0), _record(1, violated=True)])
+        buffer = io.StringIO()
+        report.to_csv(buffer)
+        buffer.seek(0)
+        rows = list(csv.DictReader(buffer))
+        assert len(rows) == 2
+        for expected in ("id", "tr_violated", "bins_in_gt", "rel_error_avg",
+                         "missing_bins", "cosine_distance", "margin_avg",
+                         "agg_type", "binning_type", "think_time", "time_req"):
+            assert expected in rows[0]
+
+    def test_nan_rendered_as_empty(self):
+        report = DetailedReport([_record(0, violated=True)])
+        row = report.rows()[0]
+        assert row["rel_error_avg"] == ""
+        assert row["tr_violated"] is True
+
+    def test_file_round_trip(self, tmp_path):
+        report = DetailedReport([_record(i) for i in range(3)])
+        path = tmp_path / "detail.csv"
+        report.to_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[2]["id"] == "2"
+
+    def test_len(self):
+        assert len(DetailedReport([_record(0)])) == 1
+
+
+class TestSummarize:
+    def test_groups_plus_all(self):
+        records = [
+            _record(0, workflow_type="mixed"),
+            _record(1, workflow_type="mixed", violated=True),
+            _record(2, workflow_type="one_to_n"),
+        ]
+        rows = summarize_records(records)
+        groups = [row.group for row in rows]
+        assert groups == ["mixed", "one_to_n", "all"]
+        mixed = rows[0]
+        assert mixed.num_queries == 2
+        assert mixed.pct_tr_violated == pytest.approx(50.0)
+
+    def test_violated_counts_as_fully_missing(self):
+        records = [_record(0, missing=0.0), _record(1, violated=True)]
+        total = summarize_records(records)[-1]
+        assert total.mean_missing_bins == pytest.approx(0.5)
+
+    def test_value_metrics_over_answered_only(self):
+        records = [_record(0, mre=0.4), _record(1, violated=True)]
+        total = summarize_records(records)[-1]
+        assert total.mre_median == pytest.approx(0.4)
+
+    def test_area_above_cdf_truncates_at_one(self):
+        records = [_record(0, mre=0.5), _record(1, mre=5.0)]
+        total = summarize_records(records)[-1]
+        # mean(min(mre,1)) = (0.5 + 1.0)/2
+        assert total.mre_area_above_cdf == pytest.approx(0.75)
+
+    def test_all_violated_yields_nan_value_metrics(self):
+        records = [_record(0, violated=True), _record(1, violated=True)]
+        total = summarize_records(records)[-1]
+        assert total.pct_tr_violated == 100.0
+        assert math.isnan(total.mre_median)
+
+    def test_custom_group_key(self):
+        records = [_record(0), _record(1)]
+        rows = summarize_records(records, group_key=lambda r: r.driver)
+        assert rows[0].group == "idea-sim"
+
+    def test_out_of_margin_rate(self):
+        records = [_record(0, ofm=4)]  # 4 of 8 delivered bins
+        total = summarize_records(records)[-1]
+        assert total.out_of_margin_rate == pytest.approx(0.5)
+
+
+class TestMreCdf:
+    def test_cdf_shape(self):
+        records = [_record(i, mre=m) for i, m in enumerate([0.1, 0.3, 0.9, 2.0])]
+        points = mre_cdf(records, points=11)
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs[0] == 0.0 and xs[-1] == 1.0
+        assert ys == sorted(ys)  # CDF is monotone
+        assert ys[-1] == pytest.approx(0.75)  # one error above 100%
+
+    def test_violated_excluded(self):
+        records = [_record(0, mre=0.2), _record(1, violated=True)]
+        points = mre_cdf(records, points=3)
+        assert points[-1][1] == pytest.approx(1.0)
+
+    def test_empty_gives_nan(self):
+        points = mre_cdf([_record(0, violated=True)], points=3)
+        assert all(math.isnan(y) for _, y in points)
+
+
+class TestSummaryReportRendering:
+    def test_render_contains_groups_and_metrics(self):
+        records = [
+            _record(0, workflow_type="mixed"),
+            _record(1, workflow_type="sequential", violated=True),
+        ]
+        text = SummaryReport(records).render("test title")
+        assert "test title" in text
+        assert "mixed" in text and "sequential" in text and "all" in text
+        assert "%" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = SummaryReport([_record(0, violated=True)]).render()
+        assert "—" in text

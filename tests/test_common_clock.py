@@ -1,0 +1,84 @@
+"""Tests for the clock abstraction (virtual and wall)."""
+
+import time
+
+import pytest
+
+from repro.common.clock import VirtualClock, WallClock
+from repro.common.errors import EngineError
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(EngineError):
+            VirtualClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_advance_rejects_negative(self):
+        clock = VirtualClock()
+        with pytest.raises(EngineError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute(self):
+        clock = VirtualClock()
+        clock.advance_to(3.25)
+        assert clock.now() == pytest.approx(3.25)
+
+    def test_advance_to_rejects_past(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        with pytest.raises(EngineError):
+            clock.advance_to(1.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_is_virtual(self):
+        assert VirtualClock().is_virtual is True
+
+    def test_never_moves_without_advance(self):
+        clock = VirtualClock()
+        before = clock.now()
+        time.sleep(0.01)
+        assert clock.now() == before
+
+
+class TestWallClock:
+    def test_moves_with_real_time(self):
+        clock = WallClock()
+        first = clock.now()
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_advance_sleeps(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.advance(0.02)
+        assert clock.now() - before >= 0.015
+
+    def test_advance_zero_returns_immediately(self):
+        clock = WallClock()
+        start = time.monotonic()
+        clock.advance(0.0)
+        assert time.monotonic() - start < 0.05
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(EngineError):
+            WallClock().advance(-0.5)
+
+    def test_is_not_virtual(self):
+        assert WallClock().is_virtual is False

@@ -1,0 +1,98 @@
+"""Tests for the synthetic flights seed dataset."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataGenerationError
+from repro.data.seed import (
+    FLIGHTS_COLUMNS,
+    NUM_AIRPORTS,
+    NUM_CARRIERS,
+    flights_column_kinds,
+    generate_flights_seed,
+    hub_airports,
+)
+from repro.data.stats import empirical_correlation
+
+
+class TestSchema:
+    def test_columns_match_figure_2(self, flights_table):
+        assert tuple(flights_table.column_names) == FLIGHTS_COLUMNS
+
+    def test_nominal_columns_are_strings(self, flights_table):
+        for name, kind in flights_column_kinds().items():
+            if kind == "nominal":
+                assert flights_table[name].dtype.kind == "U", name
+            else:
+                assert flights_table[name].dtype.kind in ("i", "f"), name
+
+    def test_cardinalities(self, flights_table):
+        assert len(np.unique(flights_table["UNIQUE_CARRIER"])) == NUM_CARRIERS
+        assert len(np.unique(flights_table["ORIGIN"])) <= NUM_AIRPORTS
+
+    def test_25_carriers_for_exp3(self):
+        # §5.4's workflow uses a 25-bin carrier histogram.
+        assert NUM_CARRIERS == 25
+
+
+class TestDistributions:
+    def test_delays_are_right_skewed(self, flights_table):
+        delays = flights_table["DEP_DELAY"]
+        mean, median = float(np.mean(delays)), float(np.median(delays))
+        assert mean > median  # heavy right tail
+
+    def test_dep_arr_delay_strongly_correlated(self, flights_table):
+        r = empirical_correlation(
+            flights_table["DEP_DELAY"].astype(float),
+            flights_table["ARR_DELAY"].astype(float),
+        )
+        assert r > 0.8
+
+    def test_distance_airtime_consistent(self, flights_table):
+        r = empirical_correlation(
+            flights_table["DISTANCE"].astype(float),
+            flights_table["AIR_TIME"].astype(float),
+        )
+        assert r > 0.9
+
+    def test_carriers_are_zipf_skewed(self, flights_table):
+        _, counts = np.unique(flights_table["UNIQUE_CARRIER"], return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 5 * counts[-1]
+
+    def test_times_within_day(self, flights_table):
+        for column in ("DEP_TIME", "ARR_TIME"):
+            values = flights_table[column]
+            assert values.min() >= 0
+            assert values.max() < 1440
+
+    def test_values_physically_plausible(self, flights_table):
+        assert flights_table["DISTANCE"].min() >= 50
+        assert flights_table["AIR_TIME"].min() >= 15
+        assert flights_table["ELAPSED_TIME"].min() >= 20
+        assert set(np.unique(flights_table["MONTH"])) <= set(range(1, 13))
+        assert set(np.unique(flights_table["DAY_OF_WEEK"])) <= set(range(1, 8))
+
+    def test_origin_rarely_equals_dest(self, flights_table):
+        same = (flights_table["ORIGIN"] == flights_table["DEST"]).mean()
+        assert same < 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_flights_seed(500, seed=3)
+        b = generate_flights_seed(500, seed=3)
+        assert a.equals(b)
+
+    def test_different_seed_different_data(self):
+        a = generate_flights_seed(500, seed=3)
+        b = generate_flights_seed(500, seed=4)
+        assert not a.equals(b)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(DataGenerationError):
+            generate_flights_seed(0)
+
+    def test_hub_airports_deterministic(self):
+        assert hub_airports(3) == hub_airports(3)
+        assert len(hub_airports(5)) == 5

@@ -1,0 +1,88 @@
+"""Tests for star-schema specification serialization and the CLI path."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.normalize import (
+    DimensionSpec,
+    FLIGHTS_STAR_SPEC,
+    load_star_spec,
+    normalize,
+    save_star_spec,
+)
+from repro.data.storage import Table
+
+
+class TestSpecSerialization:
+    def test_dict_round_trip(self):
+        for spec in FLIGHTS_STAR_SPEC:
+            assert DimensionSpec.from_dict(spec.to_dict()) == spec
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "star.json"
+        save_star_spec(FLIGHTS_STAR_SPEC, path)
+        assert load_star_spec(path) == FLIGHTS_STAR_SPEC
+
+    def test_load_rejects_non_list(self, tmp_path):
+        from repro.common.errors import DataGenerationError
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"table": "x"}')
+        with pytest.raises(DataGenerationError):
+            load_star_spec(path)
+
+    def test_loaded_spec_normalizes(self, flights_table, tmp_path):
+        path = tmp_path / "star.json"
+        save_star_spec(FLIGHTS_STAR_SPEC, path)
+        dataset = normalize(flights_table, load_star_spec(path))
+        assert set(dataset.tables) == {"flights_fact", "airports", "carriers"}
+
+
+class TestCliNormalizedExport:
+    def test_default_star_schema_export(self, tmp_path):
+        out = tmp_path / "star"
+        code = main([
+            "generate-data", "--rows", "300", "--out", str(out),
+            "--normalize", "--seed", "4",
+        ])
+        assert code == 0
+        fact = Table.from_csv(out / "flights_fact.csv")
+        airports = Table.from_csv(out / "airports.csv")
+        carriers = Table.from_csv(out / "carriers.csv")
+        assert fact.num_rows == 300
+        assert "CARRIER_KEY" in fact
+        assert fact["CARRIER_KEY"].max() < carriers.num_rows
+        assert "code" in airports
+
+    def test_custom_spec_export(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        save_star_spec(
+            [DimensionSpec("carriers", "CK", (("UNIQUE_CARRIER", "code"),))],
+            spec_path,
+        )
+        out = tmp_path / "star2"
+        code = main([
+            "generate-data", "--rows", "200", "--out", str(out),
+            "--normalize-spec", str(spec_path), "--seed", "4",
+        ])
+        assert code == 0
+        fact = Table.from_csv(out / "flights_fact.csv")
+        assert "CK" in fact
+        assert "ORIGIN" in fact  # airports not normalized by this spec
+
+    def test_seed_csv_input(self, tmp_path):
+        # First produce a small CSV, then use it as a custom seed.
+        seed_csv = tmp_path / "seed.csv"
+        main(["generate-data", "--rows", "400", "--out", str(seed_csv),
+              "--seed", "4"])
+        out = tmp_path / "scaled.csv"
+        code = main([
+            "generate-data", "--rows", "900", "--out", str(out),
+            "--seed-csv", str(seed_csv), "--seed", "4",
+        ])
+        assert code == 0
+        scaled = Table.from_csv(out)
+        assert scaled.num_rows == 900
+        original = Table.from_csv(seed_csv)
+        assert set(scaled.column_names) == set(original.column_names)

@@ -1,0 +1,156 @@
+"""Tests for the blocking column-store engine (MonetDB stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import EngineError
+from repro.data.normalize import FLIGHTS_STAR_SPEC, normalize
+from repro.engines.columnstore import ColumnStoreEngine
+from repro.query.groundtruth import evaluate_exact
+
+
+@pytest.fixture
+def engine(flights_dataset, tiny_settings, clock):
+    engine = ColumnStoreEngine(flights_dataset, tiny_settings, clock)
+    engine.prepare()
+    return engine
+
+
+def _run_to(engine, t):
+    engine.clock.advance_to(t)
+    engine.advance_to(t)
+
+
+class TestLifecycle:
+    def test_submit_before_prepare_rejected(self, flights_dataset, tiny_settings,
+                                            clock, carrier_count_query):
+        engine = ColumnStoreEngine(flights_dataset, tiny_settings, clock)
+        with pytest.raises(EngineError):
+            engine.submit(carrier_count_query)
+
+    def test_double_prepare_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.prepare()
+
+    def test_prepare_reports_load_time(self, flights_dataset, tiny_settings, clock):
+        engine = ColumnStoreEngine(flights_dataset, tiny_settings, clock)
+        report = engine.prepare()
+        assert report.engine == "monetdb-sim"
+        assert report.seconds > 0
+        assert report.virtual_rows == tiny_settings.virtual_rows
+        assert dict(report.components)
+
+    def test_unknown_handle_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.result_at(123, 0.0)
+
+
+class TestBlockingSemantics:
+    def test_no_result_before_completion(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        finish = None
+        for t in np.arange(0.1, 30.0, 0.1):
+            _run_to(engine, float(t))
+            if engine.finished_at(handle) is not None:
+                finish = engine.finished_at(handle)
+                break
+        assert finish is not None
+        assert engine.result_at(handle, finish - 0.05) is None
+        assert engine.result_at(handle, finish + 0.001) is not None
+
+    def test_result_is_exact(self, engine, carrier_count_query, flights_dataset):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 60.0)
+        result = engine.result_at(handle, 60.0)
+        expected = evaluate_exact(flights_dataset, carrier_count_query)
+        assert result.exact
+        assert result.values == expected.values
+        assert result.margins == {}
+
+    def test_result_cached_after_first_poll(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 60.0)
+        first = engine.result_at(handle, 60.0)
+        second = engine.result_at(handle, 60.0)
+        assert first is second
+
+    def test_cancel_prevents_result(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 0.2)
+        engine.cancel(handle)
+        _run_to(engine, 60.0)
+        assert engine.finished_at(handle) is None
+        assert engine.result_at(handle, 60.0) is None
+
+    def test_selective_queries_finish_faster(self, engine, carrier_count_query,
+                                             delay_avg_query, flights_dataset,
+                                             tiny_settings):
+        from repro.query.filters import RangePredicate
+        from repro.query.model import AggQuery
+
+        broad = carrier_count_query
+        narrow = AggQuery(
+            table=broad.table,
+            bins=broad.bins,
+            aggregates=broad.aggregates,
+            filter=RangePredicate("DEP_DELAY", 200, 500),  # rare delays
+        )
+        h_broad = engine.submit(broad)
+        _run_to(engine, 100.0)
+        t_broad = engine.finished_at(h_broad)
+        h_narrow = engine.submit(narrow)
+        _run_to(engine, 200.0)
+        t_narrow = engine.finished_at(h_narrow) - 100.0
+        assert t_narrow < t_broad
+
+    def test_concurrent_queries_slow_each_other(self, flights_dataset,
+                                                tiny_settings, clock,
+                                                carrier_count_query):
+        solo_engine = ColumnStoreEngine(flights_dataset, tiny_settings, VirtualClock())
+        solo_engine.prepare()
+        solo = solo_engine.submit(carrier_count_query)
+        solo_engine.clock.advance_to(100.0)
+        solo_engine.advance_to(100.0)
+        solo_time = solo_engine.finished_at(solo)
+
+        shared_engine = ColumnStoreEngine(flights_dataset, tiny_settings, VirtualClock())
+        shared_engine.prepare()
+        first = shared_engine.submit(carrier_count_query)
+        second = shared_engine.submit(carrier_count_query)
+        shared_engine.clock.advance_to(100.0)
+        shared_engine.advance_to(100.0)
+        assert shared_engine.finished_at(first) > solo_time * 1.5
+        assert shared_engine.finished_at(second) > solo_time * 1.5
+
+    def test_completion_time_caps_at_deadline(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 100.0)
+        finished = engine.finished_at(handle)
+        assert engine.completion_time(handle, deadline=finished + 5) == finished
+        assert engine.completion_time(handle, deadline=finished - 0.1) == (
+            finished - 0.1
+        )
+
+
+class TestJoinsSupport:
+    def test_runs_on_star_schema(self, flights_table, tiny_settings,
+                                 carrier_count_query):
+        star = normalize(flights_table, FLIGHTS_STAR_SPEC)
+        engine = ColumnStoreEngine(star, tiny_settings, VirtualClock())
+        engine.prepare()
+        handle = engine.submit(carrier_count_query)
+        engine.clock.advance_to(100.0)
+        engine.advance_to(100.0)
+        result = engine.result_at(handle, 100.0)
+        flat_expected = evaluate_exact(
+            __import__("repro.data.storage", fromlist=["Dataset"]).Dataset.from_table(
+                flights_table
+            ),
+            carrier_count_query,
+        )
+        assert result.values == flat_expected.values
+
+    def test_capabilities(self, engine):
+        assert engine.capabilities.supports_joins
+        assert not engine.capabilities.progressive

@@ -1,0 +1,238 @@
+"""Tests for sampling estimators and confidence intervals.
+
+Includes a statistical coverage check: across many random samples, the
+fraction of true values inside the reported 95 % interval must be near
+95 % — the property the Out-of-Margin metric (§4.7) sanity-checks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EngineError
+from repro.data.storage import Dataset, Table
+from repro.engines.estimators import (
+    StratumStats,
+    srs_estimate,
+    stratified_estimate,
+    z_value,
+)
+from repro.query.groundtruth import compute_grouped_stats, evaluate_exact
+from repro.query.model import AggFunc, Aggregate, AggQuery, BinDimension, BinKind
+
+
+@pytest.fixture(scope="module")
+def population(rng):
+    n = 20_000
+    groups = rng.choice(["a", "b", "c"], size=n, p=[0.6, 0.3, 0.1])
+    values = rng.normal(50, 10, size=n) + (groups == "b") * 30
+    table = Table("p", {"g": groups, "v": values})
+    return Dataset.from_table(table)
+
+
+@pytest.fixture(scope="module")
+def count_sum_avg_query():
+    return AggQuery(
+        "p",
+        bins=(BinDimension("g", BinKind.NOMINAL),),
+        aggregates=(
+            Aggregate(AggFunc.COUNT),
+            Aggregate(AggFunc.SUM, "v"),
+            Aggregate(AggFunc.AVG, "v"),
+        ),
+    )
+
+
+class TestZValue:
+    def test_95_percent(self):
+        assert z_value(0.95) == pytest.approx(1.959964, abs=1e-4)
+
+    def test_99_percent(self):
+        assert z_value(0.99) == pytest.approx(2.575829, abs=1e-4)
+
+    def test_monotone(self):
+        assert z_value(0.99) > z_value(0.9) > z_value(0.5)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(EngineError):
+            z_value(bad)
+
+
+class TestSrsEstimate:
+    def test_full_sample_is_exact_with_zero_margins(
+        self, population, count_sum_avg_query
+    ):
+        n = population.num_fact_rows
+        stats = compute_grouped_stats(
+            population, count_sum_avg_query, np.arange(n)
+        )
+        values, margins = srs_estimate(stats, n, n, 0.95)
+        exact = evaluate_exact(population, count_sum_avg_query)
+        for key, exact_row in exact.values.items():
+            assert values[key] == pytest.approx(exact_row, rel=1e-9)
+            count_margin, sum_margin, avg_margin = margins[key]
+            assert count_margin == pytest.approx(0.0, abs=1e-9)
+            assert sum_margin == pytest.approx(0.0, abs=1e-9)
+            assert avg_margin == pytest.approx(0.0, abs=1e-9)
+
+    def test_estimates_are_unbiased_ish(self, population, count_sum_avg_query, rng):
+        exact = evaluate_exact(population, count_sum_avg_query)
+        n = 2_000
+        sums = {key: np.zeros(3) for key in exact.values}
+        repeats = 30
+        for _ in range(repeats):
+            sample = rng.choice(population.num_fact_rows, size=n, replace=False)
+            stats = compute_grouped_stats(population, count_sum_avg_query, sample)
+            values, _ = srs_estimate(stats, n, population.num_fact_rows, 0.95)
+            for key, row in values.items():
+                sums[key] += np.array(row)
+        for key, exact_row in exact.values.items():
+            mean_estimate = sums[key] / repeats
+            assert mean_estimate[0] == pytest.approx(exact_row[0], rel=0.05)
+            assert mean_estimate[1] == pytest.approx(exact_row[1], rel=0.05)
+            assert mean_estimate[2] == pytest.approx(exact_row[2], rel=0.02)
+
+    def test_margins_shrink_with_sample_size(self, population, count_sum_avg_query):
+        margins_by_n = {}
+        for n in (500, 5_000):
+            stats = compute_grouped_stats(
+                population, count_sum_avg_query, np.arange(n)
+            )
+            _, margins = srs_estimate(stats, n, population.num_fact_rows, 0.95)
+            margins_by_n[n] = margins[("a",)][0]
+        assert margins_by_n[5_000] < margins_by_n[500]
+
+    def test_min_max_have_no_margin(self, population):
+        query = AggQuery(
+            "p",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.MIN, "v"), Aggregate(AggFunc.MAX, "v")),
+        )
+        stats = compute_grouped_stats(population, query, np.arange(1_000))
+        _, margins = srs_estimate(stats, 1_000, population.num_fact_rows, 0.95)
+        for row in margins.values():
+            assert row == (None, None)
+
+    def test_singleton_avg_has_no_margin(self):
+        table = Table("t", {"g": ["x", "y"], "v": [1.0, 2.0]})
+        dataset = Dataset.from_table(table)
+        query = AggQuery(
+            "t",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.AVG, "v"),),
+        )
+        stats = compute_grouped_stats(dataset, query, np.array([0]))
+        _, margins = srs_estimate(stats, 1, 2, 0.95)
+        assert margins[("x",)] == (None,)
+
+    def test_validation(self, population, count_sum_avg_query):
+        stats = compute_grouped_stats(
+            population, count_sum_avg_query, np.arange(10)
+        )
+        with pytest.raises(EngineError):
+            srs_estimate(stats, 0, 100, 0.95)
+        with pytest.raises(EngineError):
+            srs_estimate(stats, 200, 100, 0.95)
+
+    def test_coverage_near_confidence_level(self, population, rng):
+        """~95 % of intervals must contain the truth (the key CI property)."""
+        query = AggQuery(
+            "p",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.AVG, "v"),),
+        )
+        exact = evaluate_exact(population, query)
+        inside = total = 0
+        for _ in range(150):
+            sample = rng.choice(population.num_fact_rows, size=800, replace=False)
+            stats = compute_grouped_stats(population, query, sample)
+            values, margins = srs_estimate(
+                stats, 800, population.num_fact_rows, 0.95
+            )
+            for key, (estimate,) in values.items():
+                margin = margins[key][0]
+                if margin is None or key not in exact.values:
+                    continue
+                total += 1
+                if abs(estimate - exact.values[key][0]) <= margin:
+                    inside += 1
+        assert total > 300
+        assert 0.90 <= inside / total <= 0.99
+
+
+class TestStratifiedEstimate:
+    def _strata(self, population, query, quotas, rng):
+        groups = population.gather_column("g")
+        strata = []
+        for label in np.unique(groups):
+            members = np.flatnonzero(groups == label)
+            quota = min(quotas, len(members))
+            chosen = rng.choice(members, size=quota, replace=False)
+            stats = compute_grouped_stats(population, query, chosen)
+            strata.append(
+                StratumStats(
+                    stats=stats,
+                    weight=len(members) / quota,
+                    sample_size=quota,
+                )
+            )
+        return strata
+
+    def test_count_estimates_close_to_truth(self, population, rng):
+        query = AggQuery(
+            "p",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        exact = evaluate_exact(population, query)
+        strata = self._strata(population, query, 400, rng)
+        values, margins = stratified_estimate(query, strata, 0.95)
+        for key, (truth,) in exact.values.items():
+            estimate = values[key][0]
+            # Stratifying on the group column makes group counts near-exact.
+            assert estimate == pytest.approx(truth, rel=0.02)
+            assert margins[key][0] is not None
+
+    def test_avg_ratio_estimator(self, population, rng):
+        query = AggQuery(
+            "p",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.AVG, "v"),),
+        )
+        exact = evaluate_exact(population, query)
+        strata = self._strata(population, query, 500, rng)
+        values, _ = stratified_estimate(query, strata, 0.95)
+        for key, (truth,) in exact.values.items():
+            assert values[key][0] == pytest.approx(truth, rel=0.05)
+
+    def test_rare_stratum_guaranteed_presence(self, population, rng):
+        query = AggQuery(
+            "p",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        strata = self._strata(population, query, 10, rng)
+        values, _ = stratified_estimate(query, strata, 0.95)
+        assert ("c",) in values  # rare group cannot be missing
+
+    def test_min_max_take_extrema_over_strata(self, population, rng):
+        query = AggQuery(
+            "p",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.MIN, "v"), Aggregate(AggFunc.MAX, "v")),
+        )
+        strata = self._strata(population, query, 200, rng)
+        values, margins = stratified_estimate(query, strata, 0.95)
+        for key in values:
+            low, high = values[key]
+            assert low <= high
+            assert margins[key] == (None, None)
+
+    def test_rejects_empty_strata(self):
+        query = AggQuery(
+            "p",
+            bins=(BinDimension("g", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        with pytest.raises(EngineError):
+            stratified_estimate(query, [], 0.95)

@@ -1,0 +1,110 @@
+"""Tests for the IDE frontend layer (System Y stand-in)."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import EngineError
+from repro.engines.columnstore import ColumnStoreEngine
+from repro.engines.frontend import FrontendEngine
+
+
+@pytest.fixture
+def engine(flights_dataset, tiny_settings):
+    backend = ColumnStoreEngine(flights_dataset, tiny_settings, VirtualClock())
+    engine = FrontendEngine(backend)
+    engine.prepare()
+    return engine
+
+
+def _run_to(engine, t):
+    engine.clock.advance_to(t)
+    engine.advance_to(t)
+
+
+class TestRenderingOverhead:
+    def test_result_delayed_by_one_to_two_seconds(self, engine,
+                                                  carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 200.0)
+        backend_finish = engine.backend.finished_at(handle)
+        frontend_finish = engine.finished_at(handle)
+        overhead = frontend_finish - backend_finish
+        assert 1.0 <= overhead <= 2.0
+
+    def test_result_invisible_during_rendering(self, engine,
+                                               carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 200.0)
+        backend_finish = engine.backend.finished_at(handle)
+        frontend_finish = engine.finished_at(handle)
+        midpoint = (backend_finish + frontend_finish) / 2
+        assert engine.backend.result_at(handle, midpoint) is not None
+        assert engine.result_at(handle, midpoint) is None
+        assert engine.result_at(handle, frontend_finish + 0.01) is not None
+
+    def test_overhead_deterministic_per_handle(self, flights_dataset,
+                                               tiny_settings,
+                                               carrier_count_query):
+        def overhead_of_first_query():
+            backend = ColumnStoreEngine(
+                flights_dataset, tiny_settings, VirtualClock()
+            )
+            engine = FrontendEngine(backend)
+            engine.prepare()
+            handle = engine.submit(carrier_count_query)
+            engine.clock.advance_to(100.0)
+            engine.advance_to(100.0)
+            return engine.finished_at(handle) - backend.finished_at(handle)
+
+        assert overhead_of_first_query() == overhead_of_first_query()
+
+    def test_overheads_vary_between_queries(self, engine, carrier_count_query,
+                                            delay_avg_query):
+        a = engine.submit(carrier_count_query)
+        b = engine.submit(delay_avg_query)
+        assert engine._overhead(a) != engine._overhead(b)
+
+    def test_no_result_before_submission_time(self, engine,
+                                              carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        assert engine.result_at(handle, 0.0) is None
+
+
+class TestDelegation:
+    def test_capabilities_delegate_to_backend(self, engine):
+        assert engine.capabilities.supports_joins  # columnstore's
+
+    def test_prepare_renames_report(self, flights_dataset, tiny_settings):
+        backend = ColumnStoreEngine(flights_dataset, tiny_settings, VirtualClock())
+        engine = FrontendEngine(backend)
+        report = engine.prepare()
+        assert report.engine == "system-y-sim"
+        assert report.seconds > 0
+
+    def test_no_prefetch_on_link(self, engine, carrier_count_query):
+        # §5.6: no prefetching layer found — the hint must be dropped.
+        engine.link_vizs([carrier_count_query])  # must not raise or speculate
+
+    def test_cancel_propagates(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        engine.cancel(handle)
+        _run_to(engine, 100.0)
+        assert engine.finished_at(handle) is None
+
+    def test_completion_time_caps_at_deadline(self, engine,
+                                              carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 200.0)
+        finished = engine.finished_at(handle)
+        assert engine.completion_time(handle, finished + 1) == finished
+        assert engine.completion_time(handle, 0.5) == 0.5
+
+    def test_unknown_handle_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.result_at(999, 1.0)
+
+    def test_invalid_overhead_bounds_rejected(self, flights_dataset,
+                                              tiny_settings):
+        backend = ColumnStoreEngine(flights_dataset, tiny_settings, VirtualClock())
+        with pytest.raises(EngineError):
+            FrontendEngine(backend, render_overhead=(2.0, 1.0))

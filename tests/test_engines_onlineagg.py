@@ -1,0 +1,191 @@
+"""Tests for the online-aggregation engine (XDB stand-in): report
+intervals, online COUNT/SUM, blocking fallback for AVG/multi-aggregate."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.data.normalize import FLIGHTS_STAR_SPEC, normalize
+from repro.engines.onlineagg import OnlineAggEngine
+from repro.query.filters import SetPredicate
+from repro.query.groundtruth import evaluate_exact
+from repro.query.model import AggFunc, Aggregate, AggQuery, BinDimension, BinKind
+
+
+@pytest.fixture
+def engine(flights_dataset, tiny_settings):
+    engine = OnlineAggEngine(flights_dataset, tiny_settings, VirtualClock())
+    engine.prepare()
+    return engine
+
+
+def _run_to(engine, t):
+    engine.clock.advance_to(t)
+    engine.advance_to(t)
+
+
+def _sum_query():
+    return AggQuery(
+        "flights",
+        bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+        aggregates=(Aggregate(AggFunc.SUM, "DISTANCE"),),
+    )
+
+
+def _avg_query():
+    return AggQuery(
+        "flights",
+        bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+        aggregates=(Aggregate(AggFunc.AVG, "DISTANCE"),),
+    )
+
+
+def _multi_query():
+    return AggQuery(
+        "flights",
+        bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+        aggregates=(Aggregate(AggFunc.COUNT), Aggregate(AggFunc.SUM, "DISTANCE")),
+    )
+
+
+class TestOnlineCapability:
+    def test_count_and_sum_online(self, carrier_count_query):
+        assert OnlineAggEngine.supports_online(carrier_count_query)
+        assert OnlineAggEngine.supports_online(_sum_query())
+
+    def test_avg_not_online(self):
+        assert not OnlineAggEngine.supports_online(_avg_query())
+
+    def test_multi_aggregate_not_online(self):
+        assert not OnlineAggEngine.supports_online(_multi_query())
+
+
+class TestReportInterval:
+    def test_no_result_before_first_tick(self, engine, carrier_count_query,
+                                         tiny_settings):
+        handle = engine.submit(carrier_count_query)
+        before_tick = tiny_settings.report_interval * 0.6
+        _run_to(engine, before_tick)
+        assert engine.result_at(handle, before_tick) is None
+
+    def test_result_available_at_tick(self, engine, carrier_count_query,
+                                      tiny_settings):
+        handle = engine.submit(carrier_count_query)
+        at_tick = tiny_settings.report_interval * 1.2
+        _run_to(engine, at_tick)
+        result = engine.result_at(handle, at_tick)
+        assert result is not None
+        assert not result.exact
+
+    def test_result_frozen_between_ticks(self, engine, carrier_count_query,
+                                         tiny_settings):
+        handle = engine.submit(carrier_count_query)
+        interval = tiny_settings.report_interval
+        _run_to(engine, 2 * interval + 0.9 * interval)
+        at_tick = engine.result_at(handle, 2 * interval)
+        mid = engine.result_at(handle, 2 * interval + 0.8 * interval)
+        assert mid.rows_processed == at_tick.rows_processed
+
+    def test_estimates_improve_across_ticks(self, engine, _q=None):
+        query = _sum_query()
+        handle = engine.submit(query)
+        _run_to(engine, 10.0)
+        early = engine.result_at(handle, 0.5)
+        late = engine.result_at(handle, 10.0)
+        assert late.rows_processed > early.rows_processed
+
+
+class TestFallback:
+    def test_avg_blocks_until_completion(self, engine):
+        handle = engine.submit(_avg_query())
+        _run_to(engine, 1.0)
+        assert engine.result_at(handle, 1.0) is None  # no intermediate results
+
+    def test_fallback_eventually_exact(self, engine, flights_dataset):
+        query = _avg_query()
+        handle = engine.submit(query)
+        _run_to(engine, 2000.0)
+        result = engine.result_at(handle, 2000.0)
+        assert result is not None and result.exact
+        assert result.values == evaluate_exact(flights_dataset, query).values
+
+    def test_fallback_far_slower_than_online_first_result(self, engine,
+                                                          tiny_settings):
+        online = engine.submit(_sum_query())
+        fallback = engine.submit(_avg_query())
+        _run_to(engine, tiny_settings.report_interval * 4)
+        now = engine.clock.now()
+        assert engine.result_at(online, now) is not None
+        assert engine.result_at(fallback, now) is None
+
+
+class TestEstimateQuality:
+    def test_count_estimates_scale_to_population(self, engine,
+                                                 carrier_count_query,
+                                                 flights_dataset):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 20.0)
+        result = engine.result_at(handle, 20.0)
+        truth = evaluate_exact(flights_dataset, carrier_count_query)
+        total_estimate = sum(v[0] for v in result.values.values())
+        total_truth = sum(v[0] for v in truth.values.values())
+        assert total_estimate == pytest.approx(total_truth, rel=0.15)
+
+    def test_margins_reported(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 5.0)
+        result = engine.result_at(handle, 5.0)
+        assert any(m[0] is not None for m in result.margins.values())
+
+    def test_selective_filter_reduces_bins(self, engine, flights_dataset):
+        query = AggQuery(
+            "flights",
+            bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+            filter=SetPredicate("ORIGIN_STATE", frozenset(["CA"])),
+        )
+        handle = engine.submit(query)
+        _run_to(engine, 1.0)
+        result = engine.result_at(handle, 1.0)
+        truth = evaluate_exact(flights_dataset, query)
+        assert result is not None
+        assert result.num_bins <= truth.num_bins
+
+
+class TestOnlineJoins:
+    def test_wander_join_on_star_schema(self, flights_table, tiny_settings):
+        star = normalize(flights_table, FLIGHTS_STAR_SPEC)
+        engine = OnlineAggEngine(star, tiny_settings, VirtualClock())
+        engine.prepare()
+        query = AggQuery(
+            "flights",
+            bins=(BinDimension("ORIGIN_STATE", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        handle = engine.submit(query)
+        _run_to(engine, 2.0)
+        result = engine.result_at(handle, 2.0)
+        assert result is not None and result.num_bins > 0
+
+    def test_join_slows_sampling_rate(self, flights_table, flights_dataset,
+                                      tiny_settings):
+        star = normalize(flights_table, FLIGHTS_STAR_SPEC)
+        query = AggQuery(
+            "flights",
+            bins=(BinDimension("ORIGIN_STATE", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+
+        def rows_after(dataset, t):
+            engine = OnlineAggEngine(dataset, tiny_settings, VirtualClock())
+            engine.prepare()
+            handle = engine.submit(query)
+            engine.clock.advance_to(t)
+            engine.advance_to(t)
+            return engine.result_at(handle, t).rows_processed
+
+        assert rows_after(star, 3.0) < rows_after(flights_dataset, 3.0)
+
+    def test_capabilities(self, engine):
+        assert engine.capabilities.supports_joins
+        assert engine.capabilities.progressive

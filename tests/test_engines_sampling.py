@@ -1,0 +1,128 @@
+"""Tests for the offline stratified-sampling engine (System X stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import EngineError
+from repro.data.normalize import FLIGHTS_STAR_SPEC, normalize
+from repro.engines.sampling import StratifiedSamplingEngine
+from repro.query.groundtruth import evaluate_exact
+
+
+@pytest.fixture
+def engine(flights_dataset, tiny_settings):
+    engine = StratifiedSamplingEngine(
+        flights_dataset, tiny_settings, VirtualClock(), sampling_rate=0.05
+    )
+    engine.prepare()
+    return engine
+
+
+def _run_to(engine, t):
+    engine.clock.advance_to(t)
+    engine.advance_to(t)
+
+
+def _finished_result(engine, handle, horizon=60.0):
+    _run_to(engine, engine.clock.now() + horizon)
+    return engine.result_at(handle, engine.clock.now())
+
+
+class TestSampleConstruction:
+    def test_sample_has_roughly_requested_rate(self, engine, flights_dataset):
+        total = sum(len(indices) for indices, _ in engine._strata)
+        expected = flights_dataset.num_fact_rows * 0.05
+        # Minimum per-stratum quotas inflate tiny strata slightly.
+        assert expected * 0.8 <= total <= expected * 2.0
+
+    def test_every_stratum_represented(self, engine, flights_dataset):
+        # Stratified on the lowest-cardinality nominal column → every
+        # category of that column appears in the sample.
+        column = engine._stratification_column()
+        assert column is not None
+        sampled = np.concatenate([indices for indices, _ in engine._strata])
+        sampled_categories = set(
+            flights_dataset.gather_column(column)[sampled]
+        )
+        assert sampled_categories == set(flights_dataset.gather_column(column))
+
+    def test_weights_expand_to_population(self, engine, flights_dataset):
+        reconstructed = sum(
+            len(indices) * weight for indices, weight in engine._strata
+        )
+        assert reconstructed == pytest.approx(
+            flights_dataset.num_fact_rows, rel=0.05
+        )
+
+    def test_rejects_bad_rate(self, flights_dataset, tiny_settings):
+        with pytest.raises(EngineError):
+            StratifiedSamplingEngine(
+                flights_dataset, tiny_settings, VirtualClock(), sampling_rate=0.0
+            )
+
+    def test_rejects_normalized_dataset(self, flights_table, tiny_settings):
+        star = normalize(flights_table, FLIGHTS_STAR_SPEC)
+        with pytest.raises(EngineError, match="de-normalized"):
+            StratifiedSamplingEngine(star, tiny_settings, VirtualClock())
+
+
+class TestBlockingOverSample:
+    def test_no_intermediate_results(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 0.05)
+        assert engine.result_at(handle, 0.05) is None
+
+    def test_queries_finish_fast(self, engine, carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 10.0)
+        finished = engine.finished_at(handle)
+        assert finished is not None
+        assert finished < 3.0  # sample scans are quick
+
+    def test_result_is_approximate_with_margins(self, engine,
+                                                carrier_count_query):
+        handle = engine.submit(carrier_count_query)
+        result = _finished_result(engine, handle)
+        assert result is not None
+        assert not result.exact
+        assert result.fraction < 0.2
+        assert any(m[0] is not None for m in result.margins.values())
+
+    def test_stratified_estimates_near_truth(self, engine, carrier_count_query,
+                                             flights_dataset):
+        handle = engine.submit(carrier_count_query)
+        result = _finished_result(engine, handle)
+        truth = evaluate_exact(flights_dataset, carrier_count_query)
+        # Stratifying on carriers makes carrier counts nearly exact.
+        for key, (expected,) in truth.values.items():
+            assert result.values[key][0] == pytest.approx(expected, rel=0.15)
+
+    def test_rare_carriers_never_missing(self, engine, carrier_count_query,
+                                         flights_dataset):
+        handle = engine.submit(carrier_count_query)
+        result = _finished_result(engine, handle)
+        truth = evaluate_exact(flights_dataset, carrier_count_query)
+        assert set(result.values) == set(truth.values)
+
+    def test_quality_constant_wrt_waiting_time(self, engine,
+                                               carrier_count_query):
+        """System X's defining trait: waiting longer buys nothing."""
+        handle = engine.submit(carrier_count_query)
+        _run_to(engine, 30.0)
+        early = engine.result_at(handle, engine.finished_at(handle) + 0.01)
+        late = engine.result_at(handle, 30.0)
+        assert early.values == late.values
+
+    def test_repeated_query_same_estimate(self, engine, carrier_count_query):
+        """The offline sample is fixed → deterministic estimates."""
+        first = engine.submit(carrier_count_query)
+        result_one = _finished_result(engine, first)
+        second = engine.submit(carrier_count_query)
+        result_two = _finished_result(engine, second)
+        assert result_one.values == result_two.values
+
+    def test_capabilities(self, engine):
+        assert not engine.capabilities.supports_joins
+        assert not engine.capabilities.progressive
+        assert engine.capabilities.returns_margins

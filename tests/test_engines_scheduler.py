@@ -1,0 +1,230 @@
+"""Tests for the processor-sharing scheduler."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import EngineError
+from repro.engines.scheduler import ProcessorSharingScheduler
+
+
+@pytest.fixture
+def setup():
+    clock = VirtualClock()
+    return clock, ProcessorSharingScheduler(clock)
+
+
+def _advance(clock, scheduler, t):
+    clock.advance_to(t)
+    scheduler.advance_to(t)
+
+
+class TestSingleTask:
+    def test_exclusive_task_finishes_after_its_work(self, setup):
+        clock, scheduler = setup
+        task = scheduler.add_task(2.0)
+        _advance(clock, scheduler, 1.0)
+        assert scheduler.finished_at(task) is None
+        assert scheduler.work_done(task) == pytest.approx(1.0)
+        _advance(clock, scheduler, 2.0)
+        assert scheduler.finished_at(task) == pytest.approx(2.0)
+
+    def test_zero_work_finishes_immediately(self, setup):
+        clock, scheduler = setup
+        task = scheduler.add_task(0.0)
+        assert scheduler.finished_at(task) == 0.0
+
+    def test_open_ended_task_never_finishes(self, setup):
+        clock, scheduler = setup
+        task = scheduler.add_task(math.inf)
+        _advance(clock, scheduler, 100.0)
+        assert scheduler.finished_at(task) is None
+        assert scheduler.work_done(task) == pytest.approx(100.0)
+
+    def test_validation(self, setup):
+        _clock, scheduler = setup
+        with pytest.raises(EngineError):
+            scheduler.add_task(-1.0)
+        with pytest.raises(EngineError):
+            scheduler.add_task(1.0, weight=0.0)
+        with pytest.raises(EngineError):
+            scheduler.work_done(999)
+
+
+class TestFairSharing:
+    def test_two_equal_tasks_take_twice_as_long(self, setup):
+        clock, scheduler = setup
+        a = scheduler.add_task(1.0)
+        b = scheduler.add_task(1.0)
+        _advance(clock, scheduler, 2.0)
+        assert scheduler.finished_at(a) == pytest.approx(2.0)
+        assert scheduler.finished_at(b) == pytest.approx(2.0)
+
+    def test_short_task_departure_speeds_up_remainder(self, setup):
+        clock, scheduler = setup
+        short = scheduler.add_task(0.5)
+        long = scheduler.add_task(2.0)
+        _advance(clock, scheduler, 10.0)
+        # short gets 1/2 rate until it finishes at t=1.0;
+        # long then has 2.0-0.5=1.5 left at full rate → finishes 2.5.
+        assert scheduler.finished_at(short) == pytest.approx(1.0)
+        assert scheduler.finished_at(long) == pytest.approx(2.5)
+
+    def test_late_arrival_shares_capacity(self, setup):
+        clock, scheduler = setup
+        first = scheduler.add_task(2.0)
+        _advance(clock, scheduler, 1.0)
+        second = scheduler.add_task(1.0)
+        _advance(clock, scheduler, 10.0)
+        # At t=1 first has 1.0 left; both share until first finishes at 3.0;
+        # second then has 1.0 - 1.0 = 0 → also 3.0.
+        assert scheduler.finished_at(first) == pytest.approx(3.0)
+        assert scheduler.finished_at(second) == pytest.approx(3.0)
+
+    def test_weights_bias_service(self, setup):
+        clock, scheduler = setup
+        heavy = scheduler.add_task(math.inf, weight=3.0)
+        light = scheduler.add_task(math.inf, weight=1.0)
+        _advance(clock, scheduler, 4.0)
+        assert scheduler.work_done(heavy) == pytest.approx(3.0)
+        assert scheduler.work_done(light) == pytest.approx(1.0)
+
+    def test_set_weight_takes_effect_from_now(self, setup):
+        clock, scheduler = setup
+        a = scheduler.add_task(math.inf, weight=1.0)
+        b = scheduler.add_task(math.inf, weight=1.0)
+        _advance(clock, scheduler, 2.0)
+        scheduler.set_weight(a, 3.0)
+        _advance(clock, scheduler, 6.0)
+        assert scheduler.work_done(a) == pytest.approx(1.0 + 3.0)
+        assert scheduler.work_done(b) == pytest.approx(1.0 + 1.0)
+
+
+class TestCancellation:
+    def test_cancelled_task_frees_capacity(self, setup):
+        clock, scheduler = setup
+        victim = scheduler.add_task(5.0)
+        survivor = scheduler.add_task(2.0)
+        _advance(clock, scheduler, 1.0)
+        scheduler.cancel(victim)
+        _advance(clock, scheduler, 10.0)
+        # survivor had 1.5 left at t=1, full rate → finishes at 2.5.
+        assert scheduler.finished_at(survivor) == pytest.approx(2.5)
+        assert scheduler.finished_at(victim) is None
+        assert scheduler.is_cancelled(victim)
+
+    def test_cancel_after_finish_is_noop(self, setup):
+        clock, scheduler = setup
+        task = scheduler.add_task(1.0)
+        _advance(clock, scheduler, 2.0)
+        scheduler.cancel(task)
+        assert scheduler.finished_at(task) == pytest.approx(1.0)
+        assert not scheduler.is_cancelled(task)
+
+
+class TestCredit:
+    def test_credit_shortens_completion(self, setup):
+        clock, scheduler = setup
+        task = scheduler.add_task(3.0)
+        scheduler.credit_work(task, 2.0)
+        _advance(clock, scheduler, 5.0)
+        assert scheduler.finished_at(task) == pytest.approx(1.0)
+
+    def test_full_credit_finishes_now(self, setup):
+        clock, scheduler = setup
+        _advance(clock, scheduler, 1.0)
+        task = scheduler.add_task(2.0)
+        scheduler.credit_work(task, 99.0)
+        assert scheduler.finished_at(task) == pytest.approx(1.0)
+
+    def test_negative_credit_rejected(self, setup):
+        _clock, scheduler = setup
+        task = scheduler.add_task(1.0)
+        with pytest.raises(EngineError):
+            scheduler.credit_work(task, -0.5)
+
+
+class TestHistory:
+    def test_work_at_interpolates(self, setup):
+        clock, scheduler = setup
+        task = scheduler.add_task(4.0)
+        _advance(clock, scheduler, 1.0)
+        other = scheduler.add_task(math.inf)
+        _advance(clock, scheduler, 3.0)
+        # exclusive 0→1 (1.0 work), then half rate 1→3 (1.0 work).
+        assert scheduler.work_at(task, 0.5) == pytest.approx(0.5)
+        assert scheduler.work_at(task, 1.0) == pytest.approx(1.0)
+        assert scheduler.work_at(task, 2.0) == pytest.approx(1.5)
+        assert scheduler.work_at(task, 3.0) == pytest.approx(2.0)
+        assert scheduler.work_at(other, 2.0) == pytest.approx(0.5)
+
+    def test_work_at_before_submission_is_zero(self, setup):
+        clock, scheduler = setup
+        _advance(clock, scheduler, 2.0)
+        task = scheduler.add_task(1.0)
+        assert scheduler.work_at(task, 1.0) == 0.0
+
+    def test_work_at_future_rejected(self, setup):
+        clock, scheduler = setup
+        task = scheduler.add_task(1.0)
+        with pytest.raises(EngineError):
+            scheduler.work_at(task, 5.0)
+
+    def test_settle_backwards_rejected(self, setup):
+        clock, scheduler = setup
+        _advance(clock, scheduler, 5.0)
+        with pytest.raises(EngineError):
+            scheduler.advance_to(1.0)
+
+
+class TestActiveTasks:
+    def test_lists_only_running(self, setup):
+        clock, scheduler = setup
+        a = scheduler.add_task(1.0)
+        b = scheduler.add_task(math.inf)
+        c = scheduler.add_task(math.inf)
+        scheduler.cancel(c)
+        _advance(clock, scheduler, 10.0)
+        assert scheduler.active_tasks() == [b]
+
+
+@hyp_settings(max_examples=40, deadline=None)
+@given(
+    works=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=6),
+    horizon=st.floats(0.1, 30.0),
+)
+def test_conservation_property(works, horizon):
+    """Property: total service handed out equals elapsed busy time.
+
+    Processor sharing conserves capacity: the summed work done across all
+    tasks equals min(horizon, total demand) (single server, unit rate).
+    """
+    clock = VirtualClock()
+    scheduler = ProcessorSharingScheduler(clock)
+    tasks = [scheduler.add_task(w) for w in works]
+    clock.advance_to(horizon)
+    scheduler.advance_to(horizon)
+    total_done = sum(scheduler.work_done(t) for t in tasks)
+    assert total_done == pytest.approx(min(horizon, sum(works)), rel=1e-9)
+    # No task exceeds its demand, none is negative.
+    for task, work in zip(tasks, works):
+        assert -1e-12 <= scheduler.work_done(task) <= work + 1e-9
+
+
+@hyp_settings(max_examples=30, deadline=None)
+@given(
+    works=st.lists(st.floats(0.2, 3.0), min_size=2, max_size=5),
+)
+def test_equal_weight_fairness_property(works):
+    """Property: with equal weights, unfinished tasks have equal service."""
+    clock = VirtualClock()
+    scheduler = ProcessorSharingScheduler(clock)
+    tasks = [scheduler.add_task(w) for w in works]
+    horizon = min(works) / len(works) * 0.9  # before any completion
+    clock.advance_to(horizon)
+    scheduler.advance_to(horizon)
+    services = [scheduler.work_done(t) for t in tasks]
+    assert max(services) - min(services) < 1e-9

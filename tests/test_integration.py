@@ -1,0 +1,194 @@
+"""Cross-module integration tests.
+
+These exercise the complete pipeline — seed → copula scale → workflow
+generation → engine execution → metrics → reports — and assert the
+relationships that individual unit tests cannot see (e.g. progressive
+estimates converge to the blocking engine's exact answers; summary rows
+are consistent with their underlying records; the whole run is
+reproducible end to end).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    BenchmarkDriver,
+    BenchmarkSettings,
+    DataSize,
+    DetailedReport,
+    SummaryReport,
+)
+from repro.bench.experiments import ExperimentContext, MAIN_ENGINES, make_engine
+from repro.bench.report import summarize_records
+from repro.common.clock import VirtualClock, WallClock
+from repro.engines import ENGINE_REGISTRY
+from repro.workflow.spec import WorkflowType
+
+
+@pytest.fixture(scope="module")
+def small_ctx():
+    return ExperimentContext(
+        BenchmarkSettings(
+            data_size=DataSize.S, scale=10_000, workflows_per_type=2, seed=23
+        )
+    )
+
+
+class TestEngineAgreement:
+    """All engines must answer the same queries consistently."""
+
+    def test_progressive_converges_to_blocking_answer(self, small_ctx):
+        settings = small_ctx.settings.with_(time_requirement=300.0,
+                                            think_time=400.0)
+        workflows = small_ctx.workflows(WorkflowType.INDEPENDENT, 1)
+        exact = small_ctx.run("monetdb-sim", workflows, settings=settings)
+        approx = small_ctx.run("idea-sim", workflows, settings=settings)
+        assert len(exact) == len(approx)
+        for exact_record, approx_record in zip(exact, approx):
+            assert not exact_record.tr_violated
+            assert not approx_record.tr_violated
+            # With a huge TR the progressive engine finishes its scan:
+            # identical missing bins (none) and near-zero error.
+            assert approx_record.metrics.missing_bins == 0.0
+            assert approx_record.metrics.rel_error_avg == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_main_engines_run_the_same_suite(self, small_ctx):
+        workflows = small_ctx.workflows(WorkflowType.MIXED, 1)
+        counts = set()
+        for engine in MAIN_ENGINES:
+            records = small_ctx.run(engine, workflows)
+            counts.add(len(records))
+            assert all(r.driver == engine for r in records)
+        assert len(counts) == 1  # same workload → same query count
+
+
+class TestReportConsistency:
+    def test_summary_consistent_with_detail(self, small_ctx):
+        workflows = small_ctx.workflows(WorkflowType.MIXED, 2)
+        records = small_ctx.run("system-x-sim", workflows)
+        total = summarize_records(records)[-1]
+        manual_violations = 100.0 * sum(
+            r.tr_violated for r in records
+        ) / len(records)
+        assert total.pct_tr_violated == pytest.approx(manual_violations)
+        manual_missing = float(np.mean(
+            [r.metrics.missing_bins for r in records]
+        ))
+        assert total.mean_missing_bins == pytest.approx(manual_missing)
+
+    def test_detailed_report_row_count(self, small_ctx, tmp_path):
+        workflows = small_ctx.workflows(WorkflowType.MIXED, 1)
+        records = small_ctx.run("idea-sim", workflows)
+        report = DetailedReport(records)
+        path = tmp_path / "out.csv"
+        report.to_csv(path)
+        assert len(path.read_text().splitlines()) == len(records) + 1
+
+    def test_summary_renders_for_every_engine(self, small_ctx):
+        workflows = small_ctx.workflows(WorkflowType.MIXED, 1)
+        for engine in MAIN_ENGINES:
+            records = small_ctx.run(engine, workflows)
+            text = SummaryReport(records).render()
+            assert "all" in text
+
+
+class TestReproducibility:
+    def test_full_run_bit_identical(self):
+        def run_once():
+            ctx = ExperimentContext(
+                BenchmarkSettings(
+                    data_size=DataSize.S, scale=10_000,
+                    workflows_per_type=1, seed=5,
+                )
+            )
+            workflows = ctx.workflows(WorkflowType.MIXED, 1)
+            records = ctx.run("idea-sim", workflows)
+            return [
+                (r.query_id, r.start_time, r.end_time,
+                 r.metrics.bins_delivered, r.rows_processed)
+                for r in records
+            ]
+
+        assert run_once() == run_once()
+
+    def test_seed_changes_everything(self):
+        def signature(seed):
+            ctx = ExperimentContext(
+                BenchmarkSettings(
+                    data_size=DataSize.S, scale=10_000,
+                    workflows_per_type=1, seed=seed,
+                )
+            )
+            workflows = ctx.workflows(WorkflowType.MIXED, 1)
+            records = ctx.run("idea-sim", workflows)
+            return tuple(r.metrics.bins_delivered for r in records)
+
+        assert signature(1) != signature(2)
+
+
+class TestRegistry:
+    def test_registry_names_construct(self, small_ctx):
+        dataset = small_ctx.dataset(DataSize.S)
+        for name in ENGINE_REGISTRY:
+            engine = make_engine(
+                name, dataset, small_ctx.settings, VirtualClock()
+            )
+            assert engine.name == name
+
+    def test_top_level_api_surface(self):
+        import repro
+
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol), symbol
+        assert repro.__version__
+
+
+class TestWallClockSmoke:
+    """The same code paths run under real time (tiny configuration)."""
+
+    def test_blocking_engine_under_wall_clock(self, small_ctx,
+                                              carrier_count_query):
+        from repro.engines.columnstore import ColumnStoreEngine
+
+        # Huge scale → ~10k actual rows, demand far below the TR.
+        settings = BenchmarkSettings(
+            data_size=DataSize.S, scale=10_000, seed=23,
+            time_requirement=5.0,
+        )
+        dataset = small_ctx.dataset(DataSize.S)
+        clock = WallClock()
+        engine = ColumnStoreEngine(dataset, settings, clock)
+        engine.prepare()
+        handle = engine.submit(carrier_count_query)
+        deadline = clock.now() + 2.0
+        clock.advance(engine.cost_model.startup_latency + 1.0)
+        engine.advance_to(clock.now())
+        result = engine.result_at(handle, min(clock.now(), deadline))
+        assert result is not None and result.exact
+
+    def test_adapter_under_wall_clock(self, small_ctx):
+        from repro.bench.adapters import SystemAdapter
+        from repro.engines.progressive import ProgressiveEngine
+        from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
+        from repro.workflow.spec import VizSpec
+
+        settings = BenchmarkSettings(
+            data_size=DataSize.S, scale=10_000, seed=23, time_requirement=0.8,
+        )
+        engine = ProgressiveEngine(
+            small_ctx.dataset(DataSize.S), settings, WallClock()
+        )
+        engine.prepare()
+        adapter = SystemAdapter(engine)
+        adapter.workflow_start()
+        viz = VizSpec(
+            "v", "flights",
+            bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        response = adapter.process_request(viz)
+        # Real time elapsed ≈ the TR; a (possibly partial) answer exists.
+        assert response.finished_at - response.started_at <= 1.2
+        assert response.result is not None

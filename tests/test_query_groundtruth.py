@@ -1,0 +1,213 @@
+"""Tests for exact evaluation and the grouped-statistics kernel."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueryError
+from repro.data.storage import Dataset, Table
+from repro.query.filters import RangePredicate, SetPredicate
+from repro.query.groundtruth import (
+    GroundTruthOracle,
+    compute_grouped_stats,
+    evaluate_exact,
+)
+from repro.query.model import (
+    AggFunc,
+    Aggregate,
+    AggQuery,
+    BinDimension,
+    BinKind,
+)
+
+
+@pytest.fixture(scope="module")
+def toy_dataset():
+    table = Table(
+        "toy",
+        {
+            "group": np.array(["a", "a", "b", "b", "b", "c"]),
+            "value": np.array([10.0, 20.0, 1.0, 2.0, 3.0, 100.0]),
+            "weight": np.array([1, 2, 3, 4, 5, 6], dtype=np.int64),
+        },
+    )
+    return Dataset.from_table(table)
+
+
+def _query(aggregates, filter_expr=None, bins=None):
+    return AggQuery(
+        "toy",
+        bins=bins or (BinDimension("group", BinKind.NOMINAL),),
+        aggregates=aggregates,
+        filter=filter_expr,
+    )
+
+
+class TestEvaluateExact:
+    def test_count(self, toy_dataset):
+        result = evaluate_exact(toy_dataset, _query((Aggregate(AggFunc.COUNT),)))
+        assert result.values == {("a",): (2.0,), ("b",): (3.0,), ("c",): (1.0,)}
+        assert result.exact
+        assert result.fraction == 1.0
+
+    def test_sum(self, toy_dataset):
+        result = evaluate_exact(
+            toy_dataset, _query((Aggregate(AggFunc.SUM, "value"),))
+        )
+        assert result.values[("a",)] == (30.0,)
+        assert result.values[("b",)] == (6.0,)
+
+    def test_avg(self, toy_dataset):
+        result = evaluate_exact(
+            toy_dataset, _query((Aggregate(AggFunc.AVG, "value"),))
+        )
+        assert result.values[("a",)] == (15.0,)
+        assert result.values[("b",)] == (2.0,)
+
+    def test_min_max(self, toy_dataset):
+        result = evaluate_exact(
+            toy_dataset,
+            _query((Aggregate(AggFunc.MIN, "value"), Aggregate(AggFunc.MAX, "value"))),
+        )
+        assert result.values[("b",)] == (1.0, 3.0)
+
+    def test_multiple_aggregates_ordered(self, toy_dataset):
+        result = evaluate_exact(
+            toy_dataset,
+            _query((Aggregate(AggFunc.COUNT), Aggregate(AggFunc.AVG, "value"))),
+        )
+        assert result.values[("a",)] == (2.0, 15.0)
+
+    def test_filter_applies_before_grouping(self, toy_dataset):
+        result = evaluate_exact(
+            toy_dataset,
+            _query(
+                (Aggregate(AggFunc.COUNT),),
+                filter_expr=RangePredicate("value", 2.0, 50.0),
+            ),
+        )
+        assert result.values == {("a",): (2.0,), ("b",): (2.0,)}
+
+    def test_empty_filter_result(self, toy_dataset):
+        result = evaluate_exact(
+            toy_dataset,
+            _query(
+                (Aggregate(AggFunc.COUNT),),
+                filter_expr=SetPredicate("group", frozenset(["zzz"])),
+            ),
+        )
+        assert result.values == {}
+        assert result.num_bins == 0
+
+    def test_quantitative_binning(self, toy_dataset):
+        query = _query(
+            (Aggregate(AggFunc.COUNT),),
+            bins=(BinDimension("value", BinKind.QUANTITATIVE, width=10.0),),
+        )
+        result = evaluate_exact(toy_dataset, query)
+        assert result.values[(0,)] == (3.0,)   # 1.0, 2.0, 3.0
+        assert result.values[(1,)] == (1.0,)   # 10.0
+        assert result.values[(2,)] == (1.0,)   # 20.0
+        assert result.values[(10,)] == (1.0,)  # 100.0
+
+    def test_unresolved_query_rejected(self, toy_dataset):
+        query = _query(
+            (Aggregate(AggFunc.COUNT),),
+            bins=(BinDimension("value", BinKind.QUANTITATIVE, bin_count=3),),
+        )
+        with pytest.raises(QueryError):
+            evaluate_exact(toy_dataset, query)
+
+
+class TestGroupedStatsOnSubset:
+    def test_subset_stats(self, toy_dataset):
+        stats = compute_grouped_stats(
+            toy_dataset,
+            _query((Aggregate(AggFunc.SUM, "value"),)),
+            row_indices=np.array([0, 2, 3]),
+        )
+        keys = dict(zip([k[0] for k in stats.keys], range(stats.num_groups)))
+        assert stats.counts[keys["a"]] == 1
+        assert stats.counts[keys["b"]] == 2
+        assert stats.sums[0][keys["b"]] == pytest.approx(3.0)
+        assert stats.rows_scanned == 3
+
+    def test_sumsq_and_extrema(self, toy_dataset):
+        stats = compute_grouped_stats(
+            toy_dataset, _query((Aggregate(AggFunc.AVG, "value"),))
+        )
+        keys = {k[0]: g for g, k in enumerate(stats.keys)}
+        b = keys["b"]
+        assert stats.sumsqs[0][b] == pytest.approx(1.0 + 4.0 + 9.0)
+        assert stats.mins[0][b] == 1.0
+        assert stats.maxs[0][b] == 3.0
+
+    def test_count_aggregate_has_no_moment_arrays(self, toy_dataset):
+        stats = compute_grouped_stats(
+            toy_dataset, _query((Aggregate(AggFunc.COUNT),))
+        )
+        assert stats.sums == {}
+
+    def test_empty_subset(self, toy_dataset):
+        stats = compute_grouped_stats(
+            toy_dataset,
+            _query((Aggregate(AggFunc.COUNT),)),
+            row_indices=np.array([], dtype=np.int64),
+        )
+        assert stats.num_groups == 0
+        assert stats.rows_aggregated == 0
+
+
+class TestAgainstNumpyReference:
+    """Cross-check the kernel against a brute-force reference on real data."""
+
+    def test_matches_brute_force(self, flights_dataset, flights_table):
+        query = AggQuery(
+            "flights",
+            bins=(
+                BinDimension("DEP_DELAY", BinKind.QUANTITATIVE, width=25.0),
+                BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),
+            ),
+            aggregates=(Aggregate(AggFunc.COUNT), Aggregate(AggFunc.AVG, "DISTANCE")),
+            filter=RangePredicate("AIR_TIME", 30, 200),
+        )
+        result = evaluate_exact(flights_dataset, query)
+
+        mask = (flights_table["AIR_TIME"] >= 30) & (flights_table["AIR_TIME"] < 200)
+        delays = flights_table["DEP_DELAY"][mask]
+        carriers = flights_table["UNIQUE_CARRIER"][mask]
+        distances = flights_table["DISTANCE"][mask]
+        expected = {}
+        for delay, carrier, distance in zip(delays, carriers, distances):
+            key = (int(np.floor(delay / 25.0)), str(carrier))
+            count, total = expected.get(key, (0, 0.0))
+            expected[key] = (count + 1, total + float(distance))
+        assert set(result.values) == set(expected)
+        for key, (count, total) in expected.items():
+            got_count, got_avg = result.values[key]
+            assert got_count == count
+            assert got_avg == pytest.approx(total / count)
+
+
+class TestOracle:
+    def test_caches_answers(self, toy_dataset):
+        oracle = GroundTruthOracle(toy_dataset)
+        query = _query((Aggregate(AggFunc.COUNT),))
+        first = oracle.answer(query)
+        second = oracle.answer(query)
+        assert first is second
+        assert oracle.hits == 1
+        assert oracle.misses == 1
+
+    def test_structurally_equal_queries_share_cache(self, toy_dataset):
+        oracle = GroundTruthOracle(toy_dataset)
+        oracle.answer(_query((Aggregate(AggFunc.COUNT),)))
+        oracle.answer(_query((Aggregate(AggFunc.COUNT),)))
+        assert oracle.hits == 1
+
+    def test_clear(self, toy_dataset):
+        oracle = GroundTruthOracle(toy_dataset)
+        oracle.answer(_query((Aggregate(AggFunc.COUNT),)))
+        oracle.clear()
+        assert oracle.hits == 0 and oracle.misses == 0
+        oracle.answer(_query((Aggregate(AggFunc.COUNT),)))
+        assert oracle.misses == 1

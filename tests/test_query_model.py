@@ -1,0 +1,180 @@
+"""Tests for the query model (AggQuery, BinDimension, Aggregate, results)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.data.schema import profile_table
+from repro.query.filters import RangePredicate
+from repro.query.model import (
+    AggFunc,
+    Aggregate,
+    AggQuery,
+    BinDimension,
+    BinKind,
+    QueryResult,
+    make_count_query,
+    resolve_query,
+)
+
+
+class TestBinDimension:
+    def test_width_based_is_resolved(self):
+        dim = BinDimension("v", BinKind.QUANTITATIVE, width=10.0, reference=5.0)
+        assert dim.is_resolved
+        assert dim.bin_interval(0) == (5.0, 15.0)
+        assert dim.bin_interval(-1) == (-5.0, 5.0)
+
+    def test_bin_count_is_unresolved(self):
+        dim = BinDimension("v", BinKind.QUANTITATIVE, bin_count=10)
+        assert not dim.is_resolved
+
+    def test_resolution(self):
+        dim = BinDimension("v", BinKind.QUANTITATIVE, bin_count=10)
+        resolved = dim.resolved(0.0, 100.0)
+        assert resolved.width == pytest.approx(10.0)
+        assert resolved.reference == 0.0
+        assert resolved.is_resolved
+
+    def test_resolution_of_degenerate_range(self):
+        dim = BinDimension("v", BinKind.QUANTITATIVE, bin_count=4)
+        resolved = dim.resolved(5.0, 5.0)
+        assert resolved.width > 0
+
+    def test_nominal_is_always_resolved(self):
+        dim = BinDimension("c", BinKind.NOMINAL)
+        assert dim.is_resolved
+
+    def test_nominal_has_no_intervals(self):
+        with pytest.raises(QueryError):
+            BinDimension("c", BinKind.NOMINAL).bin_interval(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind=BinKind.QUANTITATIVE),                      # no width/count
+        dict(kind=BinKind.QUANTITATIVE, width=0.0),           # zero width
+        dict(kind=BinKind.QUANTITATIVE, width=-1.0),          # negative width
+        dict(kind=BinKind.QUANTITATIVE, bin_count=0),         # zero bins
+        dict(kind=BinKind.NOMINAL, width=1.0),                # nominal + width
+        dict(kind=BinKind.NOMINAL, bin_count=5),              # nominal + count
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(QueryError):
+            BinDimension("v", **kwargs)
+
+    def test_dict_round_trip(self):
+        for dim in (
+            BinDimension("v", BinKind.QUANTITATIVE, width=2.5, reference=-10.0),
+            BinDimension("v", BinKind.QUANTITATIVE, bin_count=25),
+            BinDimension("c", BinKind.NOMINAL),
+        ):
+            assert BinDimension.from_dict(dim.to_dict()) == dim
+
+
+class TestAggregate:
+    def test_count_takes_no_field(self):
+        assert Aggregate(AggFunc.COUNT).label == "count"
+        with pytest.raises(QueryError):
+            Aggregate(AggFunc.COUNT, "v")
+
+    def test_others_require_field(self):
+        assert Aggregate(AggFunc.AVG, "x").label == "avg_x"
+        with pytest.raises(QueryError):
+            Aggregate(AggFunc.SUM)
+
+    def test_dict_round_trip(self):
+        for agg in (Aggregate(AggFunc.COUNT), Aggregate(AggFunc.MAX, "v")):
+            assert Aggregate.from_dict(agg.to_dict()) == agg
+
+
+class TestAggQuery:
+    def test_basic_properties(self, carrier_count_query):
+        assert carrier_count_query.num_bin_dims == 1
+        assert carrier_count_query.agg_type == "count"
+        assert carrier_count_query.binning_types == ("nominal",)
+        assert carrier_count_query.is_resolved
+
+    def test_referenced_columns_deduplicated(self):
+        query = AggQuery(
+            "t",
+            bins=(BinDimension("a", BinKind.QUANTITATIVE, width=1.0),),
+            aggregates=(Aggregate(AggFunc.AVG, "a"), Aggregate(AggFunc.COUNT)),
+            filter=RangePredicate("b", 0, 1),
+        )
+        assert query.referenced_columns() == ("a", "b")
+
+    def test_requires_bins_and_aggregates(self):
+        with pytest.raises(QueryError):
+            AggQuery("t", bins=(), aggregates=(Aggregate(AggFunc.COUNT),))
+        with pytest.raises(QueryError):
+            AggQuery(
+                "t",
+                bins=(BinDimension("c", BinKind.NOMINAL),),
+                aggregates=(),
+            )
+
+    def test_rejects_three_dimensions(self):
+        dims = tuple(
+            BinDimension(name, BinKind.QUANTITATIVE, width=1.0)
+            for name in "abc"
+        )
+        with pytest.raises(QueryError):
+            AggQuery("t", bins=dims, aggregates=(Aggregate(AggFunc.COUNT),))
+
+    def test_rejects_duplicate_bin_fields(self):
+        dims = (
+            BinDimension("a", BinKind.QUANTITATIVE, width=1.0),
+            BinDimension("a", BinKind.QUANTITATIVE, width=2.0),
+        )
+        with pytest.raises(QueryError):
+            AggQuery("t", bins=dims, aggregates=(Aggregate(AggFunc.COUNT),))
+
+    def test_hashable_and_json_round_trip(self, delay_avg_query):
+        payload = json.dumps(delay_avg_query.to_dict())
+        assert AggQuery.from_dict(json.loads(payload)) == delay_avg_query
+        assert hash(delay_avg_query) == hash(AggQuery.from_dict(json.loads(payload)))
+
+    def test_make_count_query(self):
+        query = make_count_query("t", BinDimension("c", BinKind.NOMINAL))
+        assert query.aggregates == (Aggregate(AggFunc.COUNT),)
+
+
+class TestResolveQuery:
+    def test_resolves_bin_count_against_profiles(self, flights_table):
+        profiles = profile_table(flights_table)
+        query = AggQuery(
+            "flights",
+            bins=(BinDimension("DISTANCE", BinKind.QUANTITATIVE, bin_count=20),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        resolved = resolve_query(query, profiles)
+        assert resolved.is_resolved
+        dim = resolved.bins[0]
+        assert dim.reference == profiles["DISTANCE"].minimum
+        assert dim.width == pytest.approx(profiles["DISTANCE"].span / 20)
+
+    def test_resolved_query_passes_through(self, carrier_count_query):
+        assert resolve_query(carrier_count_query, {}) is carrier_count_query
+
+    def test_missing_profile_rejected(self):
+        query = AggQuery(
+            "t",
+            bins=(BinDimension("ghost", BinKind.QUANTITATIVE, bin_count=5),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        with pytest.raises(QueryError):
+            resolve_query(query, {})
+
+
+class TestQueryResult:
+    def test_accessors(self, carrier_count_query):
+        result = QueryResult(
+            query=carrier_count_query,
+            values={("AA",): (10.0,), ("BB",): (5.0,)},
+            rows_processed=100,
+            fraction=0.5,
+        )
+        assert result.num_bins == 2
+        assert result.value_of(("AA",)) == 10.0
+        with pytest.raises(KeyError):
+            result.value_of(("ZZ",))

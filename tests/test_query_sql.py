@@ -1,0 +1,205 @@
+"""Tests for SQL generation and the round-trip parser (paper Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.common.errors import QueryError, SQLParseError
+from repro.data.normalize import FLIGHTS_STAR_SPEC, normalize
+from repro.query.filters import (
+    And,
+    Comparison,
+    Or,
+    RangePredicate,
+    SetPredicate,
+    evaluate_filter,
+)
+from repro.query.model import AggFunc, Aggregate, AggQuery, BinDimension, BinKind
+from repro.query.sql import query_to_sql
+from repro.query.sql_parser import parse_sql, tokenize
+
+
+def _mixed_query(filter_expr=None):
+    return AggQuery(
+        "flights",
+        bins=(
+            BinDimension("DEP_DELAY", BinKind.QUANTITATIVE, width=10.0),
+            BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),
+        ),
+        aggregates=(Aggregate(AggFunc.COUNT), Aggregate(AggFunc.AVG, "ARR_DELAY")),
+        filter=filter_expr,
+    )
+
+
+class TestGeneration:
+    def test_basic_shape(self):
+        sql = query_to_sql(_mixed_query())
+        assert sql.startswith("SELECT ")
+        assert "FLOOR((DEP_DELAY - 0) / 10) AS bin_0" in sql
+        assert "UNIQUE_CARRIER AS bin_1" in sql
+        assert "COUNT(*) AS count" in sql
+        assert "AVG(ARR_DELAY) AS avg_ARR_DELAY" in sql
+        assert sql.rstrip().endswith("GROUP BY bin_0, bin_1")
+        assert "WHERE" not in sql
+
+    def test_filter_rendering(self):
+        sql = query_to_sql(
+            _mixed_query(
+                And(
+                    RangePredicate("DISTANCE", 100, 500),
+                    SetPredicate("ORIGIN_STATE", frozenset(["CA", "NY"])),
+                    Comparison("MONTH", "!=", 6),
+                )
+            )
+        )
+        assert "(DISTANCE >= 100 AND DISTANCE < 500)" in sql
+        assert "ORIGIN_STATE IN ('CA', 'NY')" in sql
+        assert "MONTH != 6" in sql
+
+    def test_string_literal_escaping(self):
+        query = AggQuery(
+            "t",
+            bins=(BinDimension("c", BinKind.NOMINAL),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+            filter=Comparison("c", "=", "O'Hare"),
+        )
+        sql = query_to_sql(query)
+        assert "'O''Hare'" in sql
+
+    def test_unresolved_query_rejected(self):
+        query = AggQuery(
+            "t",
+            bins=(BinDimension("v", BinKind.QUANTITATIVE, bin_count=5),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        with pytest.raises(QueryError):
+            query_to_sql(query)
+
+    def test_normalized_emits_joins(self, flights_table):
+        star = normalize(flights_table, FLIGHTS_STAR_SPEC)
+        sql = query_to_sql(_mixed_query(), star)
+        assert "FROM flights_fact" in sql
+        assert "JOIN carriers AS t_carrier_key" in sql
+        assert "t_carrier_key.code AS bin_1" in sql
+
+    def test_normalized_without_dim_columns_has_no_joins(self, flights_table):
+        star = normalize(flights_table, FLIGHTS_STAR_SPEC)
+        query = AggQuery(
+            "flights",
+            bins=(BinDimension("DEP_DELAY", BinKind.QUANTITATIVE, width=10.0),),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        assert "JOIN" not in query_to_sql(query, star)
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select x froM t")
+        assert tokens[0].kind == "keyword" and tokens[0].text == "SELECT"
+        assert tokens[2].kind == "keyword" and tokens[2].text == "FROM"
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize("-1.5e3 'it''s'")
+        assert tokens[0].kind == "number"
+        assert tokens[1].kind == "string"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT @")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("filter_expr", [
+        None,
+        RangePredicate("DISTANCE", 100.0, 500.0),
+        SetPredicate("ORIGIN_STATE", frozenset(["CA", "NY", "TX"])),
+        Comparison("MONTH", "=", 6.0),
+        Comparison("UNIQUE_CARRIER", "!=", "AA"),
+        And(RangePredicate("DISTANCE", 0.0, 10.0),
+            SetPredicate("ORIGIN", frozenset(["AAA"]))),
+        Or(Comparison("MONTH", "=", 1.0), Comparison("MONTH", "=", 2.0)),
+        And(Or(Comparison("MONTH", "=", 1.0), Comparison("MONTH", "=", 2.0)),
+            RangePredicate("DISTANCE", 5.0, 6.0)),
+    ])
+    def test_structural_round_trip(self, filter_expr):
+        query = _mixed_query(filter_expr)
+        assert parse_sql(query_to_sql(query)) == query
+
+    def test_normalized_round_trip(self, flights_table):
+        star = normalize(flights_table, FLIGHTS_STAR_SPEC)
+        query = _mixed_query(
+            And(
+                RangePredicate("DISTANCE", 100.0, 1000.0),
+                SetPredicate("ORIGIN_STATE", frozenset(["CA"])),
+            )
+        )
+        assert parse_sql(query_to_sql(query, star), star) == query
+
+    def test_single_aggregate_functions(self):
+        for func in (AggFunc.SUM, AggFunc.MIN, AggFunc.MAX, AggFunc.AVG):
+            query = AggQuery(
+                "flights",
+                bins=(BinDimension("UNIQUE_CARRIER", BinKind.NOMINAL),),
+                aggregates=(Aggregate(func, "DISTANCE"),),
+            )
+            assert parse_sql(query_to_sql(query)) == query
+
+    def test_semantic_round_trip_on_data(self, flights_table):
+        """Parsed filters select exactly the same rows as the originals."""
+        filters = [
+            RangePredicate("DEP_DELAY", -5.0, 60.0),
+            And(RangePredicate("DISTANCE", 200.0, 900.0),
+                SetPredicate("DEST_STATE", frozenset(["CA", "WA"]))),
+        ]
+        for filter_expr in filters:
+            query = _mixed_query(filter_expr)
+            parsed = parse_sql(query_to_sql(query))
+            original_mask = evaluate_filter(
+                query.filter, flights_table.__getitem__, flights_table.num_rows
+            )
+            parsed_mask = evaluate_filter(
+                parsed.filter, flights_table.__getitem__, flights_table.num_rows
+            )
+            assert np.array_equal(original_mask, parsed_mask)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("sql", [
+        "",                                            # empty
+        "SELECT COUNT(*) AS count FROM t",             # no GROUP BY
+        "SELECT c AS bin_0 FROM t GROUP BY bin_0",     # no aggregate
+        "SELECT COUNT(*) AS count FROM t GROUP BY ghost",  # unknown label
+        "SELECT c AS bin_0, COUNT(*) AS count FROM t GROUP BY count",  # agg label
+        "SELECT c AS bin_0, COUNT(*) AS count FROM t GROUP BY bin_0 EXTRA",
+    ])
+    def test_rejects_malformed(self, sql):
+        with pytest.raises(SQLParseError):
+            parse_sql(sql)
+
+    def test_duplicate_labels_rejected(self):
+        sql = "SELECT a AS bin_0, b AS bin_0, COUNT(*) AS count FROM t GROUP BY bin_0"
+        with pytest.raises(SQLParseError):
+            parse_sql(sql)
+
+
+@hyp_settings(max_examples=40, deadline=None)
+@given(
+    width=st.floats(0.5, 1000),
+    reference=st.floats(-1000, 1000),
+    low=st.floats(-100, 100),
+    span=st.floats(0.1, 100),
+)
+def test_numeric_round_trip_property(width, reference, low, span):
+    """Property: widths/references/bounds survive SQL formatting exactly
+    enough that the parsed query equals the original."""
+    query = AggQuery(
+        "t",
+        bins=(BinDimension("v", BinKind.QUANTITATIVE,
+                           width=float(width), reference=float(reference)),),
+        aggregates=(Aggregate(AggFunc.COUNT),),
+        filter=RangePredicate("w", float(low), float(low + span)),
+    )
+    parsed = parse_sql(query_to_sql(query))
+    assert parsed.bins[0].width == pytest.approx(width, rel=1e-12)
+    assert parsed.bins[0].reference == pytest.approx(reference, rel=1e-12)
+    assert parsed.filter.low == pytest.approx(low, rel=1e-12)

@@ -1,0 +1,81 @@
+"""Tests for WorkloadConfig serialization and the CLI --config path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import WorkflowError
+from repro.workflow.generator import WorkflowGenerator, WorkloadConfig
+from repro.workflow.spec import Workflow, WorkflowType
+
+
+class TestConfigRoundTrip:
+    def test_default_round_trips(self):
+        config = WorkloadConfig()
+        assert WorkloadConfig.from_dict(config.to_dict()) == config
+
+    def test_custom_round_trips(self):
+        config = WorkloadConfig(
+            interactions_min=5,
+            interactions_max=8,
+            two_dim_probability=0.5,
+            agg_distribution=(("count", 1.0),),
+            filter_selectivity_range=(0.1, 0.2),
+        )
+        assert WorkloadConfig.from_dict(config.to_dict()) == config
+
+    def test_json_file_round_trip(self, tmp_path):
+        config = WorkloadConfig(max_vizs=4, max_fanout=3)
+        path = tmp_path / "config.json"
+        config.to_json(path)
+        assert WorkloadConfig.from_json(path) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(WorkflowError, match="unknown"):
+            WorkloadConfig.from_dict({"supercharged": True})
+
+    def test_validation_applies_on_load(self):
+        data = WorkloadConfig().to_dict()
+        data["interactions_min"] = 0
+        with pytest.raises(WorkflowError):
+            WorkloadConfig.from_dict(data)
+
+    def test_loaded_config_drives_generator(self, flights_profiles, tmp_path):
+        config = WorkloadConfig(
+            interactions_min=4, interactions_max=5,
+            agg_distribution=(("count", 1.0),),
+        )
+        path = tmp_path / "config.json"
+        config.to_json(path)
+        loaded = WorkloadConfig.from_json(path)
+        generator = WorkflowGenerator(
+            flights_profiles, "flights", config=loaded, seed=3
+        )
+        workflow = generator.generate(WorkflowType.INDEPENDENT, 0)
+        assert 4 <= workflow.num_interactions <= 5
+
+
+class TestCliConfig:
+    def test_generate_workflows_with_config(self, tmp_path):
+        config_path = tmp_path / "config.json"
+        WorkloadConfig(interactions_min=4, interactions_max=4).to_json(config_path)
+        out = tmp_path / "suite"
+        code = main([
+            "generate-workflows", "--out", str(out), "--per-type", "1",
+            "--config", str(config_path), "--scale", "5000", "--size", "S",
+            "--seed", "3",
+        ])
+        assert code == 0
+        for path in sorted(out.glob("*.json")):
+            workflow = Workflow.from_json(path)
+            assert workflow.num_interactions == 4
+
+    def test_run_with_cdf_flag(self, tmp_path, capsys):
+        code = main([
+            "run", "--engine", "idea-sim", "--tr", "1", "--scale", "5000",
+            "--size", "S", "--per-type", "1", "--seed", "3", "--cdf",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "CDF of mean relative errors" in stdout

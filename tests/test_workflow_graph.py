@@ -1,0 +1,202 @@
+"""Tests for the visualization dependency graph (§2.2/§4.4 semantics)."""
+
+import pytest
+
+from repro.common.errors import WorkflowError
+from repro.query.filters import (
+    And,
+    Comparison,
+    Or,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
+from repro.workflow.graph import VizGraph, VizNode
+from repro.workflow.spec import (
+    CreateViz,
+    DiscardViz,
+    Link,
+    SelectBins,
+    SetFilter,
+    VizSpec,
+)
+
+
+def _viz(name, field="DEP_DELAY", nominal=False):
+    if nominal:
+        bins = (BinDimension(field, BinKind.NOMINAL),)
+    else:
+        bins = (BinDimension(field, BinKind.QUANTITATIVE, width=10.0),)
+    return VizSpec(name=name, source="flights", bins=bins,
+                   aggregates=(Aggregate(AggFunc.COUNT),))
+
+
+@pytest.fixture
+def graph():
+    g = VizGraph()
+    g.apply(CreateViz(_viz("a", "UNIQUE_CARRIER", nominal=True)))
+    g.apply(CreateViz(_viz("b", "DEP_DELAY")))
+    g.apply(CreateViz(_viz("c", "DISTANCE")))
+    return g
+
+
+class TestStructure:
+    def test_create_affects_itself(self):
+        g = VizGraph()
+        applied = g.apply(CreateViz(_viz("x")))
+        assert applied.affected == ("x",)
+        assert "x" in g
+
+    def test_duplicate_create_rejected(self, graph):
+        with pytest.raises(WorkflowError):
+            graph.apply(CreateViz(_viz("a")))
+
+    def test_unknown_viz_rejected(self, graph):
+        with pytest.raises(WorkflowError):
+            graph.apply(SetFilter("ghost", None))
+
+    def test_link_and_descendants(self, graph):
+        graph.apply(Link("a", "b"))
+        graph.apply(Link("b", "c"))
+        assert graph.children("a") == ["b"]
+        assert graph.parents("c") == ["b"]
+        assert graph.descendants("a") == ["b", "c"]
+
+    def test_self_link_rejected(self, graph):
+        with pytest.raises(WorkflowError):
+            graph.apply(Link("a", "a"))
+
+    def test_duplicate_link_rejected(self, graph):
+        graph.apply(Link("a", "b"))
+        with pytest.raises(WorkflowError):
+            graph.apply(Link("a", "b"))
+
+    def test_cycle_rejected(self, graph):
+        graph.apply(Link("a", "b"))
+        graph.apply(Link("b", "c"))
+        with pytest.raises(WorkflowError, match="cycle"):
+            graph.apply(Link("c", "a"))
+
+    def test_discard_removes_node_and_links(self, graph):
+        graph.apply(Link("a", "b"))
+        applied = graph.apply(DiscardViz("a"))
+        assert "a" not in graph
+        assert graph.parents("b") == []
+        assert applied.removed == ("a",)
+        assert applied.affected == ("b",)  # b lost an input → refresh
+
+
+class TestUpdateSemantics:
+    """Filters update source + descendants; selections only descendants."""
+
+    def test_filter_affects_source_and_descendants(self, graph):
+        graph.apply(Link("a", "b"))
+        graph.apply(Link("b", "c"))
+        applied = graph.apply(SetFilter("a", Comparison("MONTH", "=", 1)))
+        assert applied.affected == ("a", "b", "c")
+
+    def test_selection_affects_descendants_only(self, graph):
+        graph.apply(Link("a", "b"))
+        applied = graph.apply(SelectBins("a", (("AA",),)))
+        assert applied.affected == ("b",)
+
+    def test_selection_without_links_affects_nothing(self, graph):
+        applied = graph.apply(SelectBins("a", (("AA",),)))
+        assert applied.affected == ()
+
+    def test_one_to_n_fanout(self, graph):
+        graph.apply(Link("a", "b"))
+        graph.apply(Link("a", "c"))
+        applied = graph.apply(SelectBins("a", (("AA",),)))
+        assert set(applied.affected) == {"b", "c"}
+
+    def test_n_to_one_single_query(self, graph):
+        graph.apply(Link("b", "a"))
+        graph.apply(Link("c", "a"))
+        applied = graph.apply(SelectBins("b", ((1,),)))
+        assert applied.affected == ("a",)
+
+    def test_link_triggers_target_refresh(self, graph):
+        applied = graph.apply(Link("a", "b"))
+        assert applied.affected == ("b",)
+
+
+class TestEffectiveFilter:
+    def test_own_filter_only(self, graph):
+        predicate = Comparison("MONTH", "=", 3)
+        graph.apply(SetFilter("b", predicate))
+        assert graph.effective_filter("b") == predicate
+
+    def test_clearing_filter(self, graph):
+        graph.apply(SetFilter("b", Comparison("MONTH", "=", 3)))
+        graph.apply(SetFilter("b", None))
+        assert graph.effective_filter("b") is None
+
+    def test_selection_propagates_to_target(self, graph):
+        graph.apply(Link("a", "b"))
+        graph.apply(SelectBins("a", (("AA",), ("BB",))))
+        effective = graph.effective_filter("b")
+        assert effective == SetPredicate("UNIQUE_CARRIER", frozenset(["AA", "BB"]))
+
+    def test_upstream_filter_propagates(self, graph):
+        graph.apply(Link("a", "b"))
+        predicate = Comparison("MONTH", "=", 7)
+        graph.apply(SetFilter("a", predicate))
+        assert graph.effective_filter("b") == predicate
+
+    def test_chain_composition(self, graph):
+        graph.apply(Link("a", "b"))
+        graph.apply(Link("b", "c"))
+        graph.apply(SetFilter("a", Comparison("MONTH", "=", 1)))
+        graph.apply(SelectBins("b", ((2,),)))
+        effective = graph.effective_filter("c")
+        assert isinstance(effective, And)
+        # contains both the b-selection range and a's filter
+        fields = effective.fields()
+        assert "DEP_DELAY" in fields and "MONTH" in fields
+
+    def test_query_for_composes_spec_and_filter(self, graph):
+        graph.apply(SetFilter("c", RangePredicate("DISTANCE", 0, 100)))
+        query = graph.query_for("c")
+        assert query.filter == RangePredicate("DISTANCE", 0, 100)
+        assert query.bins[0].field == "DISTANCE"
+
+
+class TestSelectionFilters:
+    def test_nominal_1d_collapses_to_set(self):
+        node = VizNode(spec=_viz("v", "ORIGIN", nominal=True),
+                       selection=(("AAA",), ("BBB",)))
+        assert node.selection_filter() == SetPredicate(
+            "ORIGIN", frozenset(["AAA", "BBB"])
+        )
+
+    def test_quantitative_selection_becomes_ranges(self):
+        node = VizNode(spec=_viz("v", "DEP_DELAY"), selection=((0,), (2,)))
+        selection = node.selection_filter()
+        assert isinstance(selection, Or)
+        assert RangePredicate("DEP_DELAY", 0.0, 10.0) in selection.children
+        assert RangePredicate("DEP_DELAY", 20.0, 30.0) in selection.children
+
+    def test_2d_selection_conjunction(self):
+        spec = VizSpec(
+            "v", "flights",
+            bins=(
+                BinDimension("DEP_DELAY", BinKind.QUANTITATIVE, width=10.0),
+                BinDimension("ORIGIN", BinKind.NOMINAL),
+            ),
+            aggregates=(Aggregate(AggFunc.COUNT),),
+        )
+        node = VizNode(spec=spec, selection=((1, "AAA"),))
+        selection = node.selection_filter()
+        assert isinstance(selection, And)
+        assert RangePredicate("DEP_DELAY", 10.0, 20.0) in selection.children
+        assert Comparison("ORIGIN", "=", "AAA") in selection.children
+
+    def test_empty_selection_is_none(self):
+        node = VizNode(spec=_viz("v"))
+        assert node.selection_filter() is None
+
+    def test_mismatched_key_arity_rejected(self):
+        node = VizNode(spec=_viz("v"), selection=((1, 2),))
+        with pytest.raises(WorkflowError):
+            node.selection_filter()

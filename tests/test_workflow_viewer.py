@@ -1,0 +1,40 @@
+"""Tests for the terminal workflow viewer."""
+
+import pytest
+
+from repro.workflow.generator import WorkflowGenerator
+from repro.workflow.spec import WorkflowType
+from repro.workflow.viewer import render_workflow
+
+
+@pytest.fixture(scope="module")
+def workflow(flights_profiles):
+    return WorkflowGenerator(flights_profiles, "flights", seed=4).generate(
+        WorkflowType.ONE_TO_N, 0
+    )
+
+
+class TestRenderWorkflow:
+    def test_contains_header_and_interactions(self, workflow):
+        text = render_workflow(workflow)
+        assert workflow.name in text
+        assert "final dashboard" in text
+        # every interaction index appears
+        for index in range(workflow.num_interactions):
+            assert f"{index:3d}. " in text
+
+    def test_reports_query_counts(self, workflow):
+        text = render_workflow(workflow)
+        assert "quer" in text  # "[1 query]" / "[N queries]"
+
+    def test_sql_mode_emits_statements(self, workflow):
+        text = render_workflow(workflow, show_sql=True, max_sql=3)
+        assert "SELECT" in text
+        assert "GROUP BY" in text
+
+    def test_sql_cap_respected(self, workflow):
+        text = render_workflow(workflow, show_sql=True, max_sql=1)
+        assert text.count("GROUP BY") == 1
+
+    def test_render_is_deterministic(self, workflow):
+        assert render_workflow(workflow) == render_workflow(workflow)
