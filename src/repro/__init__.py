@@ -24,7 +24,8 @@ Subpackages: :mod:`repro.common` (settings, clocks, RNG),
 :mod:`repro.query` (query model, ground truth, SQL), :mod:`repro.workflow`
 (interaction specs, viz graph, generator), :mod:`repro.engines` (the five
 systems under test), :mod:`repro.bench` (driver, metrics, reports,
-experiments).
+experiments), :mod:`repro.runtime` (parallel run-matrix planner/executor
+with persistent artifact caching and resumption).
 """
 
 from repro.bench import (
@@ -57,6 +58,13 @@ from repro.query import (
     parse_sql,
     query_to_sql,
 )
+from repro.runtime import (
+    ArtifactStore,
+    MatrixExecutor,
+    RunSpec,
+    WorkflowSelector,
+    plan_matrix,
+)
 from repro.workflow import (
     Workflow,
     WorkflowGenerator,
@@ -71,6 +79,7 @@ __all__ = [
     "AggFunc",
     "Aggregate",
     "AggQuery",
+    "ArtifactStore",
     "BenchmarkDriver",
     "BenchmarkSettings",
     "BinDimension",
@@ -79,8 +88,10 @@ __all__ = [
     "Dataset",
     "DetailedReport",
     "GroundTruthOracle",
+    "MatrixExecutor",
     "QueryRecord",
     "QueryResult",
+    "RunSpec",
     "SummaryReport",
     "SystemAdapter",
     "Table",
@@ -88,6 +99,7 @@ __all__ = [
     "WallClock",
     "Workflow",
     "WorkflowGenerator",
+    "WorkflowSelector",
     "WorkflowType",
     "__version__",
     "compute_metrics",
@@ -97,6 +109,7 @@ __all__ = [
     "generate_flights_seed",
     "normalize",
     "parse_sql",
+    "plan_matrix",
     "profile_table",
     "query_to_sql",
     "render_workflow",

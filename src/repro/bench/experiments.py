@@ -20,8 +20,16 @@ Each ``exp_*`` function reproduces one evaluation artifact:
 ==============  ============================================================
 
 :class:`ExperimentContext` caches datasets, oracles, profiles and workflow
-suites so parameter sweeps do not regenerate shared state. All functions
-are deterministic given the context's seed.
+suites so parameter sweeps do not regenerate shared state; with an
+:class:`~repro.runtime.store.ArtifactStore` those artifacts additionally
+persist on disk and are shared across worker processes and runs. All
+functions are deterministic given the context's seed.
+
+Every ``exp_*`` function *plans* its cells through
+:mod:`repro.runtime.planner` and executes them via the context's
+:class:`~repro.runtime.executor.MatrixExecutor` — serial and in-process by
+default (``jobs=1``), sharded across worker processes when the context is
+built with ``jobs=N``. Cell results are identical either way.
 """
 
 from __future__ import annotations
@@ -54,6 +62,18 @@ from repro.engines import (
 )
 from repro.query.groundtruth import GroundTruthOracle
 from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
+from repro.runtime.executor import CellResult, MatrixExecutor
+from repro.runtime.planner import (
+    plan_detailed_table,
+    plan_overall,
+    plan_prep_times,
+    plan_schema,
+    plan_system_y,
+    plan_think_time,
+    plan_workflow_types,
+)
+from repro.runtime.spec import RunSpec
+from repro.runtime.store import ArtifactStore
 from repro.workflow.generator import WorkflowGenerator, WorkloadConfig
 from repro.workflow.spec import (
     CreateViz,
@@ -93,10 +113,27 @@ def make_engine(
 
 
 class ExperimentContext:
-    """Caches data, oracles and workload suites across experiment calls."""
+    """Caches data, oracles and workload suites across experiment calls.
 
-    def __init__(self, settings: Optional[BenchmarkSettings] = None):
+    With ``store`` the expensive artifacts (scaled tables, normalized
+    datasets, workflow suites, exact ground-truth answers) additionally
+    persist on disk, keyed by their build inputs — so worker processes and
+    later runs rebuild nothing. ``jobs`` selects how many worker processes
+    the context's :class:`MatrixExecutor` shards planned cells across.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[BenchmarkSettings] = None,
+        store: Optional[ArtifactStore] = None,
+        jobs: int = 1,
+        reuse_results: bool = True,
+    ):
         self.settings = settings if settings is not None else BenchmarkSettings()
+        self.store = store
+        self.runtime = MatrixExecutor(
+            jobs=jobs, store=store, reuse_results=reuse_results, local_context=self
+        )
         self._seed_table: Optional[Table] = None
         self._scaler: Optional[CopulaScaler] = None
         self._tables: Dict[DataSize, Table] = {}
@@ -104,6 +141,23 @@ class ExperimentContext:
         self._oracles: Dict[Tuple[DataSize, bool], GroundTruthOracle] = {}
         self._profiles: Dict[DataSize, Dict[str, ColumnProfile]] = {}
         self._suites: Dict[Tuple[DataSize, WorkflowType, int], List[Workflow]] = {}
+
+    # -- artifact keys ---------------------------------------------------
+    def _table_key(self, size: DataSize) -> tuple:
+        rows = self.settings.with_(data_size=size).actual_rows
+        return (
+            "scaled-table",
+            self.settings.dataset,
+            self.settings.seed,
+            SEED_ROWS,
+            size.name,
+            rows,
+        )
+
+    def _artifact(self, key: tuple, build):
+        if self.store is None:
+            return build()
+        return self.store.get_or_create(key, build)
 
     # -- data ----------------------------------------------------------
     @property
@@ -126,23 +180,37 @@ class ExperimentContext:
         """The scaled flat table for ``size`` (copula-generated, cached)."""
         if size not in self._tables:
             rows = self.settings.with_(data_size=size).actual_rows
-            self._tables[size] = self.scaler.generate(rows, stream=size.name)
+            self._tables[size] = self._artifact(
+                self._table_key(size),
+                lambda: self.scaler.generate(rows, stream=size.name),
+            )
         return self._tables[size]
 
     def dataset(self, size: DataSize, normalized: bool = False) -> Dataset:
         key = (size, normalized)
         if key not in self._datasets:
-            table = self.table(size)
             if normalized:
-                self._datasets[key] = normalize(table, FLIGHTS_STAR_SPEC)
+                self._datasets[key] = self._artifact(
+                    ("normalized-dataset",) + self._table_key(size),
+                    lambda: normalize(self.table(size), FLIGHTS_STAR_SPEC),
+                )
             else:
-                self._datasets[key] = Dataset.from_table(table)
+                self._datasets[key] = Dataset.from_table(self.table(size))
         return self._datasets[key]
 
     def oracle(self, size: DataSize, normalized: bool = False) -> GroundTruthOracle:
         key = (size, normalized)
         if key not in self._oracles:
-            self._oracles[key] = GroundTruthOracle(self.dataset(size, normalized))
+            dataset_key = None
+            if self.store is not None:
+                dataset_key = self.store.digest_for(
+                    ("oracle-dataset", normalized) + self._table_key(size)
+                )
+            self._oracles[key] = GroundTruthOracle(
+                self.dataset(size, normalized),
+                store=self.store,
+                dataset_key=dataset_key,
+            )
         return self._oracles[key]
 
     def profiles(self, size: DataSize) -> Dict[str, ColumnProfile]:
@@ -159,18 +227,25 @@ class ExperimentContext:
         config: Optional[WorkloadConfig] = None,
     ) -> List[Workflow]:
         size = size if size is not None else self.settings.data_size
-        key = (size, workflow_type, count)
-        if config is not None or key not in self._suites:
+
+        def build() -> List[Workflow]:
             generator = WorkflowGenerator(
                 self.profiles(size),
                 table="flights",
                 config=config,
                 seed=self.settings.seed,
             )
-            suite = generator.generate_suite(workflow_type, count)
-            if config is not None:
-                return suite
-            self._suites[key] = suite
+            return generator.generate_suite(workflow_type, count)
+
+        if config is not None:
+            return build()
+        key = (size, workflow_type, count)
+        if key not in self._suites:
+            self._suites[key] = self._artifact(
+                ("workflow-suite", workflow_type.value, count)
+                + self._table_key(size),
+                build,
+            )
         return self._suites[key]
 
     # -- running -----------------------------------------------------------
@@ -191,6 +266,10 @@ class ExperimentContext:
         engine.prepare()
         driver = BenchmarkDriver(engine, oracle, settings)
         return driver.run_suite(workflows)
+
+    def execute(self, specs: Sequence[RunSpec]) -> List[CellResult]:
+        """Execute planned run-matrix cells through the context's runtime."""
+        return self.runtime.run(specs)
 
 
 # ----------------------------------------------------------------------
@@ -227,15 +306,13 @@ def exp_overall(
         if workflows_per_type is not None
         else ctx.settings.workflows_per_type
     )
-    workflows = ctx.workflows(WorkflowType.MIXED, count, size=size)
+    specs = plan_overall(ctx.settings, engines, time_requirements, count, size)
     results = OverallResults(settings=ctx.settings)
-    for engine_name in engines:
-        for tr in time_requirements:
-            settings = ctx.settings.with_(time_requirement=tr, data_size=size)
-            records = ctx.run(engine_name, workflows, settings=settings)
-            rows = summarize_records(records, group_key=lambda r: "all")
-            results.summaries[(engine_name, tr)] = rows[-1]
-            results.records[(engine_name, tr)] = records
+    for spec, cell in zip(specs, ctx.execute(specs)):
+        tr = spec.settings.time_requirement
+        rows = summarize_records(cell.records, group_key=lambda r: "all")
+        results.summaries[(spec.engine, tr)] = rows[-1]
+        results.records[(spec.engine, tr)] = cell.records
     return results
 
 
@@ -257,22 +334,20 @@ def exp_workflow_types(
         if workflows_per_type is not None
         else ctx.settings.workflows_per_type
     )
-    settings = ctx.settings.with_(time_requirement=time_requirement, data_size=size)
+    workflow_types = (
+        WorkflowType.INDEPENDENT.value,
+        WorkflowType.SEQUENTIAL.value,
+        WorkflowType.ONE_TO_N.value,
+        WorkflowType.N_TO_ONE.value,
+    )
+    specs = plan_workflow_types(
+        ctx.settings, engines, workflow_types, count, size, time_requirement
+    )
     outcome: Dict[str, Dict[str, float]] = {}
-    for engine_name in engines:
-        per_type: Dict[str, float] = {}
-        for workflow_type in (
-            WorkflowType.INDEPENDENT,
-            WorkflowType.SEQUENTIAL,
-            WorkflowType.ONE_TO_N,
-            WorkflowType.N_TO_ONE,
-        ):
-            workflows = ctx.workflows(workflow_type, count, size=size)
-            records = ctx.run(engine_name, workflows, settings=settings)
-            per_type[workflow_type.value] = float(
-                np.mean([r.metrics.missing_bins for r in records])
-            )
-        outcome[engine_name] = per_type
+    for spec, cell in zip(specs, ctx.execute(specs)):
+        outcome.setdefault(spec.engine, {})[spec.workflows.workflow_type] = float(
+            np.mean([r.metrics.missing_bins for r in cell.records])
+        )
     return outcome
 
 
@@ -297,24 +372,14 @@ def exp_schema(
         if workflows_per_type is not None
         else ctx.settings.workflows_per_type
     )
+    specs = plan_schema(ctx.settings, engines, sizes, count, time_requirement)
     outcome: Dict[Tuple[str, str, str], float] = {}
-    for engine_name in engines:
-        for size in sizes:
-            workflows = ctx.workflows(WorkflowType.MIXED, count, size=size)
-            for normalized in (False, True):
-                settings = ctx.settings.with_(
-                    time_requirement=time_requirement,
-                    data_size=size,
-                    use_joins=normalized,
-                )
-                records = ctx.run(
-                    engine_name, workflows, settings=settings, normalized=normalized
-                )
-                violated = float(
-                    np.mean([r.metrics.tr_violated for r in records]) * 100.0
-                )
-                schema = "normalized" if normalized else "denormalized"
-                outcome[(engine_name, size.name, schema)] = violated
+    for spec, cell in zip(specs, ctx.execute(specs)):
+        violated = float(
+            np.mean([r.metrics.tr_violated for r in cell.records]) * 100.0
+        )
+        schema = "normalized" if spec.normalized else "denormalized"
+        outcome[(spec.engine, spec.settings.data_size.name, schema)] = violated
     return outcome
 
 
@@ -376,24 +441,18 @@ def exp_think_time(
 ) -> List[Tuple[float, float]]:
     """Fig. 6f: [(think time, missing bins of the selection query)]."""
     size = size if size is not None else ctx.settings.data_size
-    workflow = speculation_workflow(ctx.profiles(size))
+    specs = plan_think_time(
+        ctx.settings, think_times, time_requirement, size, speculation
+    )
     outcome: List[Tuple[float, float]] = []
-    for think in think_times:
-        settings = ctx.settings.with_(
-            think_time=float(think),
-            time_requirement=time_requirement,
-            data_size=size,
-        )
-        records = ctx.run(
-            "idea-sim", [workflow], settings=settings, speculation=speculation
-        )
+    for spec, cell in zip(specs, ctx.execute(specs)):
         # The probe is the query triggered by the final selection.
-        final = [r for r in records if r.interaction_id == 3]
+        final = [r for r in cell.records if r.interaction_id == 3]
         if len(final) != 1:
             raise BenchmarkError(
                 f"expected exactly one selection query, got {len(final)}"
             )
-        outcome.append((float(think), final[0].metrics.missing_bins))
+        outcome.append((spec.settings.think_time, final[0].metrics.missing_bins))
     return outcome
 
 
@@ -410,12 +469,11 @@ def exp_detailed_table(
 ) -> DetailedReport:
     """Table 1: one mixed workflow on IDEA, TR=500 ms, think 3 s."""
     size = size if size is not None else ctx.settings.data_size
-    settings = ctx.settings.with_(
-        time_requirement=time_requirement, think_time=think_time, data_size=size
+    specs = plan_detailed_table(
+        ctx.settings, engine, time_requirement, think_time, size
     )
-    workflows = ctx.workflows(WorkflowType.MIXED, 3, size=size)[2:3]
-    records = ctx.run(engine, workflows, settings=settings)
-    return DetailedReport(records)
+    (cell,) = ctx.execute(specs)
+    return DetailedReport(cell.records)
 
 
 # ----------------------------------------------------------------------
@@ -429,14 +487,11 @@ def exp_prep_times(
 ) -> Dict[str, "object"]:
     """§5.2: engine → PreparationReport (modeled minutes at ``size``)."""
     size = size if size is not None else ctx.settings.data_size
-    settings = ctx.settings.with_(data_size=size)
-    dataset = ctx.dataset(size, normalized=False)
-    reports = {}
-    for engine_name in engines:
-        clock = VirtualClock()
-        engine = make_engine(engine_name, dataset, settings, clock)
-        reports[engine_name] = engine.prepare()
-    return reports
+    specs = plan_prep_times(ctx.settings, engines, size)
+    return {
+        spec.engine: cell.prep
+        for spec, cell in zip(specs, ctx.execute(specs))
+    }
 
 
 # ----------------------------------------------------------------------
@@ -512,12 +567,12 @@ def exp_system_y(
     most queries complete and the latency difference is observable.
     """
     size = size if size is not None else ctx.settings.data_size
-    settings = ctx.settings.with_(time_requirement=time_requirement, data_size=size)
-    workflows = ctx.workflows(WorkflowType.ONE_TO_N, num_variants, size=size)
+    specs = plan_system_y(ctx.settings, num_variants, time_requirement, size)
     per_engine_records: Dict[str, List[QueryRecord]] = {}
     outcome: Dict[str, Dict[str, float]] = {}
-    for engine_name in ("monetdb-sim", "system-y-sim"):
-        records = ctx.run(engine_name, workflows, settings=settings)
+    for spec, cell in zip(specs, ctx.execute(specs)):
+        engine_name = spec.engine
+        records = cell.records
         per_engine_records[engine_name] = records
         answered = [r for r in records if not r.tr_violated]
         latencies = [r.end_time - r.start_time for r in answered]

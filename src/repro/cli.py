@@ -4,21 +4,26 @@ The original IDEBench is "a simple command line application (written in
 Python) configured to load and simulate workflows". This reproduction's
 CLI exposes the same lifecycle::
 
-    idebench-repro generate-data --rows 500000 --out flights.csv
-    idebench-repro generate-workflows --out workflows/ --per-type 10
-    idebench-repro view workflows/mixed_0.json
-    idebench-repro run --engine idea-sim --tr 3 --out report.csv
-    idebench-repro report report.csv
+    repro generate-data --rows 500000 --out flights.csv
+    repro generate-workflows --out workflows/ --per-type 10
+    repro view workflows/mixed_0.json
+    repro run --engine idea-sim --tr 3 --out report.csv
+    repro run-matrix --jobs 4 --cache-dir .repro-cache --out matrix.csv
+    repro report report.csv
 
 ``run`` executes the default configuration (mixed workflows) against one
 engine simulator under the given settings and writes the detailed report;
-``report`` renders the Fig.-5-style summary from a detailed CSV.
+``run-matrix`` plans an engines × TRs × sizes × workflow-types matrix and
+executes it through the parallel runtime (sharded across ``--jobs``
+worker processes, cached/resumable via ``--cache-dir``); ``report``
+renders the Fig.-5-style summary from a detailed CSV.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -26,9 +31,20 @@ from repro.bench.experiments import ExperimentContext, MAIN_ENGINES, make_engine
 from repro.bench.driver import BenchmarkDriver
 from repro.bench.report import DetailedReport, SummaryReport
 from repro.common.clock import VirtualClock
-from repro.common.config import BenchmarkSettings, DataSize
+from repro.common.config import (
+    BenchmarkSettings,
+    DataSize,
+    DEFAULT_TIME_REQUIREMENTS,
+)
 from repro.data.generator import scale_dataset
 from repro.data.seed import generate_flights_seed
+from repro.runtime import (
+    ArtifactStore,
+    MatrixExecutor,
+    plan_matrix,
+    render_matrix,
+    write_matrix_csv,
+)
 from repro.workflow.spec import Workflow, WorkflowType, load_suite, save_suite
 from repro.workflow.viewer import render_workflow
 
@@ -155,6 +171,89 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _split(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_run_matrix(args) -> int:
+    settings = BenchmarkSettings(
+        scale=args.scale,
+        seed=args.seed,
+        think_time=args.think_time,
+        workflows_per_type=args.per_type,
+    )
+    engines = _split(args.engines)
+    known_engines = list(MAIN_ENGINES) + ["system-y-sim"]
+    unknown = [engine for engine in engines if engine not in known_engines]
+    if unknown:
+        print(
+            f"unknown engines: {', '.join(unknown)} "
+            f"(choose from {', '.join(known_engines)})",
+            file=sys.stderr,
+        )
+        return 1
+    specs = plan_matrix(
+        settings,
+        engines=engines,
+        time_requirements=[float(tr) for tr in _split(args.trs)],
+        sizes=[DataSize.parse(size) for size in _split(args.sizes)],
+        workflow_types=_split(args.workflow_types),
+        per_type=args.per_type,
+        schemas=_split(args.schemas),
+    )
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    if args.resume and store is None:
+        print("--resume requires --cache-dir", file=sys.stderr)
+        return 1
+    if args.resume and args.force:
+        print("--resume and --force are mutually exclusive", file=sys.stderr)
+        return 1
+    executor = MatrixExecutor(
+        jobs=args.jobs,
+        store=store,
+        reuse_results=not args.force,
+        progress=None if args.quiet else print,
+    )
+    print(
+        f"run matrix: {len(specs)} cells "
+        f"({len(engines)} engines × {len(_split(args.trs))} TRs × "
+        f"{len(_split(args.sizes))} sizes × {len(_split(args.workflow_types))} "
+        f"workflow types × {len(_split(args.schemas))} schemas), "
+        f"jobs={args.jobs}"
+        + (f", cache={args.cache_dir}" if args.cache_dir else "")
+    )
+    started = time.perf_counter()
+    results = executor.run(specs)
+    elapsed = time.perf_counter() - started
+    print()
+    print(render_matrix(results, title="run-matrix summary"))
+    cached = sum(result.from_cache for result in results)
+    print(
+        f"\n{len(results)} cells in {elapsed:.2f}s "
+        f"({cached} restored from cache, {len(results) - cached} executed)"
+    )
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"artifact store: {stats['entries']} artifacts, "
+            f"{stats['bytes'] / 1e6:.1f} MB, "
+            f"{stats['hits']} hits / {stats['misses']} misses this run"
+        )
+    if args.out:
+        write_matrix_csv(args.out, results)
+        print(f"wrote matrix summary ({len(results)} cells) to {args.out}")
+    if args.detailed_dir:
+        out_dir = Path(args.detailed_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            if result.records:
+                DetailedReport(result.records).to_csv(
+                    out_dir / f"{result.spec.cell_id}.csv"
+                )
+        print(f"wrote per-cell detailed reports to {out_dir}/")
+    return 0
+
+
 def _cmd_report(args) -> int:
     # Rebuild a summary from a detailed CSV (settings travel in the rows).
     import csv
@@ -237,6 +336,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--cdf", action="store_true",
                        help="render the MRE CDF as ASCII (Fig.-5 style)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_matrix = sub.add_parser(
+        "run-matrix",
+        help="run an engines × TRs × sizes matrix through the parallel runtime",
+    )
+    p_matrix.add_argument("--engines", default=",".join(MAIN_ENGINES),
+                          help="comma-separated engine names")
+    p_matrix.add_argument(
+        "--trs",
+        default=",".join(str(tr) for tr in DEFAULT_TIME_REQUIREMENTS),
+        help="comma-separated time requirements (seconds)",
+    )
+    p_matrix.add_argument("--sizes", default="M",
+                          help="comma-separated data sizes (S, M, L)")
+    p_matrix.add_argument("--workflow-types", default="mixed",
+                          dest="workflow_types",
+                          help="comma-separated workflow types")
+    p_matrix.add_argument("--schemas", default="denormalized",
+                          help="comma-separated schema layouts "
+                               "(denormalized, normalized)")
+    p_matrix.add_argument("--per-type", type=int, default=10, dest="per_type",
+                          help="workflows per workflow type")
+    p_matrix.add_argument("--think-time", type=float, default=1.0,
+                          dest="think_time")
+    p_matrix.add_argument("--scale", type=int, default=1000,
+                          help="virtual-to-actual row scale factor")
+    p_matrix.add_argument("--seed", type=int, default=42, help="root random seed")
+    p_matrix.add_argument("--jobs", type=int, default=1,
+                          help="worker processes to shard cells across")
+    p_matrix.add_argument("--cache-dir", default=None, dest="cache_dir",
+                          help="artifact store directory (enables caching "
+                               "and resumption)")
+    p_matrix.add_argument("--resume", action="store_true",
+                          help="resume a crashed/partial run from --cache-dir "
+                               "(cached cell results are reused by default; "
+                               "this flag documents intent and validates "
+                               "that a cache dir is given)")
+    p_matrix.add_argument("--force", action="store_true",
+                          help="re-execute every cell even if cached")
+    p_matrix.add_argument("--out", default=None,
+                          help="matrix summary CSV path (deterministic bytes)")
+    p_matrix.add_argument("--detailed-dir", default=None, dest="detailed_dir",
+                          help="directory for per-cell detailed CSVs")
+    p_matrix.add_argument("--quiet", action="store_true",
+                          help="suppress per-cell progress lines")
+    p_matrix.set_defaults(func=_cmd_run_matrix)
 
     p_rep = sub.add_parser("report", help="summarize a detailed report CSV")
     p_rep.add_argument("detailed", help="path to detailed report CSV")

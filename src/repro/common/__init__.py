@@ -9,6 +9,8 @@ depends on but that is not itself part of the paper's conceptual model:
 * :mod:`repro.common.rng` — seed-derivation utilities so that every
   component draws from an independent, reproducible stream.
 * :mod:`repro.common.config` — the benchmark settings of paper §4.6.
+* :mod:`repro.common.fingerprint` — canonical JSON and stable digests for
+  process-portable cache keys (the parallel runtime's foundation).
 """
 
 from repro.common.clock import Clock, VirtualClock, WallClock
@@ -22,7 +24,8 @@ from repro.common.errors import (
     SQLParseError,
     WorkflowError,
 )
-from repro.common.rng import derive_rng, derive_seed
+from repro.common.fingerprint import canonical_json, canonicalize, stable_digest
+from repro.common.rng import derive_cell_seed, derive_rng, derive_seed
 
 __all__ = [
     "BenchmarkError",
@@ -38,6 +41,10 @@ __all__ = [
     "VirtualClock",
     "WallClock",
     "WorkflowError",
+    "canonical_json",
+    "canonicalize",
+    "derive_cell_seed",
     "derive_rng",
     "derive_seed",
+    "stable_digest",
 ]

@@ -18,6 +18,7 @@ CSV import/export mirrors the paper's systems, all of which load CSV files
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 from dataclasses import dataclass
 from pathlib import Path
@@ -111,6 +112,20 @@ class Table:
     def memory_bytes(self) -> int:
         """Approximate memory footprint of all column arrays."""
         return int(sum(array.nbytes for array in self._columns.values()))
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the table (names, dtypes and values).
+
+        Two tables with identical columns fingerprint identically in every
+        process — the persistent ground-truth cache keys on this so answer
+        artifacts computed by one worker are valid for all others.
+        """
+        hasher = hashlib.sha256()
+        for column_name, array in self._columns.items():
+            hasher.update(column_name.encode("utf-8"))
+            hasher.update(str(array.dtype.kind).encode("utf-8"))
+            hasher.update(np.ascontiguousarray(array).tobytes())
+        return hasher.hexdigest()[:32]
 
     def __repr__(self) -> str:
         return (
@@ -400,6 +415,17 @@ class Dataset:
         for fk in self.foreign_keys:
             names.extend(fk.denormalized_columns())
         return names
+
+    def fingerprint(self) -> str:
+        """Stable content digest over all tables plus the FK metadata."""
+        hasher = hashlib.sha256()
+        hasher.update(self.fact_table.encode("utf-8"))
+        for name in sorted(self.tables):
+            hasher.update(name.encode("utf-8"))
+            hasher.update(self.tables[name].fingerprint().encode("utf-8"))
+        for fk in self.foreign_keys:
+            hasher.update(repr(fk).encode("utf-8"))
+        return hasher.hexdigest()[:32]
 
     def __repr__(self) -> str:
         kind = "star" if self.is_normalized else "denormalized"

@@ -96,6 +96,13 @@ class SetPredicate(Filter):
     def fields(self) -> Tuple[str, ...]:
         return (self.field,)
 
+    def __repr__(self) -> str:
+        # The default dataclass repr would print the frozenset in hash
+        # order, which varies per process (PYTHONHASHSEED) — and engines
+        # derive rotation seeds from str(query), so the repr must be
+        # canonical for runs to be reproducible across processes.
+        return f"SetPredicate(field={self.field!r}, values={sorted(self.values)!r})"
+
     def to_dict(self) -> dict:
         return {"type": "in", "field": self.field, "values": sorted(self.values)}
 

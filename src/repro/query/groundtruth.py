@@ -21,10 +21,23 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.common.errors import QueryError
+from repro.common.fingerprint import stable_digest
 from repro.data.storage import Dataset
 from repro.query.binning import GroupedRows, group_rows
 from repro.query.filters import evaluate_filter
 from repro.query.model import AggFunc, AggQuery, BinKey, QueryResult
+
+
+def query_cache_key(query: AggQuery) -> str:
+    """Stable, hashable, process-portable cache key for ``query``.
+
+    The key is a SHA-256 digest of the query's canonical JSON form
+    (:meth:`AggQuery.to_dict`), so structurally equal queries key
+    identically in every process — unlike ``hash(query)``, which is salted
+    per interpreter (``PYTHONHASHSEED``) and therefore useless for on-disk
+    caches or cross-worker sharing.
+    """
+    return stable_digest(query.to_dict(), length=None)
 
 
 @dataclass
@@ -167,31 +180,62 @@ class GroundTruthOracle:
     change), so caching exact answers speeds benchmark runs up considerably
     without changing any measured quantity — ground truth is computed
     outside the simulated clock.
+
+    Cache keys are the stable digests of :func:`query_cache_key`, so they
+    are portable across worker processes. When ``store`` (an
+    :class:`repro.runtime.store.ArtifactStore`-compatible object) is given,
+    answers additionally persist on disk under the dataset's content
+    fingerprint — a cell computed by one worker warms every other worker
+    and every later run.
     """
 
-    def __init__(self, dataset: Dataset):
+    def __init__(self, dataset: Dataset, store=None, dataset_key: Optional[str] = None):
         self._dataset = dataset
-        self._cache: Dict[AggQuery, QueryResult] = {}
+        self._cache: Dict[str, QueryResult] = {}
+        self._store = store
+        self._dataset_key = dataset_key
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     @property
     def dataset(self) -> Dataset:
         return self._dataset
 
+    @property
+    def dataset_key(self) -> Optional[str]:
+        """Key namespacing persisted answers (content fingerprint by default)."""
+        if self._dataset_key is None and self._store is not None:
+            self._dataset_key = self._dataset.fingerprint()
+        return self._dataset_key
+
+    def _store_key(self, query_key: str) -> tuple:
+        return ("ground-truth", self.dataset_key, query_key)
+
     def answer(self, query: AggQuery) -> QueryResult:
-        """Exact result for ``query`` (cached)."""
-        cached = self._cache.get(query)
+        """Exact result for ``query`` (cached in memory, then on disk)."""
+        key = query_cache_key(query)
+        cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
             return cached
+        if self._store is not None:
+            persisted = self._store.get(self._store_key(key))
+            if persisted is not None:
+                self.hits += 1
+                self.store_hits += 1
+                self._cache[key] = persisted
+                return persisted
         self.misses += 1
         result = evaluate_exact(self._dataset, query)
-        self._cache[query] = result
+        self._cache[key] = result
+        if self._store is not None:
+            self._store.put(self._store_key(key), result)
         return result
 
     def clear(self) -> None:
-        """Drop all cached answers (e.g. after switching datasets)."""
+        """Drop all in-memory cached answers (e.g. after switching datasets)."""
         self._cache.clear()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0

@@ -1,0 +1,73 @@
+"""Parallel execution runtime: run-matrix planning, sharded execution,
+persistent artifact caching and resumable experiments.
+
+The paper's evaluation is a large cross-product of engines, workflow
+types, time requirements, data sizes and schema layouts (§5). This
+subpackage turns that product into an explicit, parallelizable run
+matrix:
+
+* :mod:`repro.runtime.spec` — :class:`RunSpec`, the declarative, hashable
+  description of one experiment cell;
+* :mod:`repro.runtime.planner` — ``plan_*`` functions enumerating the
+  cells of each paper experiment (and arbitrary matrices for the CLI);
+* :mod:`repro.runtime.store` — :class:`ArtifactStore`, a content-addressed
+  on-disk cache for datasets, workflow suites, ground-truth answers and
+  per-cell reports;
+* :mod:`repro.runtime.executor` — :class:`MatrixExecutor`, which shards
+  cells across worker processes (``--jobs N``) with deterministic
+  per-cell seeding, making parallel output bit-identical to serial and
+  crashed runs resumable;
+* :mod:`repro.runtime.report` — deterministic matrix summaries (plan
+  order, fixed float formatting: stable bytes at any job count).
+"""
+
+from repro.runtime.executor import (
+    CellResult,
+    MatrixExecutor,
+    context_key,
+    execute_cell,
+    result_key,
+    select_workflows,
+)
+from repro.runtime.planner import (
+    plan_detailed_table,
+    plan_matrix,
+    plan_overall,
+    plan_prep_times,
+    plan_schema,
+    plan_system_y,
+    plan_think_time,
+    plan_workflow_types,
+)
+from repro.runtime.report import (
+    matrix_csv_text,
+    matrix_summary_rows,
+    render_matrix,
+    write_matrix_csv,
+)
+from repro.runtime.spec import RunSpec, WorkflowSelector
+from repro.runtime.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "CellResult",
+    "MatrixExecutor",
+    "RunSpec",
+    "WorkflowSelector",
+    "context_key",
+    "execute_cell",
+    "matrix_csv_text",
+    "matrix_summary_rows",
+    "plan_detailed_table",
+    "plan_matrix",
+    "plan_overall",
+    "plan_prep_times",
+    "plan_schema",
+    "plan_system_y",
+    "plan_think_time",
+    "plan_workflow_types",
+    "render_matrix",
+    "result_key",
+    "select_workflows",
+    "write_matrix_csv",
+]

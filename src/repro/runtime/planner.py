@@ -1,0 +1,231 @@
+"""Run-matrix planning: enumerate experiment cells as :class:`RunSpec`\\ s.
+
+Each ``plan_*`` function mirrors the loop structure of one ``exp_*``
+harness function (§5 of the paper) but produces the cells *declaratively*,
+in a deterministic order, without executing anything. The generic
+:func:`plan_matrix` builds arbitrary engines × TRs × sizes × workflow
+types × schema cross-products for the ``run-matrix`` CLI.
+
+Plan order is part of the contract: executors return results aligned with
+the planned order (never completion order), which is what makes parallel
+aggregation byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.config import (
+    BenchmarkSettings,
+    DataSize,
+    DEFAULT_TIME_REQUIREMENTS,
+)
+from repro.common.errors import ConfigurationError
+from repro.runtime.spec import RunSpec, WorkflowSelector
+
+#: Schema layout labels accepted by :func:`plan_matrix`.
+SCHEMA_LAYOUTS = ("denormalized", "normalized")
+
+
+def plan_matrix(
+    settings: BenchmarkSettings,
+    engines: Sequence[str],
+    time_requirements: Sequence[float] = DEFAULT_TIME_REQUIREMENTS,
+    sizes: Optional[Sequence[DataSize]] = None,
+    workflow_types: Sequence[str] = ("mixed",),
+    per_type: Optional[int] = None,
+    schemas: Sequence[str] = ("denormalized",),
+    speculation: bool = False,
+) -> List[RunSpec]:
+    """The general cross-product: engines × sizes × schemas × types × TRs."""
+    sizes = tuple(sizes) if sizes is not None else (settings.data_size,)
+    count = per_type if per_type is not None else settings.workflows_per_type
+    for schema in schemas:
+        if schema not in SCHEMA_LAYOUTS:
+            raise ConfigurationError(
+                f"unknown schema layout {schema!r}; expected one of {SCHEMA_LAYOUTS}"
+            )
+    specs: List[RunSpec] = []
+    for engine in engines:
+        for size in sizes:
+            for schema in schemas:
+                normalized = schema == "normalized"
+                for workflow_type in workflow_types:
+                    for tr in time_requirements:
+                        specs.append(
+                            RunSpec(
+                                engine=engine,
+                                settings=settings.with_(
+                                    time_requirement=float(tr),
+                                    data_size=size,
+                                    use_joins=normalized,
+                                ),
+                                workflows=WorkflowSelector(
+                                    workflow_type=workflow_type, count=count
+                                ),
+                                normalized=normalized,
+                                speculation=speculation,
+                                label=f"{engine}/{size.name}/{schema}/{workflow_type}/tr{tr}",
+                            )
+                        )
+    return specs
+
+
+def plan_overall(
+    settings: BenchmarkSettings,
+    engines: Sequence[str],
+    time_requirements: Sequence[float],
+    count: int,
+    size: DataSize,
+) -> List[RunSpec]:
+    """Fig. 5 / 6a–6c cells: engines × TRs on the mixed workload."""
+    return [
+        RunSpec(
+            engine=engine,
+            settings=settings.with_(time_requirement=float(tr), data_size=size),
+            workflows=WorkflowSelector(workflow_type="mixed", count=count),
+            label=f"overall/{engine}/tr{tr}",
+        )
+        for engine in engines
+        for tr in time_requirements
+    ]
+
+
+def plan_workflow_types(
+    settings: BenchmarkSettings,
+    engines: Sequence[str],
+    workflow_types: Sequence[str],
+    count: int,
+    size: DataSize,
+    time_requirement: float,
+) -> List[RunSpec]:
+    """Fig. 6d cells: engines × workflow types at one TR."""
+    cell_settings = settings.with_(
+        time_requirement=time_requirement, data_size=size
+    )
+    return [
+        RunSpec(
+            engine=engine,
+            settings=cell_settings,
+            workflows=WorkflowSelector(workflow_type=workflow_type, count=count),
+            label=f"workflow-types/{engine}/{workflow_type}",
+        )
+        for engine in engines
+        for workflow_type in workflow_types
+    ]
+
+
+def plan_schema(
+    settings: BenchmarkSettings,
+    engines: Sequence[str],
+    sizes: Sequence[DataSize],
+    count: int,
+    time_requirement: float,
+) -> List[RunSpec]:
+    """Fig. 6e cells: engines × sizes × {denormalized, normalized}."""
+    specs: List[RunSpec] = []
+    for engine in engines:
+        for size in sizes:
+            for normalized in (False, True):
+                specs.append(
+                    RunSpec(
+                        engine=engine,
+                        settings=settings.with_(
+                            time_requirement=time_requirement,
+                            data_size=size,
+                            use_joins=normalized,
+                        ),
+                        workflows=WorkflowSelector(workflow_type="mixed", count=count),
+                        normalized=normalized,
+                        label=f"schema/{engine}/{size.name}/"
+                        f"{'normalized' if normalized else 'denormalized'}",
+                    )
+                )
+    return specs
+
+
+def plan_think_time(
+    settings: BenchmarkSettings,
+    think_times: Sequence[float],
+    time_requirement: float,
+    size: DataSize,
+    speculation: bool,
+) -> List[RunSpec]:
+    """Fig. 6f cells: IDEA with speculation over a think-time sweep."""
+    return [
+        RunSpec(
+            engine="idea-sim",
+            settings=settings.with_(
+                think_time=float(think),
+                time_requirement=time_requirement,
+                data_size=size,
+            ),
+            workflows=WorkflowSelector(kind="speculation", count=1),
+            speculation=speculation,
+            label=f"think-time/{think}",
+        )
+        for think in think_times
+    ]
+
+
+def plan_detailed_table(
+    settings: BenchmarkSettings,
+    engine: str,
+    time_requirement: float,
+    think_time: float,
+    size: DataSize,
+) -> List[RunSpec]:
+    """Table 1 cell: the third mixed workflow on one engine."""
+    return [
+        RunSpec(
+            engine=engine,
+            settings=settings.with_(
+                time_requirement=time_requirement,
+                think_time=think_time,
+                data_size=size,
+            ),
+            workflows=WorkflowSelector(
+                workflow_type="mixed", count=3, start=2, stop=3
+            ),
+            label=f"detailed-table/{engine}",
+        )
+    ]
+
+
+def plan_prep_times(
+    settings: BenchmarkSettings,
+    engines: Sequence[str],
+    size: DataSize,
+) -> List[RunSpec]:
+    """§5.2 cells: per-engine data-preparation measurement."""
+    cell_settings = settings.with_(data_size=size)
+    return [
+        RunSpec(
+            engine=engine,
+            settings=cell_settings,
+            mode="prepare",
+            label=f"prep-times/{engine}",
+        )
+        for engine in engines
+    ]
+
+
+def plan_system_y(
+    settings: BenchmarkSettings,
+    count: int,
+    time_requirement: float,
+    size: DataSize,
+) -> List[RunSpec]:
+    """§5.6 cells: MonetDB vs the System-Y frontend on 1:N workflows."""
+    cell_settings = settings.with_(
+        time_requirement=time_requirement, data_size=size
+    )
+    return [
+        RunSpec(
+            engine=engine,
+            settings=cell_settings,
+            workflows=WorkflowSelector(workflow_type="one_to_n", count=count),
+            label=f"system-y/{engine}",
+        )
+        for engine in ("monetdb-sim", "system-y-sim")
+    ]

@@ -1,0 +1,177 @@
+"""Declarative run-matrix cells: :class:`WorkflowSelector` and :class:`RunSpec`.
+
+The paper's evaluation is a cross-product — engines × workflow types ×
+time requirements × data sizes × schema layouts (§5, Figs. 5–6). The
+runtime represents every cell of that product as a :class:`RunSpec`: a
+frozen, hashable, JSON-round-trippable value that says *what* to run and
+nothing about *how* or *where*. That separation is what lets the executor
+shard cells across worker processes, key per-cell artifacts on disk, and
+resume a crashed matrix without re-planning.
+
+A spec's :meth:`~RunSpec.fingerprint` is the stable digest of its
+canonical dictionary (plus the cache schema version), so two equal specs
+fingerprint identically in every process — it doubles as the cell's
+artifact-cache key and as the input to per-cell seed derivation
+(:func:`repro.common.rng.derive_cell_seed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.config import BenchmarkSettings
+from repro.common.errors import ConfigurationError
+from repro.common.fingerprint import CACHE_SCHEMA_VERSION, stable_digest
+from repro.common.rng import derive_cell_seed
+from repro.workflow.spec import WorkflowType
+
+#: Workflow sources a selector can name.
+SELECTOR_KINDS = ("generated", "speculation")
+
+#: Execution modes of a cell.
+RUN_MODES = ("suite", "prepare")
+
+
+@dataclass(frozen=True)
+class WorkflowSelector:
+    """Which workflows a cell runs, described declaratively.
+
+    ``generated`` selects ``count`` workflows of ``workflow_type`` from the
+    deterministic generator (optionally sliced with ``start``/``stop``,
+    e.g. Table 1 runs exactly the third mixed workflow); ``speculation``
+    selects the custom 4-interaction probe workflow of §5.4.
+    """
+
+    kind: str = "generated"
+    workflow_type: str = "mixed"
+    count: int = 10
+    start: int = 0
+    stop: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in SELECTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown workflow selector kind {self.kind!r}; "
+                f"expected one of {SELECTOR_KINDS}"
+            )
+        if self.kind == "generated":
+            valid = tuple(member.value for member in WorkflowType)
+            if self.workflow_type not in valid:
+                raise ConfigurationError(
+                    f"unknown workflow type {self.workflow_type!r}; "
+                    f"expected one of {valid}"
+                )
+        if self.count < 1:
+            raise ConfigurationError(f"selector count must be >= 1, got {self.count!r}")
+        if self.start < 0:
+            raise ConfigurationError(f"selector start must be >= 0, got {self.start!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workflow_type": self.workflow_type,
+            "count": self.count,
+            "start": self.start,
+            "stop": self.stop,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkflowSelector":
+        return cls(
+            kind=data.get("kind", "generated"),
+            workflow_type=data.get("workflow_type", "mixed"),
+            count=data.get("count", 10),
+            start=data.get("start", 0),
+            stop=data.get("stop"),
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the run matrix — a hashable unit of benchmark work.
+
+    ``mode="suite"`` runs the selected workflows on ``engine`` and yields
+    detailed query records; ``mode="prepare"`` only measures the engine's
+    modeled data-preparation time (§5.2). ``label`` is a display/grouping
+    tag and deliberately excluded from the fingerprint, so relabeling a
+    cell never invalidates its cached artifacts.
+    """
+
+    engine: str
+    settings: BenchmarkSettings
+    workflows: WorkflowSelector = field(default_factory=WorkflowSelector)
+    normalized: bool = False
+    speculation: bool = False
+    mode: str = "suite"
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.engine:
+            raise ConfigurationError("run spec needs an engine name")
+        if self.mode not in RUN_MODES:
+            raise ConfigurationError(
+                f"unknown run mode {self.mode!r}; expected one of {RUN_MODES}"
+            )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable digest identifying this cell's work across processes."""
+        payload = self.to_dict()
+        payload.pop("label", None)
+        return stable_digest([CACHE_SCHEMA_VERSION, "run-spec", payload], length=None)
+
+    @property
+    def cell_id(self) -> str:
+        """Short human-facing identifier (prefix of the fingerprint)."""
+        return self.fingerprint()[:12]
+
+    @property
+    def cell_seed(self) -> int:
+        """Deterministic per-cell seed derived from the fingerprint.
+
+        Cells sharing ``settings.seed`` still draw the package's shared
+        streams (dataset, workflows) identically — this extra seed exists
+        for consumers that need randomness independent across cells yet
+        invariant to execution order.
+        """
+        return derive_cell_seed(self.settings.seed, self.fingerprint())
+
+    def describe(self) -> str:
+        """One-line human description for progress output."""
+        schema = "norm" if self.normalized else "denorm"
+        if self.mode == "prepare":
+            return f"{self.engine} prepare {self.settings.data_size.name}/{schema}"
+        return (
+            f"{self.engine} {self.workflows.workflow_type}×{self.workflows.count} "
+            f"TR={self.settings.time_requirement}s "
+            f"{self.settings.data_size.name}/{schema}"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "settings": self.settings.to_dict(),
+            "workflows": self.workflows.to_dict(),
+            "normalized": self.normalized,
+            "speculation": self.speculation,
+            "mode": self.mode,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return cls(
+            engine=data["engine"],
+            settings=BenchmarkSettings.from_dict(data["settings"]),
+            workflows=WorkflowSelector.from_dict(data.get("workflows", {})),
+            normalized=data.get("normalized", False),
+            speculation=data.get("speculation", False),
+            mode=data.get("mode", "suite"),
+            label=data.get("label", ""),
+        )

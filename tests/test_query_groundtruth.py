@@ -10,6 +10,7 @@ from repro.query.groundtruth import (
     GroundTruthOracle,
     compute_grouped_stats,
     evaluate_exact,
+    query_cache_key,
 )
 from repro.query.model import (
     AggFunc,
@@ -211,3 +212,86 @@ class TestOracle:
         assert oracle.hits == 0 and oracle.misses == 0
         oracle.answer(_query((Aggregate(AggFunc.COUNT),)))
         assert oracle.misses == 1
+
+
+class TestPortableCacheKeys:
+    def test_structurally_equal_queries_key_identically(self):
+        a = _query(
+            (Aggregate(AggFunc.COUNT),),
+            filter_expr=SetPredicate("group", frozenset(["a", "b", "c"])),
+        )
+        b = _query(
+            (Aggregate(AggFunc.COUNT),),
+            filter_expr=SetPredicate("group", frozenset(["c", "b", "a"])),
+        )
+        assert query_cache_key(a) == query_cache_key(b)
+
+    def test_key_is_a_portable_string(self):
+        key = query_cache_key(_query((Aggregate(AggFunc.COUNT),)))
+        assert isinstance(key, str)
+        assert len(key) == 64  # full sha256 hex: safe as a file/store key
+        int(key, 16)  # hex digits only
+
+    def test_key_identical_in_a_fresh_process(self):
+        # hash(query) is salted per process; the cache key must not be.
+        import subprocess
+        import sys
+
+        key = query_cache_key(
+            _query(
+                (Aggregate(AggFunc.COUNT),),
+                filter_expr=SetPredicate("group", frozenset(["a", "b"])),
+            )
+        )
+        program = (
+            "from repro.query.groundtruth import query_cache_key\n"
+            "from repro.query.model import AggFunc, Aggregate, AggQuery, "
+            "BinDimension, BinKind\n"
+            "from repro.query.filters import SetPredicate\n"
+            "q = AggQuery('toy', bins=(BinDimension('group', BinKind.NOMINAL),),"
+            " aggregates=(Aggregate(AggFunc.COUNT),),"
+            " filter=SetPredicate('group', frozenset(['b', 'a'])))\n"
+            "print(query_cache_key(q))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert output == key
+
+    def test_different_queries_key_differently(self):
+        a = _query((Aggregate(AggFunc.COUNT),))
+        b = _query((Aggregate(AggFunc.SUM, "value"),))
+        assert query_cache_key(a) != query_cache_key(b)
+
+    def test_set_predicate_repr_is_canonical(self):
+        predicate = SetPredicate("group", frozenset(["b", "a", "c"]))
+        assert repr(predicate) == (
+            "SetPredicate(field='group', values=['a', 'b', 'c'])"
+        )
+
+
+class TestOracleStoreBacking:
+    def test_answers_shared_through_store(self, toy_dataset, tmp_path, monkeypatch):
+        from repro.runtime.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "cache")
+        query = _query((Aggregate(AggFunc.COUNT),))
+        first = GroundTruthOracle(toy_dataset, store=store)
+        first.answer(query)
+        assert first.misses == 1
+
+        # A second oracle (fresh in-memory cache, e.g. another worker)
+        # must load the persisted answer instead of recomputing.
+        second = GroundTruthOracle(toy_dataset, store=store)
+        import repro.query.groundtruth as groundtruth_module
+
+        def boom(dataset, q):
+            raise AssertionError("recomputed a persisted ground truth")
+
+        monkeypatch.setattr(groundtruth_module, "evaluate_exact", boom)
+        result = second.answer(query)
+        assert result.values == {("a",): (2.0,), ("b",): (3.0,), ("c",): (1.0,)}
+        assert second.store_hits == 1 and second.misses == 0

@@ -1,0 +1,129 @@
+"""Tests for run-spec identity, serialization and planning."""
+
+import pytest
+
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.common.errors import ConfigurationError
+from repro.common.fingerprint import canonical_json, stable_digest
+from repro.runtime.planner import (
+    plan_matrix,
+    plan_overall,
+    plan_schema,
+    plan_think_time,
+)
+from repro.runtime.spec import RunSpec, WorkflowSelector
+
+
+@pytest.fixture
+def settings():
+    return BenchmarkSettings(data_size=DataSize.S, scale=50_000, seed=7)
+
+
+class TestFingerprintHelpers:
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_sets_are_order_free(self):
+        assert stable_digest(frozenset({"x", "y", "z"})) == stable_digest(
+            frozenset({"z", "x", "y"})
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_digest(object())
+
+    def test_digest_is_a_golden_constant(self):
+        # Regression guard: the digest must be identical in every process
+        # (a salted hash would fail this in ~all interpreter invocations).
+        assert stable_digest(["run", 1, 2.5]) == stable_digest(["run", 1, 2.5])
+        assert stable_digest("idebench") == "8e62e1e349c27630"
+
+
+class TestRunSpec:
+    def test_round_trip(self, settings):
+        spec = RunSpec(
+            engine="idea-sim",
+            settings=settings.with_(time_requirement=0.5),
+            workflows=WorkflowSelector(workflow_type="sequential", count=3),
+            speculation=True,
+            label="x",
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fingerprint_stable_and_label_free(self, settings):
+        base = RunSpec(engine="idea-sim", settings=settings)
+        relabeled = RunSpec(engine="idea-sim", settings=settings, label="other")
+        assert base.fingerprint() == relabeled.fingerprint()
+        assert base.cell_id == base.fingerprint()[:12]
+
+    def test_fingerprint_separates_cells(self, settings):
+        a = RunSpec(engine="idea-sim", settings=settings)
+        b = RunSpec(engine="xdb-sim", settings=settings)
+        c = RunSpec(
+            engine="idea-sim", settings=settings.with_(time_requirement=9.0)
+        )
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+    def test_cell_seed_depends_on_cell_not_order(self, settings):
+        a = RunSpec(engine="idea-sim", settings=settings)
+        b = RunSpec(engine="xdb-sim", settings=settings)
+        assert a.cell_seed == RunSpec(engine="idea-sim", settings=settings).cell_seed
+        assert a.cell_seed != b.cell_seed
+
+    def test_invalid_mode_rejected(self, settings):
+        with pytest.raises(ConfigurationError):
+            RunSpec(engine="idea-sim", settings=settings, mode="nonsense")
+
+    def test_invalid_selector_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkflowSelector(kind="nonsense")
+
+
+class TestPlanners:
+    def test_plan_overall_order_matches_loops(self, settings):
+        specs = plan_overall(
+            settings, ("monetdb-sim", "idea-sim"), (0.5, 3.0), 2, DataSize.S
+        )
+        cells = [(s.engine, s.settings.time_requirement) for s in specs]
+        assert cells == [
+            ("monetdb-sim", 0.5),
+            ("monetdb-sim", 3.0),
+            ("idea-sim", 0.5),
+            ("idea-sim", 3.0),
+        ]
+
+    def test_plan_matrix_cross_product(self, settings):
+        specs = plan_matrix(
+            settings,
+            engines=("monetdb-sim",),
+            time_requirements=(0.5, 1.0),
+            sizes=(DataSize.S,),
+            workflow_types=("mixed", "sequential"),
+            per_type=2,
+            schemas=("denormalized", "normalized"),
+        )
+        assert len(specs) == 1 * 1 * 2 * 2 * 2
+        assert all(s.workflows.count == 2 for s in specs)
+        normalized = [s for s in specs if s.normalized]
+        assert len(normalized) == 4
+        assert all(s.settings.use_joins for s in normalized)
+
+    def test_plan_matrix_rejects_unknown_schema(self, settings):
+        with pytest.raises(ConfigurationError):
+            plan_matrix(settings, engines=("monetdb-sim",), schemas=("starry",))
+
+    def test_plan_schema_interleaves_layouts(self, settings):
+        specs = plan_schema(
+            settings, ("monetdb-sim",), (DataSize.S,), 2, 3.0
+        )
+        assert [s.normalized for s in specs] == [False, True]
+
+    def test_plan_think_time_sets_speculation_selector(self, settings):
+        specs = plan_think_time(settings, (1.0, 2.0), 3.0, DataSize.S, True)
+        assert all(s.workflows.kind == "speculation" for s in specs)
+        assert [s.settings.think_time for s in specs] == [1.0, 2.0]
+
+    def test_plans_are_reproducible(self, settings):
+        first = plan_overall(settings, ("idea-sim",), (0.5,), 2, DataSize.S)
+        second = plan_overall(settings, ("idea-sim",), (0.5,), 2, DataSize.S)
+        assert [s.fingerprint() for s in first] == [s.fingerprint() for s in second]
