@@ -1,0 +1,185 @@
+"""Acceptance benchmark for the asyncio session server.
+
+Run directly (not through pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_session_server.py [--sessions 4]
+
+Demonstrates, with ≥ 4 concurrent simulated IDE sessions:
+
+1. **serial equivalence** — in isolated mode, every session's detailed
+   report is byte-identical to running the same workflows through the
+   serial ``BenchmarkDriver`` (the server's core determinism guarantee,
+   docs/server.md);
+2. **true multiplexing** — the global step trace interleaves sessions
+   (it is not N back-to-back blocks), i.e. sessions genuinely progress
+   concurrently in virtual time;
+3. **shared-engine serving** — all sessions contend on ONE engine under
+   per-session fair scheduling (``FairSessionPolicy``): the run is
+   deterministic (two runs produce identical bytes) and the contention
+   is visible as added latency / TR violations relative to isolated
+   serving;
+4. **pacing invariance** — an accelerated wall-clock run produces the
+   same bytes as an unpaced run.
+
+Results land in ``benchmarks/results/session_server.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentContext
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.server import SessionManager, serial_baseline, total_records
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _run(ctx, engine: str, sessions: int, per_session: int, **kwargs):
+    manager = SessionManager.for_engine(
+        ctx, engine, sessions, per_session=per_session, **kwargs
+    )
+    results = manager.run()
+    return manager, results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=4,
+                        help="concurrent sessions (>= 4 for acceptance)")
+    parser.add_argument("--per-session", type=int, default=2, dest="per_session")
+    parser.add_argument("--engine", default="idea-sim")
+    parser.add_argument("--scale", type=int, default=2000,
+                        help="virtual-to-actual scale (2000 → 50k rows at S)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=1.0,
+    )
+    ctx = ExperimentContext(settings)
+    lines = [
+        f"session server benchmark — {args.sessions} sessions × "
+        f"{args.per_session} mixed workflows on {args.engine}, "
+        f"{settings.actual_rows:,} actual rows",
+        "",
+    ]
+    ok = True
+
+    # 1. Serial equivalence (isolated mode).
+    manager, results = _run(ctx, args.engine, args.sessions, args.per_session)
+    baseline = serial_baseline(ctx, args.engine, manager.specs)
+    mismatched = [
+        result.session_id
+        for result, reference in zip(results, baseline)
+        if result.csv_text() != reference.csv_text()
+    ]
+    lines.append(
+        f"isolated: {total_records(results)} queries across "
+        f"{args.sessions} sessions in {manager.wall_seconds:.2f}s wall"
+    )
+    if mismatched:
+        lines.append(
+            f"FAIL: sessions {', '.join(mismatched)} differ from serial runs"
+        )
+        ok = False
+    else:
+        lines.append(
+            f"per-session reports byte-identical to serial runs: True"
+        )
+
+    # 2. True multiplexing: the step trace must interleave sessions.
+    switches = sum(
+        1 for a, b in zip(manager.trace, manager.trace[1:]) if a[1] != b[1]
+    )
+    lines.append(
+        f"step trace: {len(manager.trace)} events, {switches} session switches"
+    )
+    if args.sessions >= 2 and switches < args.sessions:
+        lines.append(
+            f"FAIL: only {switches} switches — sessions ran back to back, "
+            f"not concurrently"
+        )
+        ok = False
+
+    # 3. Shared-engine serving: deterministic, contention visible.
+    shared_a, results_a = _run(
+        ctx, args.engine, args.sessions, args.per_session, share_engine=True
+    )
+    shared_b, results_b = _run(
+        ctx, args.engine, args.sessions, args.per_session, share_engine=True
+    )
+    identical = all(
+        a.csv_text() == b.csv_text() for a, b in zip(results_a, results_b)
+    )
+    lines.append("")
+    lines.append(
+        f"shared engine: {args.sessions} sessions contending on one "
+        f"{args.engine} instance (per-session fair scheduling)"
+    )
+    lines.append(f"two shared-engine runs byte-identical: {identical}")
+    if not identical:
+        lines.append("FAIL: shared-engine serving is nondeterministic")
+        ok = False
+
+    def mean_latency(session_results):
+        latencies = [
+            r.end_time - r.start_time
+            for result in session_results
+            for r in result.records
+            if not r.tr_violated
+        ]
+        return sum(latencies) / len(latencies) if latencies else float("nan")
+
+    iso_latency = mean_latency(results)
+    shared_latency = mean_latency(results_a)
+    iso_viol = sum(r.tr_violated for result in results for r in result.records)
+    shared_viol = sum(
+        r.tr_violated for result in results_a for r in result.records
+    )
+    lines.append(
+        f"contention: latency {iso_latency:.2f}s → {shared_latency:.2f}s, "
+        f"TR violations {iso_viol} → {shared_viol}"
+    )
+    contended = any(
+        a.csv_text() != b.csv_text() for a, b in zip(results, results_a)
+    )
+    lines.append(f"shared results differ from isolated (contention): {contended}")
+    if not contended:
+        lines.append(
+            "FAIL: shared-engine results equal isolated ones — sessions "
+            "are not actually sharing capacity"
+        )
+        ok = False
+
+    # 4. Pacing invariance: accelerated wall pacing changes nothing.
+    _, paced = _run(
+        ctx, args.engine, 2, 1, accel=500_000.0
+    )
+    _, unpaced = _run(ctx, args.engine, 2, 1)
+    pacing_ok = all(
+        a.csv_text() == b.csv_text() for a, b in zip(paced, unpaced)
+    )
+    lines.append("")
+    lines.append(f"accelerated pacing byte-identical to unpaced: {pacing_ok}")
+    if not pacing_ok:
+        lines.append("FAIL: wall-clock pacing leaked into the simulation")
+        ok = False
+
+    lines.append("")
+    lines.append("PASS" if ok else "FAIL")
+
+    text = "\n".join(lines)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "session_server.txt").write_text(text + "\n", encoding="utf-8")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

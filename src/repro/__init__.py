@@ -25,13 +25,16 @@ Subpackages: :mod:`repro.common` (settings, clocks, RNG),
 (interaction specs, viz graph, generator), :mod:`repro.engines` (the five
 systems under test), :mod:`repro.bench` (driver, metrics, reports,
 experiments), :mod:`repro.runtime` (parallel run-matrix planner/executor
-with persistent artifact caching and resumption).
+with persistent artifact caching and resumption), :mod:`repro.server`
+(async session server multiplexing concurrent simulated IDE sessions —
+see docs/server.md).
 """
 
 from repro.bench import (
     BenchmarkDriver,
     DetailedReport,
     QueryRecord,
+    SessionDriver,
     SummaryReport,
     SystemAdapter,
     compute_metrics,
@@ -65,6 +68,7 @@ from repro.runtime import (
     WorkflowSelector,
     plan_matrix,
 )
+from repro.server import SessionManager, SessionResult, SessionSpec
 from repro.workflow import (
     Workflow,
     WorkflowGenerator,
@@ -92,6 +96,10 @@ __all__ = [
     "QueryRecord",
     "QueryResult",
     "RunSpec",
+    "SessionDriver",
+    "SessionManager",
+    "SessionResult",
+    "SessionSpec",
     "SummaryReport",
     "SystemAdapter",
     "Table",

@@ -19,7 +19,7 @@ reporting (§4.8):
 """
 
 from repro.bench.adapters import SystemAdapter
-from repro.bench.driver import BenchmarkDriver, QueryRecord
+from repro.bench.driver import BenchmarkDriver, QueryRecord, SessionDriver
 from repro.bench.metrics import QueryMetrics, compute_metrics
 from repro.bench.report import (
     DetailedReport,
@@ -33,6 +33,7 @@ __all__ = [
     "DetailedReport",
     "QueryMetrics",
     "QueryRecord",
+    "SessionDriver",
     "SummaryReport",
     "SystemAdapter",
     "compute_metrics",

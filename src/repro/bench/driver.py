@@ -18,13 +18,32 @@ drivers, and generates reports". Concretely, for every workflow:
 4. on ``link`` interactions the driver hands the engine the speculative
    queries every single-bin selection on the source would trigger
    (the Exp.-3 extension; engines without speculation ignore the hint).
+
+The event loop itself lives in :class:`SessionDriver` — a *steppable*
+discrete-event machine representing one simulated IDE session (one user,
+one engine, one suite of workflows). ``next_event_time()`` peeks at the
+session's next due event and ``step()`` processes exactly one event, so a
+session can be
+
+* run to completion in-process (:meth:`SessionDriver.run` — what
+  :class:`BenchmarkDriver` does, byte-identical to the historical serial
+  loop), or
+* multiplexed with other sessions by an external pacer such as the
+  asyncio session server (:mod:`repro.server`), which steps many sessions
+  in global virtual-time order — optionally paced to wall time.
+
+Because engines account for time exclusively through their clock and
+scheduler (never through wall time), *when* ``step()`` is called has no
+effect on the records a session produces; only the session's own event
+times do. That is the determinism guarantee the session server builds on
+(see docs/server.md).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.clock import VirtualClock
 from repro.common.config import BenchmarkSettings
@@ -39,6 +58,9 @@ from repro.workflow.spec import DiscardViz, Link, Workflow
 #: Cap on speculative queries enumerated per link (the Exp.-3 source viz
 #: has 25 bins; a small headroom covers other workflows).
 MAX_SPECULATIVE_PER_LINK = 40
+
+#: Slop for "deadline due at interaction time" comparisons (float dust).
+_TIE_EPSILON = 1e-12
 
 
 @dataclass
@@ -82,14 +104,61 @@ class _Deadline:
     num_concurrent: int = field(compare=False)
 
 
-class BenchmarkDriver:
-    """Runs workflows against one engine and collects detailed records."""
+class SessionDriver:
+    """One simulated IDE session as a steppable discrete-event machine.
+
+    A session executes ``workflows`` back to back against ``engine``:
+    interactions fire on the think-time grid, each submitted query gets a
+    ``TR`` deadline, and deadlines due at (or before, within float dust
+    of) an interaction's fire time are evaluated *before* the interaction
+    fires — exactly the ordering of the historical serial loop.
+
+    The two-method event interface makes the session externally pacable:
+
+    ``next_event_time()``
+        absolute virtual time of the next due event (``None`` when the
+        session has finished). Pure — never advances the clock or touches
+        the engine.
+    ``step()``
+        process exactly one event: either evaluate one due deadline
+        (returns the produced :class:`QueryRecord` in a list) or fire one
+        interaction (returns ``[]``). Advances the session's clock to the
+        event time.
+
+    Parameters
+    ----------
+    engine, oracle, settings:
+        As for :class:`BenchmarkDriver`. The engine must be prepared.
+    workflows:
+        The session's workflow suite, run sequentially.
+    session_id:
+        Identifier used by the session server for seeding, grouping and
+        reporting; purely informational here.
+    first_query_id:
+        Value of the first record's ``query_id`` (the counter then
+        increments per query, across workflow boundaries).
+    lifecycle:
+        When True (default) the driver brackets every workflow with
+        ``engine.workflow_start()`` / ``engine.workflow_end()`` (Listing
+        1's lifecycle hooks). The session server's shared-engine mode
+        passes False: a long-lived engine serving many sessions must not
+        let one session's workflow boundary clear another session's
+        caches.
+    on_record:
+        Optional callback invoked with every produced record as soon as
+        its deadline is evaluated — the per-session metric stream hook.
+    """
 
     def __init__(
         self,
         engine,
         oracle: GroundTruthOracle,
         settings: BenchmarkSettings,
+        workflows: Sequence[Workflow],
+        session_id: str = "session-0",
+        first_query_id: int = 0,
+        lifecycle: bool = True,
+        on_record: Optional[Callable[[QueryRecord], None]] = None,
     ):
         if engine.settings.scale != settings.scale:
             raise BenchmarkError("engine and driver settings disagree on scale")
@@ -97,68 +166,154 @@ class BenchmarkDriver:
         self.oracle = oracle
         self.settings = settings
         self.clock = engine.clock
-        self._query_counter = 0
+        self.session_id = session_id
+        self.lifecycle = lifecycle
+        self.on_record = on_record
+        self.records: List[QueryRecord] = []
+        self._workflows = list(workflows)
+        self._query_counter = first_query_id
+        self._wf_index = 0
+        self._interaction_index = 0
+        self._wf_start: Optional[float] = None
+        self._graph = VizGraph()
+        self._deadlines: List[_Deadline] = []
+        self._sequence = 0
+        self._hinted: List[AggQuery] = []
+        self._finished = not self._workflows
 
     # ------------------------------------------------------------------
-    def run_workflow(self, workflow: Workflow) -> List[QueryRecord]:
-        """Execute one workflow; returns one record per submitted query."""
-        records: List[QueryRecord] = []
-        graph = VizGraph()
-        deadlines: List[_Deadline] = []
-        sequence = 0
+    # Event interface
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once every workflow has run and every deadline is drained."""
+        return self._finished
 
-        self.engine.workflow_start()
-        start = self.clock.now()
-        think = self.settings.think_time
-        tr = self.settings.time_requirement
+    @property
+    def next_query_id(self) -> int:
+        """The ``query_id`` the next evaluated deadline would receive."""
+        return self._query_counter
 
-        for interaction_id, interaction in enumerate(workflow.interactions):
-            fire_at = start + interaction_id * think
-            self._drain_deadlines(deadlines, records, workflow, until=fire_at)
+    def next_event_time(self) -> Optional[float]:
+        """Absolute time of the next due event; None when finished.
+
+        Pure: repeated calls without an intervening :meth:`step` return
+        the same value and have no side effects.
+        """
+        if self._finished:
+            return None
+        if self._wf_start is None:
+            # The next workflow starts (and its first interaction fires)
+            # at the current time — workflow transitions take zero time.
+            return self.clock.now()
+        workflow = self._workflows[self._wf_index]
+        if self._interaction_index < len(workflow.interactions):
+            fire_at = self._fire_time()
+            if self._deadlines and self._deadlines[0].time <= fire_at + _TIE_EPSILON:
+                return self._deadlines[0].time
+            return fire_at
+        # All interactions fired; only the deadline tail remains.
+        return self._deadlines[0].time
+
+    def step(self) -> List[QueryRecord]:
+        """Process exactly one due event; returns any records produced."""
+        if self._finished:
+            return []
+        if self._wf_start is None:
+            if self.lifecycle:
+                self.engine.workflow_start()
+            self._wf_start = self.clock.now()
+        workflow = self._workflows[self._wf_index]
+        produced: List[QueryRecord] = []
+        pending = self._interaction_index < len(workflow.interactions)
+        fire_at = self._fire_time() if pending else None
+        if self._deadlines and (
+            fire_at is None or self._deadlines[0].time <= fire_at + _TIE_EPSILON
+        ):
+            deadline = heapq.heappop(self._deadlines)
+            self._advance(deadline.time)
+            record = self._evaluate(deadline, workflow)
+            self.records.append(record)
+            produced.append(record)
+            if self.on_record is not None:
+                self.on_record(record)
+        else:
             self._advance(fire_at)
+            self._fire_interaction(workflow, fire_at)
+            self._interaction_index += 1
+        self._maybe_finish_workflow(workflow)
+        return produced
 
-            if isinstance(interaction, DiscardViz):
-                # Tell the engine before the node disappears (Listing 1's
-                # delete_vizs: "free memory, if applicable").
-                if interaction.viz_name in graph:
-                    self.engine.delete_vizs([graph.query_for(interaction.viz_name)])
-            applied = graph.apply(interaction)
-            if isinstance(interaction, Link):
-                self._hint_speculation(graph, interaction)
-
-            submitted: List[Tuple[int, str, AggQuery]] = []
-            for viz_name in applied.affected:
-                query = graph.query_for(viz_name)
-                handle = self.engine.submit(query)
-                submitted.append((handle, viz_name, query))
-            for handle, viz_name, query in submitted:
-                heapq.heappush(
-                    deadlines,
-                    _Deadline(
-                        time=fire_at + tr,
-                        sequence=sequence,
-                        handle=handle,
-                        viz_name=viz_name,
-                        interaction_id=interaction_id,
-                        query=query,
-                        submitted_at=fire_at,
-                        num_concurrent=len(submitted),
-                    ),
-                )
-                sequence += 1
-
-        self._drain_deadlines(deadlines, records, workflow, until=None)
-        self.engine.workflow_end()
-        return records
-
-    def run_suite(self, workflows: Sequence[Workflow]) -> List[QueryRecord]:
-        """Run several workflows back to back (records concatenated)."""
-        records: List[QueryRecord] = []
-        for workflow in workflows:
-            records.extend(self.run_workflow(workflow))
-        return records
+    def run(self) -> List[QueryRecord]:
+        """Step the session to completion; returns all records."""
+        while not self._finished:
+            self.step()
+        return self.records
 
     # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fire_time(self) -> float:
+        return self._wf_start + self._interaction_index * self.settings.think_time
+
+    def _fire_interaction(self, workflow: Workflow, fire_at: float) -> None:
+        # ``fire_at`` is the exact think-time grid value. The clock can sit
+        # float dust past it (a deadline within _TIE_EPSILON drains first),
+        # and the grid value — not clock.now() — must stamp submissions and
+        # deadlines, exactly like the historical serial loop.
+        interaction = workflow.interactions[self._interaction_index]
+        if isinstance(interaction, DiscardViz):
+            # Tell the engine before the node disappears (Listing 1's
+            # delete_vizs: "free memory, if applicable").
+            if interaction.viz_name in self._graph:
+                self.engine.delete_vizs(
+                    [self._graph.query_for(interaction.viz_name)]
+                )
+        applied = self._graph.apply(interaction)
+        if isinstance(interaction, Link):
+            self._hint_speculation(self._graph, interaction)
+
+        submitted: List[Tuple[int, str, AggQuery]] = []
+        for viz_name in applied.affected:
+            query = self._graph.query_for(viz_name)
+            handle = self.engine.submit(query)
+            submitted.append((handle, viz_name, query))
+        for handle, viz_name, query in submitted:
+            heapq.heappush(
+                self._deadlines,
+                _Deadline(
+                    time=fire_at + self.settings.time_requirement,
+                    sequence=self._sequence,
+                    handle=handle,
+                    viz_name=viz_name,
+                    interaction_id=self._interaction_index,
+                    query=query,
+                    submitted_at=fire_at,
+                    num_concurrent=len(submitted),
+                ),
+            )
+            self._sequence += 1
+
+    def _maybe_finish_workflow(self, workflow: Workflow) -> None:
+        if self._interaction_index < len(workflow.interactions) or self._deadlines:
+            return
+        if self.lifecycle:
+            self.engine.workflow_end()
+        elif self._hinted:
+            # Without the workflow_end hook (shared-engine serving) the
+            # engine would never learn this workflow's speculation hints
+            # are obsolete: stale speculative tasks would keep consuming
+            # capacity and pin the engine's speculation cap for every
+            # other session. Free exactly what this session hinted.
+            self.engine.delete_vizs(self._hinted)
+        self._hinted = []
+        self._wf_index += 1
+        self._interaction_index = 0
+        self._wf_start = None
+        self._graph = VizGraph()
+        if self._wf_index >= len(self._workflows):
+            self._finished = True
+
     def _advance(self, time: float) -> None:
         now = self.clock.now()
         if time > now:
@@ -167,19 +322,6 @@ class BenchmarkDriver:
             else:
                 self.clock.advance(time - now)
         self.engine.advance_to(self.clock.now())
-
-    def _drain_deadlines(
-        self,
-        deadlines: List[_Deadline],
-        records: List[QueryRecord],
-        workflow: Workflow,
-        until: Optional[float],
-    ) -> None:
-        """Evaluate every deadline due before ``until`` (None = all)."""
-        while deadlines and (until is None or deadlines[0].time <= until + 1e-12):
-            deadline = heapq.heappop(deadlines)
-            self._advance(deadline.time)
-            records.append(self._evaluate(deadline, workflow))
 
     def _evaluate(self, deadline: _Deadline, workflow: Workflow) -> QueryRecord:
         result = self.engine.result_at(deadline.handle, deadline.time)
@@ -234,4 +376,50 @@ class BenchmarkDriver:
             speculative.append(target_node.spec.base_query(effective))
             if len(speculative) >= MAX_SPECULATIVE_PER_LINK:
                 break
+        self._hinted.extend(speculative)
         self.engine.link_vizs(speculative)
+
+
+class BenchmarkDriver:
+    """Runs workflows against one engine and collects detailed records.
+
+    A thin serial façade over :class:`SessionDriver`: each
+    :meth:`run_workflow` call steps a one-workflow session to completion,
+    carrying the query-id counter across calls so a suite numbers its
+    queries consecutively (Table 1's ``id`` column).
+    """
+
+    def __init__(
+        self,
+        engine,
+        oracle: GroundTruthOracle,
+        settings: BenchmarkSettings,
+    ):
+        if engine.settings.scale != settings.scale:
+            raise BenchmarkError("engine and driver settings disagree on scale")
+        self.engine = engine
+        self.oracle = oracle
+        self.settings = settings
+        self.clock = engine.clock
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------
+    def run_workflow(self, workflow: Workflow) -> List[QueryRecord]:
+        """Execute one workflow; returns one record per submitted query."""
+        session = SessionDriver(
+            self.engine,
+            self.oracle,
+            self.settings,
+            [workflow],
+            first_query_id=self._query_counter,
+        )
+        records = session.run()
+        self._query_counter = session.next_query_id
+        return records
+
+    def run_suite(self, workflows: Sequence[Workflow]) -> List[QueryRecord]:
+        """Run several workflows back to back (records concatenated)."""
+        records: List[QueryRecord] = []
+        for workflow in workflows:
+            records.extend(self.run_workflow(workflow))
+        return records

@@ -1,4 +1,4 @@
-"""Terminal plotting for benchmark reports.
+"""Terminal plotting for benchmark reports (§5's Fig. 5 and Fig. 6a–c).
 
 Fig. 5 of the paper presents the distribution of mean relative errors as a
 CDF truncated at 100 % error, with the area *above* the curve printed as a

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple, Union
 import numpy as np
 
 from repro.bench.driver import QueryRecord
+from repro.common.fingerprint import fmt_cell as _fmt
 
 #: Column order of the detailed CSV — mirrors Table 1 of the paper.
 DETAILED_COLUMNS = (
@@ -93,12 +94,6 @@ def _record_row(record: QueryRecord) -> List[object]:
         record.num_concurrent,
         _fmt(record.qualifying_fraction),
     ]
-
-
-def _fmt(value: float) -> str:
-    if value is None or (isinstance(value, float) and math.isnan(value)):
-        return ""
-    return f"{value:.6f}"
 
 
 class DetailedReport:

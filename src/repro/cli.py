@@ -9,14 +9,19 @@ CLI exposes the same lifecycle::
     repro view workflows/mixed_0.json
     repro run --engine idea-sim --tr 3 --out report.csv
     repro run-matrix --jobs 4 --cache-dir .repro-cache --out matrix.csv
+    repro serve --engine idea-sim --sessions 4 --verify
+    repro bench-sessions --engines idea-sim --sessions 1,2,4
     repro report report.csv
 
 ``run`` executes the default configuration (mixed workflows) against one
 engine simulator under the given settings and writes the detailed report;
 ``run-matrix`` plans an engines × TRs × sizes × workflow-types matrix and
 executes it through the parallel runtime (sharded across ``--jobs``
-worker processes, cached/resumable via ``--cache-dir``); ``report``
-renders the Fig.-5-style summary from a detailed CSV.
+worker processes, cached/resumable via ``--cache-dir``); ``serve`` runs N
+concurrent simulated IDE sessions through the asyncio session server
+(§2.2 multi-user serving; see docs/server.md); ``bench-sessions`` sweeps
+session counts × engines into a load report; ``report`` renders the
+Fig.-5-style summary from a detailed CSV.
 """
 
 from __future__ import annotations
@@ -175,14 +180,8 @@ def _split(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
-def _cmd_run_matrix(args) -> int:
-    settings = BenchmarkSettings(
-        scale=args.scale,
-        seed=args.seed,
-        think_time=args.think_time,
-        workflows_per_type=args.per_type,
-    )
-    engines = _split(args.engines)
+def _check_engines(engines: List[str]) -> bool:
+    """Print a stderr message and return False on unknown engine names."""
     known_engines = list(MAIN_ENGINES) + ["system-y-sim"]
     unknown = [engine for engine in engines if engine not in known_engines]
     if unknown:
@@ -191,6 +190,19 @@ def _cmd_run_matrix(args) -> int:
             f"(choose from {', '.join(known_engines)})",
             file=sys.stderr,
         )
+        return False
+    return True
+
+
+def _cmd_run_matrix(args) -> int:
+    settings = BenchmarkSettings(
+        scale=args.scale,
+        seed=args.seed,
+        think_time=args.think_time,
+        workflows_per_type=args.per_type,
+    )
+    engines = _split(args.engines)
+    if not _check_engines(engines):
         return 1
     specs = plan_matrix(
         settings,
@@ -251,6 +263,146 @@ def _cmd_run_matrix(args) -> int:
                     out_dir / f"{result.spec.cell_id}.csv"
                 )
         print(f"wrote per-cell detailed reports to {out_dir}/")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import (
+        SessionManager,
+        render_session_table,
+        serial_baseline,
+        total_records,
+    )
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.parse(args.size),
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=args.tr,
+        think_time=args.think_time,
+    )
+    if args.verify and args.share_engine:
+        print(
+            "--verify needs isolated sessions (omit --share-engine): "
+            "under a shared engine sessions contend, so per-session "
+            "reports legitimately differ from serial runs",
+            file=sys.stderr,
+        )
+        return 1
+    ctx = ExperimentContext(settings)
+    workflow_type = WorkflowType(args.workflow_type)
+    on_record = None
+    if args.follow:
+        def on_record(session_id, record):
+            status = "VIOLATED" if record.tr_violated else "ok"
+            print(
+                f"  [{record.end_time:8.2f}s] {session_id} "
+                f"q{record.query_id} {record.viz_name}: {status}"
+            )
+    manager = SessionManager.for_engine(
+        ctx,
+        args.engine,
+        args.sessions,
+        per_session=args.per_session,
+        workflow_type=workflow_type,
+        share_engine=args.share_engine,
+        accel=args.accel,
+        speculation=args.speculation,
+        on_record=on_record,
+    )
+    mode = "shared engine" if args.share_engine else "isolated engines"
+    pacing = f", paced at {args.accel:g}x" if args.accel else ""
+    print(
+        f"serving {args.sessions} sessions × {args.per_session} "
+        f"{workflow_type.value} workflows on {args.engine} ({mode}{pacing})"
+    )
+    results = manager.run()
+    print()
+    print(render_session_table(
+        results,
+        title=f"{args.engine} @ TR={settings.time_requirement}s, "
+              f"{args.sessions} sessions ({mode})",
+    ))
+    print(f"\n{total_records(results)} queries across {len(results)} "
+          f"sessions in {manager.wall_seconds:.2f}s wall")
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            result.detailed_report().to_csv(
+                out_dir / f"{result.session_id}.csv"
+            )
+        print(f"wrote per-session detailed reports to {out_dir}/")
+    if args.verify:
+        baseline = serial_baseline(
+            ctx, args.engine, manager.specs, speculation=args.speculation
+        )
+        mismatched = [
+            result.session_id
+            for result, reference in zip(results, baseline)
+            if result.csv_text() != reference.csv_text()
+        ]
+        if mismatched:
+            print(
+                f"VERIFY FAILED: sessions {', '.join(mismatched)} differ "
+                f"from their serial runs",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"verify: all {len(results)} per-session reports byte-identical "
+            f"to serial runs"
+        )
+    return 0
+
+
+def _cmd_bench_sessions(args) -> int:
+    from repro.server import (
+        render_session_bench,
+        run_session_bench,
+        write_session_bench_csv,
+    )
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.parse(args.size),
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=args.tr,
+        think_time=args.think_time,
+    )
+    engines = _split(args.engines)
+    if not _check_engines(engines):
+        return 1
+    session_counts = [int(count) for count in _split(args.sessions)]
+    modes = _split(args.modes)
+    ctx = ExperimentContext(settings)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    print(
+        f"session load sweep: {len(engines)} engines × "
+        f"{len(session_counts)} session counts × {len(modes)} modes, "
+        f"{args.per_session} {args.workflow_type} workflows/session"
+        + (f", cache={args.cache_dir}" if args.cache_dir else "")
+    )
+    try:
+        cells = run_session_bench(
+            ctx,
+            engines,
+            session_counts,
+            per_session=args.per_session,
+            workflow_type=WorkflowType(args.workflow_type),
+            modes=modes,
+            store=store,
+            progress=None if args.quiet else print,
+        )
+    except ValueError as error:
+        # run_session_bench validates modes before any cell runs.
+        print(str(error), file=sys.stderr)
+        return 1
+    print()
+    print(render_session_bench(cells, title="sessions × engine load report"))
+    if args.out:
+        write_session_bench_csv(args.out, cells)
+        print(f"\nwrote load report ({len(cells)} cells) to {args.out}")
     return 0
 
 
@@ -382,6 +534,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_matrix.add_argument("--quiet", action="store_true",
                           help="suppress per-cell progress lines")
     p_matrix.set_defaults(func=_cmd_run_matrix)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve N concurrent simulated IDE sessions (asyncio server)",
+    )
+    _add_settings_arguments(p_serve)
+    p_serve.add_argument("--engine", default="idea-sim",
+                         choices=list(MAIN_ENGINES) + ["system-y-sim"])
+    p_serve.add_argument("--sessions", type=int, default=4,
+                         help="number of concurrent sessions to serve")
+    p_serve.add_argument("--per-session", type=int, default=2,
+                         dest="per_session",
+                         help="workflows per session (seeded per session)")
+    p_serve.add_argument("--workflow-type", default="mixed",
+                         dest="workflow_type",
+                         help="workflow type of the per-session suites")
+    p_serve.add_argument("--tr", type=float, default=3.0,
+                         help="time requirement in seconds")
+    p_serve.add_argument("--think-time", type=float, default=1.0,
+                         dest="think_time")
+    p_serve.add_argument("--share-engine", action="store_true",
+                         dest="share_engine",
+                         help="all sessions contend on ONE engine "
+                              "(per-session fair scheduling)")
+    p_serve.add_argument("--accel", type=float, default=None,
+                         help="pace events to wall time at this "
+                              "acceleration (1 = real time; default: "
+                              "as fast as possible)")
+    p_serve.add_argument("--speculation", action="store_true",
+                         help="enable speculative execution (idea-sim)")
+    p_serve.add_argument("--follow", action="store_true",
+                         help="stream per-query results live as deadlines "
+                              "are evaluated")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="re-run every session serially and check the "
+                              "per-session reports are byte-identical")
+    p_serve.add_argument("--out", default=None,
+                         help="directory for per-session detailed CSVs")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench = sub.add_parser(
+        "bench-sessions",
+        help="sessions × engine load report for the session server",
+    )
+    _add_settings_arguments(p_bench)
+    p_bench.add_argument("--engines", default="idea-sim",
+                         help="comma-separated engine names")
+    p_bench.add_argument("--sessions", default="1,2,4",
+                         help="comma-separated session counts")
+    p_bench.add_argument("--modes", default="isolated,shared",
+                         help="comma-separated serving modes "
+                              "(isolated, shared)")
+    p_bench.add_argument("--per-session", type=int, default=2,
+                         dest="per_session",
+                         help="workflows per session")
+    p_bench.add_argument("--workflow-type", default="mixed",
+                         dest="workflow_type",
+                         help="workflow type of the per-session suites")
+    p_bench.add_argument("--tr", type=float, default=3.0,
+                         help="time requirement in seconds")
+    p_bench.add_argument("--think-time", type=float, default=1.0,
+                         dest="think_time")
+    p_bench.add_argument("--cache-dir", default=None, dest="cache_dir",
+                         help="artifact store directory (cells restore on "
+                              "re-run)")
+    p_bench.add_argument("--out", default=None,
+                         help="load report CSV path (deterministic bytes)")
+    p_bench.add_argument("--quiet", action="store_true",
+                         help="suppress per-cell progress lines")
+    p_bench.set_defaults(func=_cmd_bench_sessions)
 
     p_rep = sub.add_parser("report", help="summarize a detailed report CSV")
     p_rep.add_argument("detailed", help="path to detailed report CSV")

@@ -25,7 +25,12 @@ from repro.common.errors import (
     WorkflowError,
 )
 from repro.common.fingerprint import canonical_json, canonicalize, stable_digest
-from repro.common.rng import derive_cell_seed, derive_rng, derive_seed
+from repro.common.rng import (
+    derive_cell_seed,
+    derive_rng,
+    derive_seed,
+    derive_session_seed,
+)
 
 __all__ = [
     "BenchmarkError",
@@ -46,5 +51,6 @@ __all__ = [
     "derive_cell_seed",
     "derive_rng",
     "derive_seed",
+    "derive_session_seed",
     "stable_digest",
 ]

@@ -1,4 +1,4 @@
-"""Exception hierarchy for the IDEBench reproduction.
+"""Exception hierarchy for the IDEBench reproduction (§4.4's components).
 
 Every error raised by this package derives from :class:`BenchmarkError`, so
 callers embedding the benchmark can catch one type. Subclasses separate the

@@ -1,4 +1,4 @@
-"""Canonical, process-portable fingerprints for cache and run-matrix keys.
+"""Canonical fingerprints for cache keys (§1's reproducibility, on disk).
 
 Python's built-in ``hash()`` is salted per process (``PYTHONHASHSEED``),
 so it can never key an on-disk cache or compare cells across worker
@@ -9,6 +9,9 @@ package uses:
   containers) to a canonical JSON-compatible structure;
 * :func:`canonical_json` — its deterministic serialization (sorted keys,
   no whitespace);
+* :func:`fmt_cell` — the fixed-format float-to-CSV-cell renderer every
+  deterministic report shares (one definition, so "stable CSV bytes"
+  means the same thing everywhere);
 * :func:`stable_digest` — a SHA-256 hex digest of that serialization,
   identical across processes, machines and Python invocations.
 
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from enum import Enum
 
 #: Bump when the canonical representation of cached artifacts changes in a
@@ -84,3 +88,15 @@ def stable_digest(value, length: int = DIGEST_LENGTH) -> str:
     """
     digest = hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
     return digest if length is None else digest[:length]
+
+
+def fmt_cell(value) -> str:
+    """Render a float for a deterministic CSV cell (NaN/None → empty).
+
+    Shared by every report module that promises byte-stable CSVs
+    (:mod:`repro.runtime.report`, :mod:`repro.server.report`,
+    :mod:`repro.bench.report`): six fixed decimals, locale-independent.
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return ""
+    return f"{value:.6f}"

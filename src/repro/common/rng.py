@@ -52,3 +52,18 @@ def derive_cell_seed(root_seed: int, cell_fingerprint: str) -> int:
     *what* the cell is, never on *when* or *where* it runs.
     """
     return derive_seed(root_seed, "runtime-cell", cell_fingerprint)
+
+
+def derive_session_seed(root_seed: int, session_index: int) -> int:
+    """Seed for one simulated IDE session of the session server.
+
+    Every session the server multiplexes gets its own seed, derived from
+    the run's root seed plus the session's index via the
+    ``("server-session", index)`` purpose string. Session *i*'s workflow
+    suite is therefore a pure function of ``(root_seed, i)`` — invariant
+    to how many sessions run alongside it, to stepping interleave, and to
+    wall-clock pacing — which is what lets the same suite be re-run
+    through the serial driver and compared byte-for-byte
+    (docs/server.md's determinism guarantee).
+    """
+    return derive_seed(root_seed, "server-session", session_index)

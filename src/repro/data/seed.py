@@ -1,4 +1,4 @@
-"""Synthetic U.S. domestic flights seed dataset.
+"""Synthetic U.S. domestic flights seed dataset (§5.1's default data).
 
 The paper's default configuration uses real BTS "on-time performance"
 flight records [31] because *"it contains real-world data and

@@ -128,6 +128,11 @@ class Engine:
         """Rows physically present (the population all answers refer to)."""
         return self.dataset.num_fact_rows
 
+    @property
+    def is_prepared(self) -> bool:
+        """Whether :meth:`prepare` has run (it may run only once)."""
+        return self._prepared
+
     def prepare(self) -> PreparationReport:
         """Prepare the engine; returns the modeled preparation time."""
         if self._prepared:

@@ -70,6 +70,16 @@ class FrontendEngine:
     def actual_rows(self) -> int:
         return self.backend.actual_rows
 
+    @property
+    def scheduler(self):
+        """The backend's scheduler (the frontend adds no execution of
+        its own, so session grouping/policies apply to the backend)."""
+        return self.backend.scheduler
+
+    @property
+    def is_prepared(self) -> bool:
+        return self.backend.is_prepared
+
     # -- lifecycle ---------------------------------------------------------
     def prepare(self) -> PreparationReport:
         report = self.backend.prepare()

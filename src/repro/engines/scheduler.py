@@ -14,13 +14,31 @@ as a step-linear history, so engines can ask "how much work had task T
 received at time t?" for any past t. That is what report-interval engines
 (XDB) need to reconstruct the result that was available at a tick, and
 what makes driver-side polling deterministic.
+
+How capacity splits among active tasks is a pluggable
+:class:`SchedulingPolicy`:
+
+* :class:`WeightedSharingPolicy` (the default) is the classic scheme
+  above — each task's rate is ``weight / total_weight``;
+* :class:`FairSessionPolicy` adds a *group* tier for the session server
+  (docs/server.md): capacity first splits across groups with active
+  tasks (one group per simulated session, each claiming
+  ``min(1, Σ weights)``), then by weight within a group — so one session
+  issuing ten concurrent queries cannot starve a session issuing one,
+  mirroring per-connection fair scheduling in a multi-user DBMS, while
+  sessions with only near-zero-weight background work yield their share.
+
+Tasks are tagged with a group at :meth:`add_task` time, either explicitly
+or via :meth:`ProcessorSharingScheduler.set_group` (a scoped default the
+session server sets before stepping each session, so engine code that
+predates groups keeps working unchanged).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.clock import Clock
 from repro.common.errors import EngineError
@@ -31,6 +49,7 @@ class _Task:
     task_id: int
     work_total: float  # seconds of exclusive service needed; inf = open-ended
     weight: float
+    group: Optional[str] = None
     work_done: float = 0.0
     finished_at: Optional[float] = None
     cancelled: bool = False
@@ -71,29 +90,134 @@ class _Task:
         return w0 + frac * (w1 - w0)
 
 
+class SchedulingPolicy:
+    """Hook deciding how engine capacity splits among active tasks.
+
+    ``rates`` receives the currently active tasks and returns each task's
+    instantaneous share of capacity (the shares must sum to 1.0). The
+    scheduler re-queries the policy whenever the active set changes, so a
+    policy only ever reasons about one instant.
+    """
+
+    def rates(self, active: Sequence[_Task]) -> Dict[int, float]:
+        raise NotImplementedError
+
+
+class WeightedSharingPolicy(SchedulingPolicy):
+    """Classic weighted processor sharing: rate ∝ task weight (§2.2).
+
+    This is the historical (and default) behavior — groups are ignored.
+    """
+
+    def rates(self, active: Sequence[_Task]) -> Dict[int, float]:
+        total_weight = sum(task.weight for task in active)
+        return {task.task_id: task.weight / total_weight for task in active}
+
+
+class FairSessionPolicy(SchedulingPolicy):
+    """Two-tier fair sharing for multi-session engines (docs/server.md).
+
+    Capacity splits across *groups* of active tasks first, by task weight
+    within a group second. With a group per simulated session this is
+    per-session fair scheduling: a 1:N dashboard interaction that launches
+    ten concurrent queries slows only its own session's queries down,
+    never another session's — the contention the paper studies in §2.2
+    stays confined to the session that caused it.
+
+    A group's claim is ``min(1, Σ member weights)``: every session with
+    ordinary foreground work (weight ≥ 1) claims one equal share no
+    matter how many concurrent queries it runs — but a session whose only
+    active tasks are near-zero-weight background work (the progressive
+    engine parks paused speculation at weight 1e-4) claims almost
+    nothing, preserving the engines' yield-to-foreground mechanics
+    instead of granting an idle session a full share for its background
+    noise.
+
+    Tasks without a group (``None``) form one shared group.
+    """
+
+    def rates(self, active: Sequence[_Task]) -> Dict[int, float]:
+        groups: Dict[Optional[str], List[_Task]] = {}
+        for task in active:
+            groups.setdefault(task.group, []).append(task)
+        claims = {
+            group: min(1.0, sum(task.weight for task in members))
+            for group, members in groups.items()
+        }
+        total_claim = sum(claims.values())
+        rates: Dict[int, float] = {}
+        for group, members in groups.items():
+            group_share = claims[group] / total_claim
+            group_weight = sum(task.weight for task in members)
+            for task in members:
+                rates[task.task_id] = group_share * task.weight / group_weight
+        return rates
+
+
 class ProcessorSharingScheduler:
     """Simulates an engine's capacity shared among concurrent tasks.
 
     The scheduler is driven by :meth:`advance_to`; between calls no state
     changes. Total capacity is 1.0 service-second per second; an exclusive
     task therefore completes ``work_total`` after exactly ``work_total``
-    seconds.
+    seconds. How the capacity splits among concurrent tasks is delegated
+    to ``policy`` (default: :class:`WeightedSharingPolicy`).
     """
 
-    def __init__(self, clock: Clock):
+    def __init__(self, clock: Clock, policy: Optional[SchedulingPolicy] = None):
         self._clock = clock
         self._tasks: Dict[int, _Task] = {}
         self._next_id = 0
         self._last_advance = clock.now()
+        self._policy = policy if policy is not None else WeightedSharingPolicy()
+        self._current_group: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Policy and group hooks (session server)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> SchedulingPolicy:
+        """The active capacity-sharing policy."""
+        return self._policy
+
+    def set_policy(self, policy: SchedulingPolicy) -> None:
+        """Install a policy; only allowed before any task exists.
+
+        Swapping mid-run would retroactively change settled service
+        histories' meaning, so the scheduler refuses once tasks exist.
+        """
+        if self._tasks:
+            raise EngineError("cannot change scheduling policy once tasks exist")
+        self._policy = policy
+
+    def set_group(self, group: Optional[str]) -> None:
+        """Set the default group tag for subsequently added tasks.
+
+        The session server calls this with the session id before stepping
+        each session, so every task an engine creates on the session's
+        behalf lands in that session's group without the engine knowing
+        about sessions at all.
+        """
+        self._current_group = group
+
+    def task_group(self, task_id: int) -> Optional[str]:
+        """The group a task was tagged with at creation."""
+        return self._get(task_id).group
 
     # ------------------------------------------------------------------
     # Task management
     # ------------------------------------------------------------------
-    def add_task(self, work_total: float, weight: float = 1.0) -> int:
+    def add_task(
+        self,
+        work_total: float,
+        weight: float = 1.0,
+        group: Optional[str] = None,
+    ) -> int:
         """Register a task at the current time; returns its id.
 
         ``work_total`` may be ``math.inf`` for open-ended (speculative)
-        tasks that run until cancelled.
+        tasks that run until cancelled. ``group`` defaults to the scoped
+        group set via :meth:`set_group` (None outside the session server).
         """
         if work_total < 0:
             raise EngineError(f"work_total must be >= 0, got {work_total}")
@@ -101,7 +225,12 @@ class ProcessorSharingScheduler:
             raise EngineError(f"weight must be positive, got {weight}")
         now = self._clock.now()
         self._settle(now)
-        task = _Task(task_id=self._next_id, work_total=work_total, weight=weight)
+        task = _Task(
+            task_id=self._next_id,
+            work_total=work_total,
+            weight=weight,
+            group=group if group is not None else self._current_group,
+        )
         task.record(now)
         if work_total == 0.0:
             task.finished_at = now
@@ -165,20 +294,21 @@ class ProcessorSharingScheduler:
             active = [t for t in self._tasks.values() if t.active]
             if not active:
                 break
-            total_weight = sum(t.weight for t in active)
+            rates = self._policy.rates(active)
             # Time until the earliest finite task finishes at current rates.
             earliest: Optional[float] = None
             for task in active:
                 if math.isinf(task.work_total):
                     continue
-                rate = task.weight / total_weight
+                rate = rates[task.task_id]
                 eta = task.remaining / rate if rate > 0 else math.inf
                 if earliest is None or eta < earliest:
                     earliest = eta
             step = remaining_dt if earliest is None else min(remaining_dt, earliest)
             for task in active:
-                rate = task.weight / total_weight
-                task.work_done = min(task.work_total, task.work_done + step * rate)
+                task.work_done = min(
+                    task.work_total, task.work_done + step * rates[task.task_id]
+                )
             now += step
             remaining_dt -= step
             for task in active:

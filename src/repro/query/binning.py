@@ -1,4 +1,4 @@
-"""Vectorized binning: value arrays → bin codes → bin keys.
+"""Vectorized binning (§2.2's binned aggregation): values → codes → keys.
 
 This is the inner loop shared by the ground-truth oracle and all engine
 simulators. A :class:`~repro.query.model.BinDimension` maps each row to a

@@ -1,6 +1,7 @@
-"""Round-trip parser for the SQL emitted by :mod:`repro.query.sql`.
+"""Round-trip parser for the Fig.-4 SQL emitted by :mod:`repro.query.sql`.
 
-A real IDEBench deployment hands SQL to external systems; adapters that
+A real IDEBench deployment hands SQL to external systems (§4.4: the
+driver "automatically translates queries to SQL"); adapters that
 *receive* SQL (e.g. a proxy in front of an actual DBMS) need to get the
 structured query back. This module implements a tokenizer plus a recursive-
 descent parser for exactly the statement shape :func:`query_to_sql`

@@ -1,4 +1,4 @@
-"""Multiprocess run-matrix execution with caching and resumption.
+"""Multiprocess execution of §5's evaluation matrix, cached and resumable.
 
 :class:`MatrixExecutor` takes a planned list of :class:`RunSpec` cells and
 executes them either in-process (``jobs=1``, reusing one

@@ -1,4 +1,4 @@
-"""Deterministic aggregation of run-matrix results.
+"""Deterministic aggregation of run-matrix results (§5's summary metrics).
 
 The matrix summary is one row per cell with the Fig.-5 summary metrics.
 Determinism rules (what makes ``--jobs N`` byte-identical to ``--jobs 1``):
@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import csv
 import io
-import math
 from pathlib import Path
 from typing import List, Sequence, Union
 
 from repro.bench.report import summarize_records
+from repro.common.fingerprint import fmt_cell as _fmt
 from repro.runtime.executor import CellResult
 
 #: Column order of the matrix summary CSV.
@@ -42,12 +42,6 @@ MATRIX_COLUMNS = (
     "mean_bias",
     "prep_seconds",
 )
-
-
-def _fmt(value: float) -> str:
-    if value is None or (isinstance(value, float) and math.isnan(value)):
-        return ""
-    return f"{value:.6f}"
 
 
 def matrix_summary_rows(results: Sequence[CellResult]) -> List[List[object]]:

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk artifact store for the parallel runtime.
+"""Content-addressed artifact store backing §5's evaluation matrix.
 
 Expensive shared artifacts — generated datasets, workflow suites, exact
 ground-truth answers, per-cell detailed reports — are pure functions of a

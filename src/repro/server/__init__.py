@@ -1,0 +1,61 @@
+"""Async session server: concurrent simulated IDE sessions (§2.2, §4.4).
+
+The paper benchmarks *one* simulated user at a time; a deployed
+interactive-exploration backend faces many at once (the Purich et al.
+adaptive-benchmark direction — see PAPERS.md). This subpackage serves N
+think-time-paced sessions concurrently from one process:
+
+* :mod:`repro.server.session` — :class:`SessionSpec` (one user's seeded
+  workflow suite), :class:`SessionStream` (live per-session metric
+  stream), :class:`SessionResult` (per-session Table-1/Fig.-5 reports);
+* :mod:`repro.server.manager` — :class:`SessionManager`, the asyncio
+  multiplexer stepping sessions in deterministic global virtual-time
+  order, in *isolated* (byte-identical to serial) or *shared-engine*
+  (fair-scheduled contention) topology;
+* :mod:`repro.server.clock` — :class:`AsyncClock`, wall-clock pacing for
+  real-time/accelerated serving without losing determinism;
+* :mod:`repro.server.report` — per-session tables and the
+  ``bench-sessions`` sessions × engine load report, persisted through
+  the runtime artifact store.
+
+Usage, guarantees and clock modes are documented in docs/server.md;
+``examples/session_server_demo.py`` is a runnable three-session tour.
+"""
+
+from repro.server.clock import AsyncClock
+from repro.server.manager import (
+    SessionManager,
+    serial_baseline,
+    session_specs,
+)
+from repro.server.report import (
+    SessionBenchCell,
+    render_session_bench,
+    render_session_table,
+    run_session_bench,
+    session_bench_csv_text,
+    write_session_bench_csv,
+)
+from repro.server.session import (
+    SessionResult,
+    SessionSpec,
+    SessionStream,
+    total_records,
+)
+
+__all__ = [
+    "AsyncClock",
+    "SessionBenchCell",
+    "SessionManager",
+    "SessionResult",
+    "SessionSpec",
+    "SessionStream",
+    "render_session_bench",
+    "render_session_table",
+    "run_session_bench",
+    "serial_baseline",
+    "session_bench_csv_text",
+    "session_specs",
+    "total_records",
+    "write_session_bench_csv",
+]

@@ -1,0 +1,59 @@
+"""Async pacing clock: real-time / accelerated stepping for sessions.
+
+The paper's original driver runs against live systems in real time —
+think times are genuinely slept (§4.6). The reproduction's virtual clock
+collapses that waiting so a full run finishes in seconds. The session
+server supports both, and a continuum in between, through one mechanism:
+
+*simulation time is always exact; wall time only gates when events are
+allowed to happen.*
+
+A :class:`AsyncClock` maps virtual seconds onto wall seconds through an
+acceleration factor (``accel=1`` → real time, ``accel=60`` → one virtual
+minute per wall second). Before a session steps an event at virtual time
+``t``, the server awaits :meth:`sleep_until`, which sleeps until the wall
+deadline ``origin + t / accel`` — but the session's own
+:class:`~repro.common.clock.VirtualClock` is still advanced to exactly
+``t``. Engines therefore compute with precise event times in every mode,
+which is why paced runs produce byte-identical reports to unpaced ones
+(docs/server.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+
+
+class AsyncClock:
+    """Wall-clock pacer for virtual-time event schedules.
+
+    Parameters
+    ----------
+    accel:
+        Virtual seconds per wall second; must be positive. ``1.0`` paces
+        the simulation to real time (like the original IDEBench driver),
+        larger values accelerate it.
+    """
+
+    def __init__(self, accel: float = 1.0):
+        if accel <= 0:
+            raise ConfigurationError(f"accel must be positive, got {accel!r}")
+        self.accel = float(accel)
+        self._origin: Optional[float] = None
+
+    async def sleep_until(self, virtual_time: float) -> None:
+        """Sleep until the wall deadline of ``virtual_time`` (no-op if past).
+
+        The first call anchors virtual time 0 to the current wall time,
+        so the first event is never delayed by setup cost.
+        """
+        if self._origin is None:
+            self._origin = time.monotonic() - virtual_time / self.accel
+        target = self._origin + virtual_time / self.accel
+        delay = target - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)

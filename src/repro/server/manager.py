@@ -1,0 +1,387 @@
+"""The asyncio session server: N concurrent simulated IDE sessions.
+
+IDEBench models interactive exploration as think-time-paced sessions
+issuing concurrent queries (§2.2, §4.4). The serial driver simulates one
+such session at a time; :class:`SessionManager` serves *many at once*
+from a single process, the way a deployed exploration backend would face
+its users. Each session is a :class:`~repro.bench.driver.SessionDriver`
+(the steppable event machine factored out of the serial driver), run as
+an asyncio task and coordinated by a :class:`_VirtualTimeline` that
+grants step turns in **global virtual-time order** — the discrete-event
+merge of all sessions' event queues, with ties broken by session index,
+so a run's event order (and thus its output) is a pure function of its
+inputs.
+
+Two engine topologies:
+
+* **isolated** (default): every session gets its own engine instance over
+  the *shared* dataset/oracle/profiles. Sessions do not contend, so each
+  session's report is byte-identical to running its workflows through the
+  serial :class:`~repro.bench.driver.BenchmarkDriver` — the server's
+  acceptance guarantee (``repro serve --verify`` and
+  ``benchmarks/bench_session_server.py`` check it).
+* **shared** (``engine=...``): all sessions share one engine instance and
+  contend for its capacity. The engine's scheduler runs the
+  :class:`~repro.engines.scheduler.FairSessionPolicy` with one group per
+  session, so capacity splits fairly across sessions first and across
+  each session's concurrent queries second. Results differ from serial
+  (contention is the point) but remain deterministic: the same
+  configuration always produces the same bytes.
+
+Wall-clock pacing is orthogonal: with ``accel`` set, an
+:class:`~repro.server.clock.AsyncClock` sleeps each event to its wall
+deadline while the simulation still advances to exact virtual times —
+paced runs are byte-identical to unpaced ones (docs/server.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.driver import BenchmarkDriver, QueryRecord, SessionDriver
+from repro.common.clock import VirtualClock
+from repro.common.config import BenchmarkSettings
+from repro.common.errors import BenchmarkError
+from repro.common.rng import derive_session_seed
+from repro.engines.scheduler import FairSessionPolicy, WeightedSharingPolicy
+from repro.server.clock import AsyncClock
+from repro.server.session import SessionResult, SessionSpec, SessionStream
+from repro.workflow.generator import WorkflowGenerator
+from repro.workflow.spec import WorkflowType
+
+#: Sentinel: session is mid-step or has not declared its next event yet.
+_UNKNOWN = object()
+
+
+class _VirtualTimeline:
+    """Grants step turns in global (time, session index) order.
+
+    Every session task declares its next event time, then awaits its
+    turn; the turn goes to the globally minimal ``(time, index)`` pair,
+    but only once *every* live session has declared — a session that is
+    mid-step (or about to re-declare) holds the timeline, because its
+    next event might precede everyone else's. Exactly one session steps
+    at a time, and the grant order is deterministic.
+    """
+
+    def __init__(self, pacer: Optional[AsyncClock] = None):
+        self._cond = asyncio.Condition()
+        self._declared: Dict[int, object] = {}
+        self._pacer = pacer
+
+    def register(self, index: int) -> None:
+        """Pre-register a session so no grants happen before it declares."""
+        self._declared[index] = _UNKNOWN
+
+    async def acquire(self, index: int, event_time: float) -> None:
+        """Declare the session's next event and wait for its turn."""
+        async with self._cond:
+            self._declared[index] = event_time
+            self._cond.notify_all()
+            while not self._granted(index):
+                await self._cond.wait()
+            # Hold the timeline while stepping: nobody else may be granted
+            # until this session declares its *next* event (or retires),
+            # since that event could be earlier than any other pending one.
+            self._declared[index] = _UNKNOWN
+        if self._pacer is not None:
+            await self._pacer.sleep_until(event_time)
+
+    def _granted(self, index: int) -> bool:
+        best: Optional[Tuple[float, int]] = None
+        for key, value in self._declared.items():
+            if value is _UNKNOWN:
+                return False
+            if best is None or (value, key) < best:
+                best = (value, key)
+        return best is not None and best[1] == index
+
+    async def retire(self, index: int) -> None:
+        """Remove a finished session from the timeline."""
+        async with self._cond:
+            self._declared.pop(index, None)
+            self._cond.notify_all()
+
+
+class SessionManager:
+    """Multiplexes N simulated IDE sessions over shared engine state.
+
+    Parameters
+    ----------
+    specs:
+        The sessions to serve (unique ids).
+    oracle, settings:
+        Shared ground-truth oracle and benchmark settings.
+    engines:
+        Isolated mode — one *prepared or fresh* engine per spec (the
+        manager prepares any engine that is not yet prepared). Mutually
+        exclusive with ``engine``.
+    engine:
+        Shared mode — a single engine all sessions contend on. If its
+        scheduler still runs the default
+        :class:`~repro.engines.scheduler.WeightedSharingPolicy`, the
+        manager installs :class:`~repro.engines.scheduler.FairSessionPolicy`
+        (one group per session) before preparing it.
+    accel:
+        Optional wall-clock pacing: virtual seconds per wall second
+        (``1.0`` = real time). ``None`` steps as fast as possible.
+    on_record:
+        Optional callback ``(session_id, record)`` subscribed to every
+        session's metric stream.
+
+    A manager is single-shot: :meth:`run` (or :meth:`run_async`) may be
+    called once; per-session streams are available on :attr:`streams`
+    while it runs, results come back as :class:`SessionResult` in spec
+    order. :attr:`trace` records the global step order ``(virtual time,
+    session id)`` for interleaving diagnostics.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SessionSpec],
+        oracle,
+        settings: BenchmarkSettings,
+        *,
+        engines: Optional[Sequence] = None,
+        engine=None,
+        accel: Optional[float] = None,
+        on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+    ):
+        self._specs = list(specs)
+        if not self._specs:
+            raise BenchmarkError("session manager needs at least one session")
+        ids = [spec.session_id for spec in self._specs]
+        if len(set(ids)) != len(ids):
+            raise BenchmarkError(f"duplicate session ids: {ids}")
+        if (engines is None) == (engine is None):
+            raise BenchmarkError(
+                "pass exactly one of engines= (isolated) or engine= (shared)"
+            )
+        self.oracle = oracle
+        self.settings = settings
+        self.shared = engine is not None
+        if self.shared:
+            if isinstance(engine.scheduler.policy, WeightedSharingPolicy):
+                engine.scheduler.set_policy(FairSessionPolicy())
+            self._engines = [engine] * len(self._specs)
+            self._shared_engine = engine
+        else:
+            engines = list(engines)
+            if len(engines) != len(self._specs):
+                raise BenchmarkError(
+                    f"{len(self._specs)} sessions need {len(self._specs)} "
+                    f"engines, got {len(engines)}"
+                )
+            self._engines = engines
+            self._shared_engine = None
+        self.accel = accel
+        self.streams: Dict[str, SessionStream] = {}
+        for spec in self._specs:
+            stream = SessionStream(spec.session_id)
+            if on_record is not None:
+                stream.subscribe(on_record)
+            self.streams[spec.session_id] = stream
+        self.trace: List[Tuple[float, str]] = []
+        self.wall_seconds: float = 0.0
+        self._timeline = _VirtualTimeline(
+            pacer=AsyncClock(accel) if accel is not None else None
+        )
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    @property
+    def specs(self) -> List[SessionSpec]:
+        return list(self._specs)
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self._specs)
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[SessionResult]:
+        """Serve all sessions to completion (blocking wrapper)."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> List[SessionResult]:
+        """Serve all sessions concurrently; results in spec order."""
+        if self._ran:
+            raise BenchmarkError("a SessionManager can only run once")
+        self._ran = True
+        for engine in self._unique_engines():
+            if not engine.is_prepared:
+                engine.prepare()
+        drivers = [
+            SessionDriver(
+                self._engines[index],
+                self.oracle,
+                self.settings,
+                list(spec.workflows),
+                session_id=spec.session_id,
+                lifecycle=not self.shared,
+                on_record=self.streams[spec.session_id].push,
+            )
+            for index, spec in enumerate(self._specs)
+        ]
+        for index in range(len(self._specs)):
+            self._timeline.register(index)
+        if self.shared:
+            # The shared engine lives for the whole serving run (Listing
+            # 1's lifecycle, once per service session, not per workflow).
+            self._shared_engine.workflow_start()
+        started = time.perf_counter()
+        await asyncio.gather(
+            *(
+                self._run_session(index, driver)
+                for index, driver in enumerate(drivers)
+            )
+        )
+        self.wall_seconds = time.perf_counter() - started
+        if self.shared:
+            self._shared_engine.workflow_end()
+            # Confine the serving run's mutation of the caller's engine:
+            # without this, later tasks submitted outside the server would
+            # silently inherit the last-stepped session's group.
+            self._shared_engine.scheduler.set_group(None)
+        return [
+            SessionResult(spec, self.streams[spec.session_id].records)
+            for spec in self._specs
+        ]
+
+    # ------------------------------------------------------------------
+    async def _run_session(self, index: int, driver: SessionDriver) -> None:
+        # Records flow through the driver's on_record hook (wired to the
+        # session's stream at construction) the moment each deadline is
+        # evaluated — step() is the only delivery path.
+        spec = self._specs[index]
+        try:
+            while True:
+                event_time = driver.next_event_time()
+                if event_time is None:
+                    break
+                await self._timeline.acquire(index, event_time)
+                self.trace.append((event_time, spec.session_id))
+                if self.shared:
+                    self._shared_engine.scheduler.set_group(spec.session_id)
+                driver.step()
+        finally:
+            await self._timeline.retire(index)
+
+    def _unique_engines(self) -> List:
+        unique: List = []
+        seen = set()
+        for engine in self._engines:
+            if id(engine) not in seen:
+                seen.add(id(engine))
+                unique.append(engine)
+        return unique
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_engine(
+        cls,
+        ctx,
+        engine_name: str,
+        num_sessions: int,
+        *,
+        per_session: int = 2,
+        workflow_type: WorkflowType = WorkflowType.MIXED,
+        share_engine: bool = False,
+        accel: Optional[float] = None,
+        speculation: bool = False,
+        normalized: bool = False,
+        on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+    ) -> "SessionManager":
+        """Build a manager from an :class:`ExperimentContext`.
+
+        Sessions get deterministic per-session workflow suites via
+        :func:`session_specs`; engines come from the engine registry over
+        the context's shared dataset.
+        """
+        from repro.bench.experiments import make_engine
+
+        settings = ctx.settings
+        dataset = ctx.dataset(settings.data_size, normalized)
+        oracle = ctx.oracle(settings.data_size, normalized)
+        specs = session_specs(
+            ctx, num_sessions, per_session=per_session, workflow_type=workflow_type
+        )
+        if share_engine:
+            engine = make_engine(
+                engine_name, dataset, settings, VirtualClock(), speculation
+            )
+            return cls(
+                specs, oracle, settings, engine=engine, accel=accel,
+                on_record=on_record,
+            )
+        engines = [
+            make_engine(engine_name, dataset, settings, VirtualClock(), speculation)
+            for _ in specs
+        ]
+        return cls(
+            specs, oracle, settings, engines=engines, accel=accel,
+            on_record=on_record,
+        )
+
+
+def session_specs(
+    ctx,
+    num_sessions: int,
+    per_session: int = 2,
+    workflow_type: WorkflowType = WorkflowType.MIXED,
+) -> List[SessionSpec]:
+    """Deterministic per-session workflow suites from a context.
+
+    Session *i*'s suite is generated with the seed
+    :func:`~repro.common.rng.derive_session_seed`\\ ``(root, i)`` over the
+    context's column profiles — a pure function of ``(root seed, i)``,
+    independent of how many sessions run or in what order they step.
+    """
+    if num_sessions < 1:
+        raise BenchmarkError(f"need at least one session, got {num_sessions!r}")
+    profiles = ctx.profiles(ctx.settings.data_size)
+    specs: List[SessionSpec] = []
+    for index in range(num_sessions):
+        seed = derive_session_seed(ctx.settings.seed, index)
+        generator = WorkflowGenerator(
+            profiles, table=ctx.settings.dataset, seed=seed
+        )
+        workflows = tuple(generator.generate_suite(workflow_type, per_session))
+        specs.append(
+            SessionSpec(
+                session_id=f"session-{index}", workflows=workflows, seed=seed
+            )
+        )
+    return specs
+
+
+def serial_baseline(
+    ctx,
+    engine_name: str,
+    specs: Sequence[SessionSpec],
+    *,
+    speculation: bool = False,
+    normalized: bool = False,
+) -> List[SessionResult]:
+    """Run each session's workflows through the serial driver.
+
+    The reference the server's isolated mode is compared against: one
+    fresh engine per session, stepped to completion by
+    :class:`~repro.bench.driver.BenchmarkDriver`. Per-session detailed
+    reports must be byte-identical to the server's.
+    """
+    from repro.bench.experiments import make_engine
+
+    settings = ctx.settings
+    dataset = ctx.dataset(settings.data_size, normalized)
+    oracle = ctx.oracle(settings.data_size, normalized)
+    results: List[SessionResult] = []
+    for spec in specs:
+        engine = make_engine(
+            engine_name, dataset, settings, VirtualClock(), speculation
+        )
+        engine.prepare()
+        driver = BenchmarkDriver(engine, oracle, settings)
+        results.append(SessionResult(spec, driver.run_suite(list(spec.workflows))))
+    return results

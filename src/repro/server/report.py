@@ -1,0 +1,323 @@
+"""Session-server reporting: per-session tables and the load report.
+
+Two renderings:
+
+* :func:`render_session_table` — one row per served session (the §4.8
+  summary metrics, scoped per session), printed by ``repro serve``;
+* the ``repro bench-sessions`` **load report** — a sessions × engine
+  sweep measuring how per-session quality and aggregate throughput
+  evolve as more simulated users share the process (and, in shared
+  mode, one engine). Cells persist through the runtime
+  :class:`~repro.runtime.store.ArtifactStore` under content keys, so
+  re-running a sweep with ``--cache-dir`` restores finished cells
+  exactly like ``repro run-matrix`` does.
+
+Determinism split, mirroring :mod:`repro.runtime.report`: the CSV holds
+only virtual-time quantities (stable bytes for a given configuration);
+wall-clock measurements are diagnostics, printed but never persisted
+into the deterministic columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.common.fingerprint import CACHE_SCHEMA_VERSION
+from repro.common.fingerprint import fmt_cell as _fmt
+from repro.server.manager import SessionManager
+from repro.server.session import SessionResult
+from repro.workflow.spec import WorkflowType
+
+#: Columns of the deterministic load-report CSV.
+BENCH_COLUMNS = (
+    "engine",
+    "sessions",
+    "mode",
+    "workflows_per_session",
+    "num_queries",
+    "pct_tr_violated",
+    "mean_missing_bins",
+    "mean_latency_answered",
+    "virtual_makespan",
+    "queries_per_virtual_second",
+)
+
+
+# ----------------------------------------------------------------------
+# Per-session table (repro serve)
+# ----------------------------------------------------------------------
+
+def session_makespan(result: SessionResult) -> float:
+    """Virtual seconds from session start to its last evaluated deadline."""
+    if not result.records:
+        return 0.0
+    return max(r.end_time for r in result.records)
+
+
+def render_session_table(
+    results: Sequence[SessionResult], title: str = "session server report"
+) -> str:
+    """One row per session: §4.8 summary metrics plus the virtual makespan."""
+    header = (
+        f"{'session':<12} {'workflows':>9} {'queries':>7} {'%TR viol':>9} "
+        f"{'missing':>8} {'MRE med':>8} {'makespan':>9}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for result in results:
+        summary = result.summary()
+        mre = "—" if math.isnan(summary.mre_median) else f"{summary.mre_median:.3f}"
+        lines.append(
+            f"{result.session_id:<12} {len(result.spec.workflows):>9} "
+            f"{summary.num_queries:>7} {summary.pct_tr_violated:>8.1f}% "
+            f"{summary.mean_missing_bins:>8.3f} {mre:>8} "
+            f"{session_makespan(result):>8.1f}s"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Load report (repro bench-sessions)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SessionBenchCell:
+    """One cell of the load report: (engine, session count, mode)."""
+
+    engine: str
+    sessions: int
+    mode: str  # "isolated" | "shared"
+    workflows_per_session: int
+    num_queries: int
+    pct_tr_violated: float
+    mean_missing_bins: float
+    #: Mean end-to-end latency of answered queries, virtual seconds.
+    mean_latency_answered: float
+    #: Virtual time from serving start to the last evaluated deadline.
+    virtual_makespan: float
+    #: Wall seconds of the serving run that produced this cell — a
+    #: diagnostic (never part of the deterministic CSV); cache-restored
+    #: cells carry the original run's measurement.
+    wall_seconds: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def queries_per_virtual_second(self) -> float:
+        if self.virtual_makespan <= 0:
+            return float("nan")
+        return self.num_queries / self.virtual_makespan
+
+    def payload(self) -> dict:
+        """The persistable (deterministic + diagnostic) cell content."""
+        return {
+            "engine": self.engine,
+            "sessions": self.sessions,
+            "mode": self.mode,
+            "workflows_per_session": self.workflows_per_session,
+            "num_queries": self.num_queries,
+            "pct_tr_violated": self.pct_tr_violated,
+            "mean_missing_bins": self.mean_missing_bins,
+            "mean_latency_answered": self.mean_latency_answered,
+            "virtual_makespan": self.virtual_makespan,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, from_cache: bool = False) -> "SessionBenchCell":
+        return cls(from_cache=from_cache, **payload)
+
+
+def bench_cell_key(
+    settings,
+    engine: str,
+    sessions: int,
+    mode: str,
+    per_session: int,
+    workflow_type: WorkflowType,
+) -> tuple:
+    """Artifact-store key of one load-report cell.
+
+    Everything the cell's deterministic output depends on goes in; wall
+    time and machine identity stay out, exactly like
+    :meth:`~repro.runtime.spec.RunSpec.fingerprint`.
+    """
+    return (
+        "session-bench",
+        CACHE_SCHEMA_VERSION,
+        settings.to_dict(),
+        engine,
+        sessions,
+        mode,
+        per_session,
+        workflow_type.value,
+    )
+
+
+def _cell_from_results(
+    engine: str,
+    sessions: int,
+    mode: str,
+    per_session: int,
+    results: Sequence[SessionResult],
+    wall_seconds: float,
+) -> SessionBenchCell:
+    records = [record for result in results for record in result.records]
+    answered = [r for r in records if not r.tr_violated]
+    latencies = [r.end_time - r.start_time for r in answered]
+    return SessionBenchCell(
+        engine=engine,
+        sessions=sessions,
+        mode=mode,
+        workflows_per_session=per_session,
+        num_queries=len(records),
+        pct_tr_violated=(
+            100.0 * sum(r.tr_violated for r in records) / len(records)
+            if records
+            else float("nan")
+        ),
+        mean_missing_bins=(
+            sum(r.metrics.missing_bins for r in records) / len(records)
+            if records
+            else float("nan")
+        ),
+        mean_latency_answered=(
+            sum(latencies) / len(latencies) if latencies else float("nan")
+        ),
+        virtual_makespan=max((r.end_time for r in records), default=0.0),
+        wall_seconds=wall_seconds,
+    )
+
+
+def run_session_bench(
+    ctx,
+    engines: Sequence[str],
+    session_counts: Sequence[int],
+    *,
+    per_session: int = 2,
+    workflow_type: WorkflowType = WorkflowType.MIXED,
+    modes: Sequence[str] = ("isolated", "shared"),
+    store=None,
+    reuse_results: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[SessionBenchCell]:
+    """Run the sessions × engine sweep; cells restore from ``store``."""
+    unknown_modes = [mode for mode in modes if mode not in ("isolated", "shared")]
+    if unknown_modes:
+        # Fail before any cell runs: a typo must not cost a sweep.
+        raise ValueError(
+            f"unknown serving mode(s) {unknown_modes!r} "
+            f"(choose from: isolated, shared)"
+        )
+    cells: List[SessionBenchCell] = []
+    for engine_name in engines:
+        for sessions in session_counts:
+            for mode in modes:
+                key = bench_cell_key(
+                    ctx.settings, engine_name, sessions, mode, per_session,
+                    workflow_type,
+                )
+                if store is not None and reuse_results:
+                    payload = store.get(key)
+                    if payload is not None:
+                        cells.append(
+                            SessionBenchCell.from_payload(payload, from_cache=True)
+                        )
+                        if progress:
+                            progress(
+                                f"[cache] {engine_name} ×{sessions} {mode}"
+                            )
+                        continue
+                manager = SessionManager.for_engine(
+                    ctx,
+                    engine_name,
+                    sessions,
+                    per_session=per_session,
+                    workflow_type=workflow_type,
+                    share_engine=(mode == "shared"),
+                )
+                results = manager.run()
+                cell = _cell_from_results(
+                    engine_name, sessions, mode, per_session, results,
+                    manager.wall_seconds,
+                )
+                if store is not None:
+                    store.put(key, cell.payload())
+                cells.append(cell)
+                if progress:
+                    progress(
+                        f"[ran {manager.wall_seconds:6.2f}s] "
+                        f"{engine_name} ×{sessions} {mode}"
+                    )
+    return cells
+
+
+def bench_rows(cells: Sequence[SessionBenchCell]) -> List[List[object]]:
+    """Deterministic CSV rows (no wall-clock columns), in sweep order."""
+    return [
+        [
+            cell.engine,
+            cell.sessions,
+            cell.mode,
+            cell.workflows_per_session,
+            cell.num_queries,
+            _fmt(cell.pct_tr_violated),
+            _fmt(cell.mean_missing_bins),
+            _fmt(cell.mean_latency_answered),
+            _fmt(cell.virtual_makespan),
+            _fmt(cell.queries_per_virtual_second),
+        ]
+        for cell in cells
+    ]
+
+
+def write_session_bench_csv(
+    path: Union[str, Path, io.TextIOBase], cells: Sequence[SessionBenchCell]
+) -> None:
+    """Write the load report CSV (stable bytes for a configuration)."""
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            _write(handle, cells)
+    else:
+        _write(path, cells)
+
+
+def _write(handle, cells: Sequence[SessionBenchCell]) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(BENCH_COLUMNS)
+    for row in bench_rows(cells):
+        writer.writerow(row)
+
+
+def session_bench_csv_text(cells: Sequence[SessionBenchCell]) -> str:
+    """The load report CSV as a string (byte-identity comparisons)."""
+    buffer = io.StringIO()
+    _write(buffer, cells)
+    return buffer.getvalue()
+
+
+def render_session_bench(
+    cells: Sequence[SessionBenchCell], title: str = "session load report"
+) -> str:
+    """Plain-text sessions × engine table for terminal output."""
+    header = (
+        f"{'engine':<14} {'sessions':>8} {'mode':<9} {'queries':>7} "
+        f"{'%TR viol':>9} {'latency':>8} {'q/vs':>7} {'wall':>7} {'cached':>6}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for cell in cells:
+        latency = (
+            "—"
+            if math.isnan(cell.mean_latency_answered)
+            else f"{cell.mean_latency_answered:.2f}s"
+        )
+        lines.append(
+            f"{cell.engine:<14} {cell.sessions:>8} {cell.mode:<9} "
+            f"{cell.num_queries:>7} {cell.pct_tr_violated:>8.1f}% "
+            f"{latency:>8} {cell.queries_per_virtual_second:>7.2f} "
+            f"{cell.wall_seconds:>6.2f}s {'yes' if cell.from_cache else 'no':>6}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Session descriptions, live metric streams, and per-session results.
+
+One *session* models one user of §2.2's interactive exploration setting:
+a think-time-paced sequence of workflows issuing concurrent queries. The
+server (:mod:`repro.server.manager`) multiplexes many of them; this
+module holds the passive data types:
+
+* :class:`SessionSpec` — who the session is (id, seed) and what it runs
+  (its workflow suite, derived from the seed);
+* :class:`SessionStream` — the session's live metric stream: every
+  evaluated query deadline pushes its :class:`~repro.bench.driver.QueryRecord`
+  to subscribers the moment it is produced, in virtual-time order;
+* :class:`SessionResult` — the finished session: records plus the same
+  Table-1 detailed report and Fig.-5 summary the serial driver produces,
+  so per-session output can be compared byte-for-byte against a serial
+  run (the server's core guarantee, docs/server.md).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.bench.driver import QueryRecord
+from repro.bench.report import DetailedReport, SummaryRow, summarize_records
+from repro.common.errors import BenchmarkError
+from repro.workflow.spec import Workflow
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One simulated user session: identity, seed, and workflow suite."""
+
+    session_id: str
+    workflows: Tuple[Workflow, ...]
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.session_id:
+            raise BenchmarkError("session needs an id")
+        if not self.workflows:
+            raise BenchmarkError(
+                f"session {self.session_id!r} needs at least one workflow"
+            )
+
+    @property
+    def num_interactions(self) -> int:
+        return sum(w.num_interactions for w in self.workflows)
+
+
+class SessionStream:
+    """Per-session metric stream: records in evaluation order, observable.
+
+    The driver pushes each :class:`QueryRecord` the instant its deadline
+    is evaluated; subscribers (live dashboards, progress printers, the
+    CLI's ``--follow`` output) see it immediately while the session keeps
+    running. ``records`` accumulates everything for end-of-run reporting.
+    """
+
+    def __init__(self, session_id: str):
+        self.session_id = session_id
+        self.records: List[QueryRecord] = []
+        self._subscribers: List[Callable[[str, QueryRecord], None]] = []
+
+    def subscribe(self, callback: Callable[[str, QueryRecord], None]) -> None:
+        """Register ``callback(session_id, record)`` for future pushes."""
+        self._subscribers.append(callback)
+
+    def push(self, record: QueryRecord) -> None:
+        self.records.append(record)
+        for callback in self._subscribers:
+            callback(self.session_id, record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class SessionResult:
+    """A finished session's records plus standard report renderings."""
+
+    spec: SessionSpec
+    records: List[QueryRecord] = field(default_factory=list)
+
+    @property
+    def session_id(self) -> str:
+        return self.spec.session_id
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.records)
+
+    def summary(self) -> SummaryRow:
+        """The session's overall Fig.-5 summary row."""
+        return summarize_records(self.records, group_key=lambda r: "all")[-1]
+
+    def detailed_report(self) -> DetailedReport:
+        return DetailedReport(self.records)
+
+    def csv_text(self) -> str:
+        """The Table-1 detailed CSV as a string (byte-identity checks)."""
+        buffer = io.StringIO()
+        self.detailed_report().to_csv(buffer)
+        return buffer.getvalue()
+
+
+def total_records(results: Sequence[SessionResult]) -> int:
+    return sum(result.num_queries for result in results)

@@ -1,0 +1,107 @@
+"""CLI tests for the session-server subcommands (serve, bench-sessions)."""
+
+import pytest
+
+from repro.cli import main
+
+#: Small-but-honest configuration shared by all CLI invocations here.
+COMMON = ["--size", "S", "--scale", "50000", "--seed", "5", "--tr", "1"]
+
+
+class TestServe:
+    def test_serve_verify_and_out(self, tmp_path, capsys):
+        out_dir = tmp_path / "sessions"
+        code = main(
+            ["serve", "--engine", "idea-sim", "--sessions", "2",
+             "--per-session", "1", "--verify", "--out", str(out_dir)]
+            + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "serving 2 sessions" in captured
+        assert "byte-identical to serial runs" in captured
+        written = sorted(p.name for p in out_dir.glob("*.csv"))
+        assert written == ["session-0.csv", "session-1.csv"]
+
+    def test_serve_share_engine(self, capsys):
+        code = main(
+            ["serve", "--engine", "monetdb-sim", "--sessions", "2",
+             "--per-session", "1", "--share-engine"] + COMMON
+        )
+        assert code == 0
+        assert "shared engine" in capsys.readouterr().out
+
+    def test_verify_rejected_with_shared_engine(self, capsys):
+        code = main(
+            ["serve", "--sessions", "2", "--share-engine", "--verify"]
+            + COMMON
+        )
+        assert code == 1
+        assert "isolated sessions" in capsys.readouterr().err
+
+    def test_follow_streams_records(self, capsys):
+        code = main(
+            ["serve", "--engine", "idea-sim", "--sessions", "2",
+             "--per-session", "1", "--follow"] + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "session-0 q0" in captured
+
+    def test_accel_pacing_smoke(self, capsys):
+        code = main(
+            ["serve", "--engine", "idea-sim", "--sessions", "2",
+             "--per-session", "1", "--accel", "1000000", "--verify"]
+            + COMMON
+        )
+        assert code == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+
+class TestBenchSessions:
+    def test_sweep_writes_deterministic_csv(self, tmp_path, capsys):
+        out = tmp_path / "load.csv"
+        code = main(
+            ["bench-sessions", "--engines", "idea-sim",
+             "--sessions", "1,2", "--per-session", "1",
+             "--modes", "isolated,shared", "--out", str(out)] + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "load report" in captured
+        text = out.read_text(encoding="utf-8")
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("engine,sessions,mode")
+        assert len(lines) == 1 + 4  # 1 engine × 2 counts × 2 modes
+
+    def test_cache_restores_cells_byte_identically(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out_a, out_b = tmp_path / "a.csv", tmp_path / "b.csv"
+        args = [
+            "bench-sessions", "--engines", "idea-sim", "--sessions", "1,2",
+            "--per-session", "1", "--modes", "isolated",
+            "--cache-dir", str(cache),
+        ] + COMMON
+        assert main(args + ["--out", str(out_a)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--out", str(out_b)]) == 0
+        captured = capsys.readouterr().out
+        assert "[cache]" in captured
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_unknown_engine_rejected(self, capsys):
+        code = main(
+            ["bench-sessions", "--engines", "no-such-engine"] + COMMON
+        )
+        assert code == 1
+        assert "unknown engines" in capsys.readouterr().err
+
+
+class TestParser:
+    @pytest.mark.parametrize("command", ["serve", "bench-sessions"])
+    def test_subcommands_registered(self, command):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args([command])
+        assert callable(args.func)

@@ -3,7 +3,11 @@
 import numpy as np
 from hypothesis import given, strategies as st
 
-from repro.common.rng import derive_rng, derive_seed
+from repro.common.rng import (
+    derive_rng,
+    derive_seed,
+    derive_session_seed,
+)
 
 
 class TestDeriveSeed:
@@ -50,3 +54,17 @@ class TestDeriveRng:
         a = derive_rng(42, "s", 1).random(2_000)
         b = derive_rng(42, "s", 2).random(2_000)
         assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+
+class TestDeriveSessionSeed:
+    def test_pure_function_of_root_and_index(self):
+        assert derive_session_seed(42, 3) == derive_session_seed(42, 3)
+        assert derive_session_seed(42, 3) != derive_session_seed(42, 4)
+        assert derive_session_seed(42, 3) != derive_session_seed(43, 3)
+
+    def test_matches_purpose_string_derivation(self):
+        # The documented contract: ("server-session", index).
+        assert derive_session_seed(7, 0) == derive_seed(7, "server-session", 0)
+
+    def test_distinct_from_other_purposes(self):
+        assert derive_session_seed(7, 0) != derive_seed(7, "workflow", 0)

@@ -1,0 +1,137 @@
+"""Tests for the scheduler's policy hook and per-session fair sharing.
+
+The session server's shared-engine mode (docs/server.md) relies on
+:class:`FairSessionPolicy`: capacity splits equally across session
+groups first, by task weight within a group second — so one session's
+burst of concurrent queries cannot starve another session.
+"""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import EngineError
+from repro.engines.scheduler import (
+    FairSessionPolicy,
+    ProcessorSharingScheduler,
+    WeightedSharingPolicy,
+)
+
+
+def _advance(clock, scheduler, t):
+    clock.advance_to(t)
+    scheduler.advance_to(t)
+
+
+class TestFairSessionPolicy:
+    def test_groups_split_capacity_equally(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        lone = scheduler.add_task(10.0, group="s0")
+        burst = [scheduler.add_task(10.0, group="s1") for _ in range(3)]
+        _advance(clock, scheduler, 2.0)
+        # Group s0 gets 1/2 capacity for its single task; the three s1
+        # tasks share the other 1/2 (1/6 each).
+        assert scheduler.work_done(lone) == pytest.approx(1.0)
+        for task in burst:
+            assert scheduler.work_done(task) == pytest.approx(2.0 / 6.0)
+
+    def test_weights_apply_within_group(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        heavy = scheduler.add_task(10.0, weight=3.0, group="s0")
+        light = scheduler.add_task(10.0, weight=1.0, group="s0")
+        other = scheduler.add_task(10.0, group="s1")
+        _advance(clock, scheduler, 4.0)
+        assert scheduler.work_done(other) == pytest.approx(2.0)
+        assert scheduler.work_done(heavy) == pytest.approx(1.5)
+        assert scheduler.work_done(light) == pytest.approx(0.5)
+
+    def test_finished_group_releases_its_share(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        short = scheduler.add_task(1.0, group="s0")
+        long = scheduler.add_task(10.0, group="s1")
+        _advance(clock, scheduler, 4.0)
+        # s0 finishes its 1s of work after 2s (at 1/2 share); from then on
+        # s1 runs exclusively: 2s * 1/2 + 2s * 1 = 3s of service.
+        assert scheduler.finished_at(short) == pytest.approx(2.0)
+        assert scheduler.work_done(long) == pytest.approx(3.0)
+
+    def test_background_only_group_yields_capacity(self):
+        # A session whose only active tasks are near-zero-weight
+        # background work (paused speculation) must not claim a full
+        # per-session share: its claim is min(1, sum of weights).
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        background = scheduler.add_task(100.0, weight=1e-4, group="idle")
+        foreground = scheduler.add_task(10.0, weight=1.0, group="busy")
+        _advance(clock, scheduler, 1.0)
+        assert scheduler.work_done(foreground) == pytest.approx(
+            1.0 / (1.0 + 1e-4)
+        )
+        assert scheduler.work_done(background) == pytest.approx(
+            1e-4 / (1.0 + 1e-4)
+        )
+
+    def test_claims_cap_keeps_sessions_equal(self):
+        # Ten foreground queries in one session claim no more than one
+        # query in another: both groups cap at claim 1.
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        lone = scheduler.add_task(10.0, weight=1.0, group="s0")
+        burst = [
+            scheduler.add_task(10.0, weight=1.0, group="s1") for _ in range(10)
+        ]
+        _advance(clock, scheduler, 2.0)
+        assert scheduler.work_done(lone) == pytest.approx(1.0)
+        for task in burst:
+            assert scheduler.work_done(task) == pytest.approx(0.1)
+
+    def test_ungrouped_tasks_form_one_group(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        a = scheduler.add_task(10.0)
+        b = scheduler.add_task(10.0)
+        grouped = scheduler.add_task(10.0, group="s0")
+        _advance(clock, scheduler, 2.0)
+        assert scheduler.work_done(grouped) == pytest.approx(1.0)
+        assert scheduler.work_done(a) == pytest.approx(0.5)
+        assert scheduler.work_done(b) == pytest.approx(0.5)
+
+
+class TestPolicyAndGroupHooks:
+    def test_default_policy_ignores_groups(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock)
+        assert isinstance(scheduler.policy, WeightedSharingPolicy)
+        lone = scheduler.add_task(10.0, group="s0")
+        burst = [scheduler.add_task(10.0, group="s1") for _ in range(3)]
+        _advance(clock, scheduler, 2.0)
+        # Plain weighted sharing: four equal tasks, 1/4 capacity each.
+        assert scheduler.work_done(lone) == pytest.approx(0.5)
+        for task in burst:
+            assert scheduler.work_done(task) == pytest.approx(0.5)
+
+    def test_set_group_tags_subsequent_tasks(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock)
+        scheduler.set_group("s7")
+        tagged = scheduler.add_task(1.0)
+        explicit = scheduler.add_task(1.0, group="s8")
+        scheduler.set_group(None)
+        untagged = scheduler.add_task(1.0)
+        assert scheduler.task_group(tagged) == "s7"
+        assert scheduler.task_group(explicit) == "s8"
+        assert scheduler.task_group(untagged) is None
+
+    def test_set_policy_refused_once_tasks_exist(self):
+        scheduler = ProcessorSharingScheduler(VirtualClock())
+        scheduler.add_task(1.0)
+        with pytest.raises(EngineError):
+            scheduler.set_policy(FairSessionPolicy())
+
+    def test_set_policy_before_tasks(self):
+        scheduler = ProcessorSharingScheduler(VirtualClock())
+        policy = FairSessionPolicy()
+        scheduler.set_policy(policy)
+        assert scheduler.policy is policy

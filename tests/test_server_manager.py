@@ -1,0 +1,253 @@
+"""Tests for the asyncio session server (docs/server.md guarantees).
+
+The acceptance properties:
+
+* **serial equivalence** — per-session reports from isolated serving are
+  byte-identical to the same workflows run through the serial driver
+  (``repro run`` path), at 1 and at N sessions;
+* **determinism under contention** — shared-engine serving is a pure
+  function of its configuration;
+* **pacing invariance** — accelerated wall-clock pacing never changes
+  the bytes;
+* sessions genuinely interleave (the global step trace switches between
+  sessions).
+"""
+
+import io
+
+import pytest
+
+from repro.bench.driver import BenchmarkDriver
+from repro.bench.experiments import ExperimentContext, make_engine
+from repro.bench.report import DetailedReport
+from repro.common.clock import VirtualClock
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.common.errors import BenchmarkError
+from repro.common.rng import derive_session_seed
+from repro.engines.scheduler import FairSessionPolicy
+from repro.server import (
+    SessionManager,
+    SessionSpec,
+    serial_baseline,
+    session_specs,
+)
+from repro.workflow.spec import WorkflowType
+
+#: ~2 000 actual rows: large enough for non-trivial metrics, fast enough
+#: for tier 1.
+SCALE = 50_000
+
+
+@pytest.fixture(scope="module")
+def server_ctx():
+    settings = BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=SCALE,
+        seed=5,
+        time_requirement=1.0,
+    )
+    return ExperimentContext(settings)
+
+
+def _csv(records):
+    buffer = io.StringIO()
+    DetailedReport(records).to_csv(buffer)
+    return buffer.getvalue()
+
+
+class TestSessionSpecs:
+    def test_deterministic_and_independent_of_count(self, server_ctx):
+        three = session_specs(server_ctx, 3, per_session=1)
+        five = session_specs(server_ctx, 5, per_session=1)
+        for a, b in zip(three, five):
+            assert a.session_id == b.session_id
+            assert a.seed == b.seed
+            assert [w.to_dict() for w in a.workflows] == [
+                w.to_dict() for w in b.workflows
+            ]
+
+    def test_seeds_follow_purpose_string(self, server_ctx):
+        specs = session_specs(server_ctx, 2, per_session=1)
+        for index, spec in enumerate(specs):
+            assert spec.seed == derive_session_seed(
+                server_ctx.settings.seed, index
+            )
+        assert specs[0].seed != specs[1].seed
+
+    def test_spec_validation(self):
+        with pytest.raises(BenchmarkError):
+            SessionSpec(session_id="", workflows=())
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("num_sessions", [1, 4])
+    def test_isolated_sessions_match_serial_runs(self, server_ctx, num_sessions):
+        manager = SessionManager.for_engine(
+            server_ctx, "idea-sim", num_sessions, per_session=2
+        )
+        results = manager.run()
+        baseline = serial_baseline(server_ctx, "idea-sim", manager.specs)
+        assert len(results) == num_sessions
+        for result, reference in zip(results, baseline):
+            assert result.csv_text() == reference.csv_text()
+
+    def test_frontend_engine_serves(self, server_ctx):
+        """system-y-sim (a delegating non-Engine) works in both modes."""
+        isolated = SessionManager.for_engine(
+            server_ctx, "system-y-sim", 2, per_session=1
+        )
+        results = isolated.run()
+        baseline = serial_baseline(server_ctx, "system-y-sim", isolated.specs)
+        for result, reference in zip(results, baseline):
+            assert result.csv_text() == reference.csv_text()
+        shared = SessionManager.for_engine(
+            server_ctx, "system-y-sim", 2, per_session=1, share_engine=True
+        )
+        assert sum(r.num_queries for r in shared.run()) > 0
+
+    def test_shared_engine_group_reset_after_run(self, server_ctx):
+        manager = SessionManager.for_engine(
+            server_ctx, "monetdb-sim", 2, per_session=1, share_engine=True
+        )
+        manager.run()
+        scheduler = manager._shared_engine.scheduler
+        assert scheduler._current_group is None
+
+    def test_matches_repro_run_suite(self, server_ctx):
+        """The exact `repro run` workflows through a 1-session server."""
+        settings = server_ctx.settings
+        workflows = server_ctx.workflows(WorkflowType.MIXED, 2)
+        spec = SessionSpec("session-0", tuple(workflows), seed=settings.seed)
+        engine = make_engine(
+            "monetdb-sim", server_ctx.dataset(settings.data_size), settings,
+            VirtualClock(),
+        )
+        manager = SessionManager(
+            [spec],
+            server_ctx.oracle(settings.data_size),
+            settings,
+            engines=[engine],
+        )
+        (result,) = manager.run()
+        # The `repro run` path: ExperimentContext.run on a fresh engine.
+        serial_records = server_ctx.run("monetdb-sim", workflows)
+        assert result.csv_text() == _csv(serial_records)
+
+
+class TestSharedEngine:
+    def test_deterministic_across_runs(self, server_ctx):
+        def serve():
+            manager = SessionManager.for_engine(
+                server_ctx, "idea-sim", 4, per_session=1, share_engine=True
+            )
+            return manager, manager.run()
+
+        manager_a, results_a = serve()
+        _, results_b = serve()
+        for a, b in zip(results_a, results_b):
+            assert a.csv_text() == b.csv_text()
+        assert isinstance(
+            manager_a._shared_engine.scheduler.policy, FairSessionPolicy
+        )
+
+    def test_contention_differs_from_isolated(self, server_ctx):
+        shared = SessionManager.for_engine(
+            server_ctx, "monetdb-sim", 4, per_session=1, share_engine=True
+        ).run()
+        isolated = SessionManager.for_engine(
+            server_ctx, "monetdb-sim", 4, per_session=1
+        ).run()
+        assert any(
+            a.csv_text() != b.csv_text() for a, b in zip(shared, isolated)
+        )
+
+    def test_scheduler_tasks_grouped_by_session(self, server_ctx):
+        manager = SessionManager.for_engine(
+            server_ctx, "monetdb-sim", 3, per_session=1, share_engine=True
+        )
+        manager.run()
+        engine = manager._shared_engine
+        groups = {
+            engine.scheduler.task_group(state.task_id)
+            for state in engine._handles.values()
+        }
+        assert groups == {"session-0", "session-1", "session-2"}
+
+
+class TestPacingAndStreams:
+    def test_accelerated_pacing_is_byte_identical(self, server_ctx):
+        paced = SessionManager.for_engine(
+            server_ctx, "idea-sim", 2, per_session=1, accel=1_000_000.0
+        ).run()
+        unpaced = SessionManager.for_engine(
+            server_ctx, "idea-sim", 2, per_session=1
+        ).run()
+        for a, b in zip(paced, unpaced):
+            assert a.csv_text() == b.csv_text()
+
+    def test_trace_interleaves_sessions(self, server_ctx):
+        manager = SessionManager.for_engine(
+            server_ctx, "idea-sim", 3, per_session=1
+        )
+        manager.run()
+        switches = sum(
+            1 for a, b in zip(manager.trace, manager.trace[1:]) if a[1] != b[1]
+        )
+        assert switches >= 3
+        times = [t for t, _ in manager.trace]
+        assert times == sorted(times)
+
+    def test_streams_receive_every_record_in_order(self, server_ctx):
+        seen = []
+        manager = SessionManager.for_engine(
+            server_ctx, "idea-sim", 2, per_session=1,
+            on_record=lambda session_id, record: seen.append(
+                (session_id, record.query_id)
+            ),
+        )
+        results = manager.run()
+        assert len(seen) == sum(result.num_queries for result in results)
+        for result in results:
+            mine = [q for s, q in seen if s == result.session_id]
+            assert mine == [r.query_id for r in result.records]
+
+
+class TestValidation:
+    def test_single_shot(self, server_ctx):
+        manager = SessionManager.for_engine(
+            server_ctx, "idea-sim", 1, per_session=1
+        )
+        manager.run()
+        with pytest.raises(BenchmarkError):
+            manager.run()
+
+    def test_engine_topology_is_exclusive(self, server_ctx):
+        specs = session_specs(server_ctx, 1, per_session=1)
+        oracle = server_ctx.oracle(server_ctx.settings.data_size)
+        with pytest.raises(BenchmarkError):
+            SessionManager(specs, oracle, server_ctx.settings)
+
+    def test_engine_count_must_match(self, server_ctx):
+        specs = session_specs(server_ctx, 2, per_session=1)
+        settings = server_ctx.settings
+        oracle = server_ctx.oracle(settings.data_size)
+        engine = make_engine(
+            "idea-sim", server_ctx.dataset(settings.data_size), settings,
+            VirtualClock(),
+        )
+        with pytest.raises(BenchmarkError):
+            SessionManager(specs, oracle, settings, engines=[engine])
+
+    def test_duplicate_session_ids_rejected(self, server_ctx):
+        spec = session_specs(server_ctx, 1, per_session=1)[0]
+        settings = server_ctx.settings
+        oracle = server_ctx.oracle(settings.data_size)
+        engines = [
+            make_engine(
+                "idea-sim", server_ctx.dataset(settings.data_size), settings,
+                VirtualClock(),
+            )
+            for _ in range(2)
+        ]
+        with pytest.raises(BenchmarkError):
+            SessionManager([spec, spec], oracle, settings, engines=engines)

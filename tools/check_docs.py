@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Documentation checks run by the CI docs job (and tier-1 tests).
+
+Two guarantees, kept machine-checked so the docs cannot silently rot:
+
+1. **links resolve** — every relative markdown link in the repository's
+   ``*.md`` files (README, docs/, top-level notes) points at a file or
+   directory that exists. External (``http(s)://``, ``mailto:``) and
+   pure-anchor (``#...``) links are skipped; ``path#anchor`` links are
+   checked for the path part.
+2. **architecture coverage** — every package under ``src/repro/`` (and
+   the top-level ``cli.py``) is mentioned in ``docs/architecture.md``,
+   so the package map can never miss a subsystem.
+
+Run from the repository root (CI does)::
+
+    python tools/check_docs.py
+
+Exits non-zero with a per-problem report on failure. The same checks run
+in tier 1 via ``tests/test_docs.py``, so a broken link fails locally
+before it fails in CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Directories never scanned for markdown.
+_SKIP_DIRS = {".git", ".repro-cache", "__pycache__", ".pytest_cache", "node_modules"}
+
+#: Generated/retrieved reference material (paper extraction artifacts) —
+#: not authored here, so dangling figure refs inside them are expected.
+_SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if path.name in _SKIP_FILES:
+            continue
+        if not _SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def extract_links(text: str) -> List[str]:
+    return _LINK_RE.findall(text)
+
+
+def check_links(root: Path) -> List[str]:
+    """Return one problem string per unresolvable relative link."""
+    problems = []
+    for md_file in markdown_files(root):
+        text = md_file.read_text(encoding="utf-8")
+        for target in extract_links(text):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, etc.
+            if target.startswith("#"):
+                continue  # intra-document anchor
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md_file.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md_file.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_architecture_coverage(root: Path) -> List[str]:
+    """Every src/repro/ package (and cli.py) must appear in architecture.md."""
+    architecture = root / "docs" / "architecture.md"
+    if not architecture.exists():
+        return ["docs/architecture.md is missing"]
+    text = architecture.read_text(encoding="utf-8")
+    problems = []
+    package_root = root / "src" / "repro"
+    required: List[Tuple[str, str]] = [
+        (f"src/repro/{path.name}/", path.name)
+        for path in sorted(package_root.iterdir())
+        if path.is_dir() and (path / "__init__.py").exists()
+    ]
+    required.append(("src/repro/cli.py", "cli"))
+    for mention, name in required:
+        if mention not in text:
+            problems.append(
+                f"docs/architecture.md: package {name!r} not mentioned "
+                f"(expected the literal path {mention!r})"
+            )
+    return problems
+
+
+def main() -> int:
+    root = repo_root()
+    problems = check_links(root) + check_architecture_coverage(root)
+    files = markdown_files(root)
+    if problems:
+        print(f"docs check FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"docs check OK: {len(files)} markdown files, all relative links "
+        f"resolve, architecture.md covers every src/repro package"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
