@@ -1,0 +1,189 @@
+"""Acceptance benchmark for adaptive sessions and open-system churn.
+
+Run directly (not through pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py [--sessions 4]
+
+Demonstrates the adaptive layer's acceptance criteria:
+
+1. **replay anchor** — serving with the ``replay`` policy (every
+   interaction routed through the policy machinery) is byte-identical to
+   scripted serving *and* to serial per-session runs;
+2. **adaptive determinism** — ``markov`` and ``uncertainty`` runs are
+   byte-identical across repeated invocations and across wall-clock
+   acceleration factors;
+3. **open-system churn determinism** — a Poisson arrival schedule with
+   exponential residences spawns and retires sessions mid-run, and two
+   executions (one heavily accelerated) produce identical bytes;
+4. **behavioral difference** — the adaptive policies fire measurably
+   different interaction mixes than replay (total-variation distance).
+
+Results land in ``benchmarks/results/adaptive.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentContext
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.server import (
+    ArrivalProcess,
+    OpenSystemManager,
+    SessionManager,
+    serial_baseline,
+)
+from repro.workflow.policy import interaction_mix, mix_distance
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Minimum total-variation distance between an adaptive policy's
+#: interaction mix and replay's for the policies to count as
+#: "measurably different users".
+MIX_DISTANCE_FLOOR = 0.05
+
+
+def _csvs(results):
+    return [result.csv_text() for result in results]
+
+
+def _mix(results):
+    counts = {}
+    for result in results:
+        for kind, count in result.interaction_counts.items():
+            counts[kind] = counts.get(kind, 0) + count
+    return interaction_mix(counts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=4,
+                        help="concurrent sessions / arrival cap")
+    parser.add_argument("--per-session", type=int, default=1,
+                        dest="per_session")
+    parser.add_argument("--engine", default="idea-sim")
+    parser.add_argument("--scale", type=int, default=50_000,
+                        help="virtual-to-actual scale (50k → 2k rows at S)")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=1.0,
+    )
+    ctx = ExperimentContext(settings)
+    lines = [
+        f"adaptive sessions benchmark — {args.sessions} sessions on "
+        f"{args.engine}, {settings.actual_rows:,} actual rows",
+        "",
+    ]
+    ok = True
+
+    def check(condition, message):
+        nonlocal ok
+        lines.append(("PASS: " if condition else "FAIL: ") + message)
+        ok = ok and bool(condition)
+
+    def serve(policy, accel=None):
+        return SessionManager.for_engine(
+            ctx, args.engine, args.sessions,
+            per_session=args.per_session, policy=policy, accel=accel,
+        ).run()
+
+    # 1. Replay anchor.
+    scripted = serve(None)
+    replayed = serve("replay")
+    check(
+        _csvs(scripted) == _csvs(replayed),
+        "replay-policy serving byte-identical to scripted serving",
+    )
+    baseline = serial_baseline(
+        ctx, args.engine,
+        SessionManager.for_engine(
+            ctx, args.engine, args.sessions, per_session=args.per_session
+        ).specs,
+    )
+    check(
+        _csvs(replayed) == _csvs(baseline),
+        "replay-policy serving byte-identical to serial per-session runs",
+    )
+
+    # 2. Adaptive determinism (repeat + acceleration).
+    mixes = {"replay": _mix(replayed)}
+    for policy in ("markov", "uncertainty"):
+        first = serve(policy)
+        second = serve(policy)
+        paced = serve(policy, accel=1_000_000.0)
+        check(
+            _csvs(first) == _csvs(second),
+            f"{policy}: two runs byte-identical",
+        )
+        check(
+            _csvs(first) == _csvs(paced),
+            f"{policy}: accelerated pacing byte-identical",
+        )
+        queries = sum(result.num_queries for result in first)
+        lines.append(f"  {policy}: {queries} queries")
+        mixes[policy] = _mix(first)
+
+    # 3. Open-system churn.
+    def churn(accel=None):
+        arrivals = ArrivalProcess(
+            0.2, 40.0, seed=settings.seed,
+            mean_residence=25.0, max_sessions=args.sessions,
+        )
+        manager = OpenSystemManager.for_engine(
+            ctx, args.engine, arrivals, policy="markov",
+            per_session=args.per_session, share_engine=True, accel=accel,
+        )
+        return manager.run()
+
+    first = churn()
+    second = churn()
+    paced = churn(accel=1_000_000.0)
+    departed = sum(result.departed_at is not None for result in first)
+    lines.append("")
+    lines.append(
+        f"open system: {len(first)} sessions arrived, {departed} departed "
+        f"mid-run (shared engine)"
+    )
+    check(len(first) >= 2, "arrival schedule spawned at least two sessions")
+    check(departed >= 1, "at least one session churned out mid-run")
+    check(
+        _csvs(first) == _csvs(second),
+        "churned run byte-identical across invocations",
+    )
+    check(
+        _csvs(first) == _csvs(paced),
+        "churned run byte-identical under acceleration",
+    )
+
+    # 4. Interaction mixes differ measurably.
+    lines.append("")
+    for policy in ("markov", "uncertainty"):
+        distance = mix_distance(mixes["replay"], mixes[policy])
+        lines.append(
+            f"mix distance replay ↔ {policy}: {distance:.3f} "
+            f"(floor {MIX_DISTANCE_FLOOR})"
+        )
+        check(
+            distance > MIX_DISTANCE_FLOOR,
+            f"{policy} users behave measurably differently from replay",
+        )
+
+    lines.append("")
+    lines.append("PASS" if ok else "FAIL")
+
+    text = "\n".join(lines)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "adaptive.txt").write_text(text + "\n", encoding="utf-8")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

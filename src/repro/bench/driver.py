@@ -51,9 +51,10 @@ from repro.common.errors import BenchmarkError
 from repro.bench.metrics import QueryMetrics, compute_metrics
 from repro.query.filters import conjoin
 from repro.query.groundtruth import GroundTruthOracle
+from repro.workflow.policy import InteractionPolicy, PolicyView, WorkflowPlan
 from repro.query.model import AggQuery
 from repro.workflow.graph import VizGraph, VizNode
-from repro.workflow.spec import DiscardViz, Link, Workflow
+from repro.workflow.spec import DiscardViz, Interaction, Link, Workflow, WorkflowType
 
 #: Cap on speculative queries enumerated per link (the Exp.-3 source viz
 #: has 25 bins; a small headroom covers other workflows).
@@ -147,6 +148,15 @@ class SessionDriver:
     on_record:
         Optional callback invoked with every produced record as soon as
         its deadline is evaluated — the per-session metric stream hook.
+    policy:
+        Optional :class:`~repro.workflow.policy.InteractionPolicy`. When
+        given, ``workflows`` must be empty and the session's workflows
+        are chosen *online*: the policy's ``begin_workflow`` /
+        ``next_interaction`` answers replace the pre-generated
+        interaction lists, and every produced record is fed to
+        ``policy.observe`` — the adaptive-user hook (docs/server.md).
+        Interactions still fire on the think-time grid; the policy picks
+        *what* happens, never *when*.
     """
 
     def __init__(
@@ -159,9 +169,14 @@ class SessionDriver:
         first_query_id: int = 0,
         lifecycle: bool = True,
         on_record: Optional[Callable[[QueryRecord], None]] = None,
+        policy: Optional[InteractionPolicy] = None,
     ):
         if engine.settings.scale != settings.scale:
             raise BenchmarkError("engine and driver settings disagree on scale")
+        if policy is not None and workflows:
+            raise BenchmarkError(
+                "pass either pre-generated workflows or a policy, not both"
+            )
         self.engine = engine
         self.oracle = oracle
         self.settings = settings
@@ -170,6 +185,7 @@ class SessionDriver:
         self.lifecycle = lifecycle
         self.on_record = on_record
         self.records: List[QueryRecord] = []
+        self.interaction_counts: dict = {}
         self._workflows = list(workflows)
         self._query_counter = first_query_id
         self._wf_index = 0
@@ -179,7 +195,16 @@ class SessionDriver:
         self._deadlines: List[_Deadline] = []
         self._sequence = 0
         self._hinted: List[AggQuery] = []
-        self._finished = not self._workflows
+        self._policy = policy
+        self._plan: Optional[WorkflowPlan] = None
+        self._pending: Optional[Interaction] = None
+        if policy is not None:
+            self._plan = policy.begin_workflow(0)
+            self._finished = self._plan is None
+            if not self._finished:
+                self._prefetch()
+        else:
+            self._finished = not self._workflows
 
     # ------------------------------------------------------------------
     # Event interface
@@ -206,8 +231,7 @@ class SessionDriver:
             # The next workflow starts (and its first interaction fires)
             # at the current time — workflow transitions take zero time.
             return self.clock.now()
-        workflow = self._workflows[self._wf_index]
-        if self._interaction_index < len(workflow.interactions):
+        if self._interactions_pending():
             fire_at = self._fire_time()
             if self._deadlines and self._deadlines[0].time <= fire_at + _TIE_EPSILON:
                 return self._deadlines[0].time
@@ -223,25 +247,28 @@ class SessionDriver:
             if self.lifecycle:
                 self.engine.workflow_start()
             self._wf_start = self.clock.now()
-        workflow = self._workflows[self._wf_index]
         produced: List[QueryRecord] = []
-        pending = self._interaction_index < len(workflow.interactions)
+        pending = self._interactions_pending()
         fire_at = self._fire_time() if pending else None
         if self._deadlines and (
             fire_at is None or self._deadlines[0].time <= fire_at + _TIE_EPSILON
         ):
             deadline = heapq.heappop(self._deadlines)
             self._advance(deadline.time)
-            record = self._evaluate(deadline, workflow)
+            record = self._evaluate(deadline)
             self.records.append(record)
             produced.append(record)
+            if self._policy is not None:
+                self._policy.observe(record)
             if self.on_record is not None:
                 self.on_record(record)
         else:
             self._advance(fire_at)
-            self._fire_interaction(workflow, fire_at)
+            self._fire_interaction(self._next_interaction(), fire_at)
             self._interaction_index += 1
-        self._maybe_finish_workflow(workflow)
+            if self._policy is not None:
+                self._prefetch()
+        self._maybe_finish_workflow()
         return produced
 
     def run(self) -> List[QueryRecord]:
@@ -250,18 +277,83 @@ class SessionDriver:
             self.step()
         return self.records
 
+    def abandon(self) -> None:
+        """Retire the session *now* (open-system churn departure).
+
+        Cancels every outstanding query the session still has in flight,
+        frees its speculation hints, closes the workflow lifecycle if
+        this driver owns it, and marks the session finished. Pending
+        events are dropped — the departed user never sees them, so no
+        further records are produced.
+        """
+        if self._finished:
+            return
+        for deadline in self._deadlines:
+            self.engine.cancel(deadline.handle)
+        self._deadlines = []
+        if self._hinted:
+            self.engine.delete_vizs(self._hinted)
+            self._hinted = []
+        if self.lifecycle and self._wf_start is not None:
+            self.engine.workflow_end()
+        self._finished = True
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _interactions_pending(self) -> bool:
+        if self._policy is not None:
+            return self._pending is not None
+        workflow = self._workflows[self._wf_index]
+        return self._interaction_index < len(workflow.interactions)
+
+    def _next_interaction(self) -> Interaction:
+        if self._policy is not None:
+            return self._pending
+        return self._workflows[self._wf_index].interactions[self._interaction_index]
+
+    def _prefetch(self) -> None:
+        """Ask the policy for the upcoming interaction (policy mode only).
+
+        Called right after an interaction fires (and at workflow start),
+        so the policy decides with exactly the records whose deadlines
+        resolved before that moment — the dashboard state the simulated
+        user is looking at. ``None`` ends the current workflow once its
+        deadline tail drains.
+        """
+        view = PolicyView(
+            session_id=self.session_id,
+            workflow_index=self._wf_index,
+            interaction_index=self._interaction_index,
+            graph=self._graph,
+            records=self.records,
+        )
+        self._pending = self._policy.next_interaction(view)
+        if self._pending is None and self._interaction_index == 0:
+            raise BenchmarkError(
+                f"policy {self._policy.name!r} produced an empty workflow"
+            )
+
+    def _workflow_name(self) -> str:
+        if self._policy is not None:
+            return self._plan.name
+        return self._workflows[self._wf_index].name
+
+    def _workflow_type(self) -> WorkflowType:
+        if self._policy is not None:
+            return self._plan.workflow_type
+        return self._workflows[self._wf_index].workflow_type
+
     def _fire_time(self) -> float:
         return self._wf_start + self._interaction_index * self.settings.think_time
 
-    def _fire_interaction(self, workflow: Workflow, fire_at: float) -> None:
+    def _fire_interaction(self, interaction: Interaction, fire_at: float) -> None:
         # ``fire_at`` is the exact think-time grid value. The clock can sit
         # float dust past it (a deadline within _TIE_EPSILON drains first),
         # and the grid value — not clock.now() — must stamp submissions and
         # deadlines, exactly like the historical serial loop.
-        interaction = workflow.interactions[self._interaction_index]
+        kind = interaction.kind
+        self.interaction_counts[kind] = self.interaction_counts.get(kind, 0) + 1
         if isinstance(interaction, DiscardViz):
             # Tell the engine before the node disappears (Listing 1's
             # delete_vizs: "free memory, if applicable").
@@ -294,8 +386,8 @@ class SessionDriver:
             )
             self._sequence += 1
 
-    def _maybe_finish_workflow(self, workflow: Workflow) -> None:
-        if self._interaction_index < len(workflow.interactions) or self._deadlines:
+    def _maybe_finish_workflow(self) -> None:
+        if self._interactions_pending() or self._deadlines:
             return
         if self.lifecycle:
             self.engine.workflow_end()
@@ -311,7 +403,13 @@ class SessionDriver:
         self._interaction_index = 0
         self._wf_start = None
         self._graph = VizGraph()
-        if self._wf_index >= len(self._workflows):
+        if self._policy is not None:
+            self._plan = self._policy.begin_workflow(self._wf_index)
+            if self._plan is None:
+                self._finished = True
+            else:
+                self._prefetch()
+        elif self._wf_index >= len(self._workflows):
             self._finished = True
 
     def _advance(self, time: float) -> None:
@@ -323,7 +421,7 @@ class SessionDriver:
                 self.clock.advance(time - now)
         self.engine.advance_to(self.clock.now())
 
-    def _evaluate(self, deadline: _Deadline, workflow: Workflow) -> QueryRecord:
+    def _evaluate(self, deadline: _Deadline) -> QueryRecord:
         result = self.engine.result_at(deadline.handle, deadline.time)
         end_time = self.engine.completion_time(deadline.handle, deadline.time)
         self.engine.cancel(deadline.handle)
@@ -337,8 +435,8 @@ class SessionDriver:
             data_size=self.settings.data_size.name,
             think_time=self.settings.think_time,
             time_requirement=self.settings.time_requirement,
-            workflow=workflow.name,
-            workflow_type=workflow.workflow_type.value,
+            workflow=self._workflow_name(),
+            workflow_type=self._workflow_type().value,
             start_time=deadline.submitted_at,
             end_time=end_time,
             metrics=metrics,

@@ -35,6 +35,7 @@ built with ``jobs=N``. Cell results are identical either way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -89,6 +90,31 @@ MAIN_ENGINES = ("monetdb-sim", "xdb-sim", "idea-sim", "system-x-sim")
 
 #: Seed-table size used to fit the copula scaler.
 SEED_ROWS = 60_000
+
+
+@lru_cache(maxsize=8)
+def _shared_seed_table(seed: int, rows: int) -> Table:
+    """Process-wide memo of the synthetic seed table.
+
+    The table is a pure function of ``(seed, rows)`` and is treated as
+    immutable everywhere (engines copy or index, never write), so every
+    :class:`ExperimentContext` in a process — including the many the CLI
+    tests and run-matrix workers create — can share one instance instead
+    of re-synthesizing it.
+    """
+    return generate_flights_seed(rows, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def _shared_scaler(seed: int, rows: int) -> CopulaScaler:
+    """Process-wide memo of the fitted copula scaler (pure in its key).
+
+    Only these two *fixed-cost* artifacts are memoized process-wide;
+    scaled tables stay cached per context (and per artifact store), so a
+    long-lived process sweeping large sizes does not pin multi-GB tables
+    for its lifetime.
+    """
+    return CopulaScaler.fit(_shared_seed_table(seed, rows), seed_value=seed)
 
 
 def make_engine(
@@ -163,17 +189,13 @@ class ExperimentContext:
     @property
     def seed_table(self) -> Table:
         if self._seed_table is None:
-            self._seed_table = generate_flights_seed(
-                SEED_ROWS, seed=self.settings.seed
-            )
+            self._seed_table = _shared_seed_table(self.settings.seed, SEED_ROWS)
         return self._seed_table
 
     @property
     def scaler(self) -> CopulaScaler:
         if self._scaler is None:
-            self._scaler = CopulaScaler.fit(
-                self.seed_table, seed_value=self.settings.seed
-            )
+            self._scaler = _shared_scaler(self.settings.seed, SEED_ROWS)
         return self._scaler
 
     def table(self, size: DataSize) -> Table:

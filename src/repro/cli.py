@@ -36,6 +36,7 @@ from repro.bench.experiments import ExperimentContext, MAIN_ENGINES, make_engine
 from repro.bench.driver import BenchmarkDriver
 from repro.bench.report import DetailedReport, SummaryReport
 from repro.common.clock import VirtualClock
+from repro.common.errors import BenchmarkError
 from repro.common.config import (
     BenchmarkSettings,
     DataSize,
@@ -45,6 +46,7 @@ from repro.data.generator import scale_dataset
 from repro.data.seed import generate_flights_seed
 from repro.runtime import (
     ArtifactStore,
+    DEFAULT_CACHE_BUDGET_BYTES,
     MatrixExecutor,
     plan_matrix,
     render_matrix,
@@ -180,6 +182,18 @@ def _split(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _make_store(cache_dir: Optional[str], budget: Optional[int]) -> Optional[ArtifactStore]:
+    """Build the CLI's artifact store: GC budget applied by default.
+
+    ``budget`` is the ``--cache-budget`` value in bytes; ``0`` disables
+    the budget (unbounded store).
+    """
+    if not cache_dir:
+        return None
+    max_bytes = None if budget == 0 else budget
+    return ArtifactStore(cache_dir, max_bytes=max_bytes)
+
+
 def _check_engines(engines: List[str]) -> bool:
     """Print a stderr message and return False on unknown engine names."""
     known_engines = list(MAIN_ENGINES) + ["system-y-sim"]
@@ -213,7 +227,7 @@ def _cmd_run_matrix(args) -> int:
         per_type=args.per_type,
         schemas=_split(args.schemas),
     )
-    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    store = _make_store(args.cache_dir, args.cache_budget)
     if args.resume and store is None:
         print("--resume requires --cache-dir", file=sys.stderr)
         return 1
@@ -268,6 +282,8 @@ def _cmd_run_matrix(args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro.server import (
+        ArrivalProcess,
+        OpenSystemManager,
         SessionManager,
         render_session_table,
         serial_baseline,
@@ -281,11 +297,31 @@ def _cmd_serve(args) -> int:
         time_requirement=args.tr,
         think_time=args.think_time,
     )
+    adaptive = args.policy in ("markov", "uncertainty")
+    if args.arrivals is None and (
+        args.horizon is not None or args.residence is not None
+    ):
+        print(
+            "--horizon/--residence configure the open-system arrival "
+            "process and need --arrivals RATE; without it the run is a "
+            "closed system and they would be silently ignored",
+            file=sys.stderr,
+        )
+        return 1
     if args.verify and args.share_engine:
         print(
             "--verify needs isolated sessions (omit --share-engine): "
             "under a shared engine sessions contend, so per-session "
             "reports legitimately differ from serial runs",
+            file=sys.stderr,
+        )
+        return 1
+    if args.verify and (adaptive or args.arrivals is not None):
+        print(
+            "--verify compares against pre-generated serial runs, which "
+            "adaptive policies and open-system arrivals do not have; "
+            "determinism of those modes is checked by "
+            "benchmarks/bench_adaptive.py and the golden corpus",
             file=sys.stderr,
         )
         return 1
@@ -299,32 +335,68 @@ def _cmd_serve(args) -> int:
                 f"  [{record.end_time:8.2f}s] {session_id} "
                 f"q{record.query_id} {record.viz_name}: {status}"
             )
-    manager = SessionManager.for_engine(
-        ctx,
-        args.engine,
-        args.sessions,
-        per_session=args.per_session,
-        workflow_type=workflow_type,
-        share_engine=args.share_engine,
-        accel=args.accel,
-        speculation=args.speculation,
-        on_record=on_record,
-    )
     mode = "shared engine" if args.share_engine else "isolated engines"
     pacing = f", paced at {args.accel:g}x" if args.accel else ""
-    print(
-        f"serving {args.sessions} sessions × {args.per_session} "
-        f"{workflow_type.value} workflows on {args.engine} ({mode}{pacing})"
-    )
+    users = args.policy or "scripted"
+    if args.arrivals is not None:
+        horizon = args.horizon if args.horizon is not None else 120.0
+        try:
+            arrivals = ArrivalProcess(
+                args.arrivals,
+                horizon,
+                seed=settings.seed,
+                mean_residence=args.residence,
+                max_sessions=args.sessions,
+            )
+        except BenchmarkError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        manager = OpenSystemManager.for_engine(
+            ctx,
+            args.engine,
+            arrivals,
+            policy=args.policy,
+            per_session=args.per_session,
+            workflow_type=workflow_type,
+            share_engine=args.share_engine,
+            accel=args.accel,
+            speculation=args.speculation,
+            on_record=on_record,
+        )
+        print(
+            f"open system: Poisson({args.arrivals:g}/s) arrivals over "
+            f"{horizon:g}s (≤{args.sessions} sessions, "
+            f"{users} users) on {args.engine} ({mode}{pacing})"
+        )
+    else:
+        manager = SessionManager.for_engine(
+            ctx,
+            args.engine,
+            args.sessions,
+            per_session=args.per_session,
+            workflow_type=workflow_type,
+            share_engine=args.share_engine,
+            accel=args.accel,
+            speculation=args.speculation,
+            on_record=on_record,
+            policy=args.policy,
+        )
+        print(
+            f"serving {args.sessions} sessions × {args.per_session} "
+            f"{workflow_type.value} workflows ({users} users) on "
+            f"{args.engine} ({mode}{pacing})"
+        )
     results = manager.run()
     print()
     print(render_session_table(
         results,
         title=f"{args.engine} @ TR={settings.time_requirement}s, "
-              f"{args.sessions} sessions ({mode})",
+              f"{len(results)} sessions ({mode})",
     ))
+    departed = sum(r.departed_at is not None for r in results)
+    churn = f" ({departed} departed mid-run)" if departed else ""
     print(f"\n{total_records(results)} queries across {len(results)} "
-          f"sessions in {manager.wall_seconds:.2f}s wall")
+          f"sessions{churn} in {manager.wall_seconds:.2f}s wall")
     if args.out:
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -376,7 +448,7 @@ def _cmd_bench_sessions(args) -> int:
     session_counts = [int(count) for count in _split(args.sessions)]
     modes = _split(args.modes)
     ctx = ExperimentContext(settings)
-    store = ArtifactStore(args.cache_dir) if args.cache_dir else None
+    store = _make_store(args.cache_dir, args.cache_budget)
     print(
         f"session load sweep: {len(engines)} engines × "
         f"{len(session_counts)} session counts × {len(modes)} modes, "
@@ -403,6 +475,98 @@ def _cmd_bench_sessions(args) -> int:
     if args.out:
         write_session_bench_csv(args.out, cells)
         print(f"\nwrote load report ({len(cells)} cells) to {args.out}")
+    return 0
+
+
+def _cmd_bench_adaptive(args) -> int:
+    from repro.server import (
+        render_adaptive_bench,
+        run_adaptive_bench,
+        write_adaptive_bench_csv,
+    )
+    from repro.workflow.policy import POLICY_NAMES
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.parse(args.size),
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=args.tr,
+        think_time=args.think_time,
+    )
+    if not _check_engines([args.engine]):
+        return 1
+    policies = _split(args.policies)
+    known = ("scripted",) + POLICY_NAMES
+    unknown = [p for p in policies if p not in known]
+    if unknown:
+        print(
+            f"unknown policies: {', '.join(unknown)} "
+            f"(choose from {', '.join(known)})",
+            file=sys.stderr,
+        )
+        return 1
+    session_counts = [int(count) for count in _split(args.sessions)]
+    churn_modes = _split(args.churn)
+    ctx = ExperimentContext(settings)
+    store = _make_store(args.cache_dir, args.cache_budget)
+    print(
+        f"adaptive sweep: {len(policies)} policies × "
+        f"{len(session_counts)} session counts × {len(churn_modes)} churn "
+        f"modes on {args.engine}, {args.per_session} workflows/session"
+        + (f", cache={args.cache_dir}" if args.cache_dir else "")
+    )
+    try:
+        cells = run_adaptive_bench(
+            ctx,
+            args.engine,
+            policies,
+            session_counts,
+            per_session=args.per_session,
+            workflow_type=WorkflowType(args.workflow_type),
+            churn_modes=churn_modes,
+            arrival_rate=args.arrivals,
+            horizon=args.horizon,
+            residence=args.residence,
+            share_engine=args.share_engine,
+            store=store,
+            progress=None if args.quiet else print,
+        )
+    except (ValueError, BenchmarkError) as error:
+        # run_adaptive_bench validates churn modes and arrival
+        # parameters before any cell runs.
+        print(str(error), file=sys.stderr)
+        return 1
+    print()
+    print(render_adaptive_bench(cells, title="sessions × policy × churn report"))
+    if args.out:
+        write_adaptive_bench_csv(args.out, cells)
+        print(f"\nwrote adaptive report ({len(cells)} cells) to {args.out}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"artifact store at {store.root}")
+        print(f"  entries: {stats['entries']}")
+        print(f"  bytes:   {stats['bytes']} ({stats['bytes'] / 1e6:.1f} MB)")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    # evict: shrink to the byte budget (LRU; hits refresh recency).
+    budget = (
+        args.max_bytes if args.max_bytes is not None else DEFAULT_CACHE_BUDGET_BYTES
+    )
+    removed = store.evict(budget)
+    stats = store.stats()
+    print(
+        f"evicted {removed} artifacts from {store.root} "
+        f"(budget {budget} bytes; {stats['entries']} entries / "
+        f"{stats['bytes']} bytes remain)"
+    )
     return 0
 
 
@@ -520,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_matrix.add_argument("--cache-dir", default=None, dest="cache_dir",
                           help="artifact store directory (enables caching "
                                "and resumption)")
+    p_matrix.add_argument("--cache-budget", type=int, dest="cache_budget",
+                          default=DEFAULT_CACHE_BUDGET_BYTES,
+                          help="store byte budget (LRU eviction; 0 = "
+                               "unlimited; default 2 GiB)")
     p_matrix.add_argument("--resume", action="store_true",
                           help="resume a crashed/partial run from --cache-dir "
                                "(cached cell results are reused by default; "
@@ -558,6 +726,24 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="share_engine",
                          help="all sessions contend on ONE engine "
                               "(per-session fair scheduling)")
+    p_serve.add_argument("--policy", default=None,
+                         choices=["replay", "markov", "uncertainty"],
+                         help="user model: scripted suites (default), "
+                              "replayed suites through the policy path, "
+                              "or adaptive users that react to what "
+                              "they see")
+    p_serve.add_argument("--arrivals", type=float, default=None,
+                         help="open-system mode: Poisson arrival rate in "
+                              "sessions per virtual second (sessions "
+                              "then join mid-run; --sessions caps them)")
+    p_serve.add_argument("--horizon", type=float, default=None,
+                         help="virtual seconds during which arrivals "
+                              "occur (with --arrivals; default 120)")
+    p_serve.add_argument("--residence", type=float, default=None,
+                         help="mean session residence in virtual seconds "
+                              "(exponential; sessions then depart "
+                              "mid-run, abandoning in-flight queries); "
+                              "default: stay to completion")
     p_serve.add_argument("--accel", type=float, default=None,
                          help="pace events to wall time at this "
                               "acceleration (1 = real time; default: "
@@ -599,11 +785,86 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--cache-dir", default=None, dest="cache_dir",
                          help="artifact store directory (cells restore on "
                               "re-run)")
+    p_bench.add_argument("--cache-budget", type=int, dest="cache_budget",
+                         default=DEFAULT_CACHE_BUDGET_BYTES,
+                         help="store byte budget (LRU eviction; 0 = "
+                              "unlimited; default 2 GiB)")
     p_bench.add_argument("--out", default=None,
                          help="load report CSV path (deterministic bytes)")
     p_bench.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
     p_bench.set_defaults(func=_cmd_bench_sessions)
+
+    p_adaptive = sub.add_parser(
+        "bench-adaptive",
+        help="sessions × policy × churn report (adaptive + open system)",
+    )
+    _add_settings_arguments(p_adaptive)
+    p_adaptive.add_argument("--engine", default="idea-sim",
+                            choices=list(MAIN_ENGINES) + ["system-y-sim"])
+    p_adaptive.add_argument("--policies",
+                            default="replay,markov,uncertainty",
+                            help="comma-separated user models (scripted, "
+                                 "replay, markov, uncertainty)")
+    p_adaptive.add_argument("--sessions", default="2,4",
+                            help="comma-separated session counts (open "
+                                 "cells treat them as arrival caps)")
+    p_adaptive.add_argument("--churn", default="closed,open",
+                            help="comma-separated churn modes "
+                                 "(closed, open)")
+    p_adaptive.add_argument("--per-session", type=int, default=1,
+                            dest="per_session",
+                            help="workflows per session")
+    p_adaptive.add_argument("--workflow-type", default="mixed",
+                            dest="workflow_type",
+                            help="workflow type of scripted/markov "
+                                 "sessions")
+    p_adaptive.add_argument("--tr", type=float, default=3.0,
+                            help="time requirement in seconds")
+    p_adaptive.add_argument("--think-time", type=float, default=1.0,
+                            dest="think_time")
+    p_adaptive.add_argument("--arrivals", type=float, default=0.1,
+                            dest="arrivals",
+                            help="open cells: Poisson arrival rate "
+                                 "(sessions per virtual second)")
+    p_adaptive.add_argument("--horizon", type=float, default=60.0,
+                            help="open cells: arrival horizon in virtual "
+                                 "seconds")
+    p_adaptive.add_argument("--residence", type=float, default=30.0,
+                            help="open cells: mean session residence in "
+                                 "virtual seconds")
+    p_adaptive.add_argument("--share-engine", action="store_true",
+                            dest="share_engine",
+                            help="sessions contend on ONE engine per cell")
+    p_adaptive.add_argument("--cache-dir", default=None, dest="cache_dir",
+                            help="artifact store directory (cells restore "
+                                 "on re-run)")
+    p_adaptive.add_argument("--cache-budget", type=int, dest="cache_budget",
+                            default=DEFAULT_CACHE_BUDGET_BYTES,
+                            help="store byte budget (LRU eviction; 0 = "
+                                 "unlimited; default 2 GiB)")
+    p_adaptive.add_argument("--out", default=None,
+                            help="adaptive report CSV path "
+                                 "(deterministic bytes)")
+    p_adaptive.add_argument("--quiet", action="store_true",
+                            help="suppress per-cell progress lines")
+    p_adaptive.set_defaults(func=_cmd_bench_adaptive)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and garbage-collect an artifact store",
+    )
+    p_cache.add_argument("action", choices=["stats", "clear", "evict"],
+                         help="stats: entry/byte counts; clear: remove "
+                              "everything; evict: LRU-shrink to a byte "
+                              "budget")
+    p_cache.add_argument("--cache-dir", required=True, dest="cache_dir",
+                         help="artifact store directory")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         dest="max_bytes",
+                         help="evict: byte budget to shrink to "
+                              "(default: the 2 GiB default budget)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_rep = sub.add_parser("report", help="summarize a detailed report CSV")
     p_rep.add_argument("detailed", help="path to detailed report CSV")

@@ -204,6 +204,26 @@ class ProcessorSharingScheduler:
         """The group a task was tagged with at creation."""
         return self._get(task_id).group
 
+    def cancel_group(self, group: Optional[str]) -> int:
+        """Cancel every still-active task tagged with ``group``.
+
+        The session server's open-system mode calls this when a session
+        departs mid-run from a *shared* engine: whatever the departed
+        session still had running — foreground queries the driver did not
+        get to cancel, parked speculation — must stop consuming capacity,
+        or ghost load from churned-out users would skew every remaining
+        session. Returns the number of tasks cancelled.
+        """
+        now = self._clock.now()
+        self._settle(now)
+        cancelled = 0
+        for task in self._tasks.values():
+            if task.active and task.group == group:
+                task.cancelled = True
+                task.record(now)
+                cancelled += 1
+        return cancelled
+
     # ------------------------------------------------------------------
     # Task management
     # ------------------------------------------------------------------

@@ -380,7 +380,10 @@ def _canonicalize_and(parts: List[Filter]) -> Filter:
 
     fused: List[Filter] = []
     for field in list(lows):
-        if field in highs:
+        # Only fuse satisfiable pairs: ``col >= 5 AND col < 3`` is legal
+        # (if vacuous) SQL, but RangePredicate rejects low > high — keep
+        # such pairs as plain comparisons instead of failing the parse.
+        if field in highs and lows[field] <= highs[field]:
             fused.append(RangePredicate(field, lows.pop(field), highs.pop(field)))
     for field, low in lows.items():
         fused.append(Comparison(field, ">=", low))

@@ -46,10 +46,11 @@ from repro.runtime.report import (
     write_matrix_csv,
 )
 from repro.runtime.spec import RunSpec, WorkflowSelector
-from repro.runtime.store import ArtifactStore
+from repro.runtime.store import DEFAULT_CACHE_BUDGET_BYTES, ArtifactStore
 
 __all__ = [
     "ArtifactStore",
+    "DEFAULT_CACHE_BUDGET_BYTES",
     "CellResult",
     "MatrixExecutor",
     "RunSpec",

@@ -32,6 +32,12 @@ from typing import Any, Callable, List, Optional, Tuple, Union
 
 from repro.common.fingerprint import CACHE_SCHEMA_VERSION, stable_digest
 
+#: Default byte budget the CLI applies to stores it creates (2 GiB). Big
+#: enough that no realistic run-matrix sweep evicts mid-run, small enough
+#: that a long-lived cache directory cannot grow without bound. Pass
+#: ``--cache-budget 0`` (CLI) or ``max_bytes=None`` (API) for unlimited.
+DEFAULT_CACHE_BUDGET_BYTES = 2 * 1024**3
+
 
 class ArtifactStore:
     """A content-addressed pickle store rooted at ``root``."""

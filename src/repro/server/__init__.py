@@ -6,34 +6,49 @@ adaptive-benchmark direction — see PAPERS.md). This subpackage serves N
 think-time-paced sessions concurrently from one process:
 
 * :mod:`repro.server.session` — :class:`SessionSpec` (one user's seeded
-  workflow suite), :class:`SessionStream` (live per-session metric
-  stream), :class:`SessionResult` (per-session Table-1/Fig.-5 reports);
+  workflow suite or adaptive policy), :class:`SessionStream` (live
+  per-session metric stream), :class:`SessionResult` (per-session
+  Table-1/Fig.-5 reports plus the session's interaction mix);
 * :mod:`repro.server.manager` — :class:`SessionManager`, the asyncio
   multiplexer stepping sessions in deterministic global virtual-time
   order, in *isolated* (byte-identical to serial) or *shared-engine*
-  (fair-scheduled contention) topology;
+  (fair-scheduled contention) topology; :class:`ArrivalProcess` and
+  :class:`OpenSystemManager`, the open-system mode where seeded Poisson
+  arrivals spawn sessions mid-run and churn them out again;
 * :mod:`repro.server.clock` — :class:`AsyncClock`, wall-clock pacing for
   real-time/accelerated serving without losing determinism;
-* :mod:`repro.server.report` — per-session tables and the
-  ``bench-sessions`` sessions × engine load report, persisted through
+* :mod:`repro.server.report` — per-session tables, the
+  ``bench-sessions`` sessions × engine load report and the
+  ``bench-adaptive`` sessions × policy × churn report, persisted through
   the runtime artifact store.
 
-Usage, guarantees and clock modes are documented in docs/server.md;
-``examples/session_server_demo.py`` is a runnable three-session tour.
+Adaptive user models themselves (replay/markov/uncertainty) live in
+:mod:`repro.workflow.policy`. Usage, guarantees and clock modes are
+documented in docs/server.md; ``examples/session_server_demo.py`` is a
+runnable three-session tour.
 """
 
 from repro.server.clock import AsyncClock
 from repro.server.manager import (
+    ArrivalProcess,
+    OpenSystemManager,
+    SessionArrival,
     SessionManager,
+    make_session,
     serial_baseline,
     session_specs,
 )
 from repro.server.report import (
+    AdaptiveBenchCell,
     SessionBenchCell,
+    adaptive_bench_csv_text,
+    render_adaptive_bench,
     render_session_bench,
     render_session_table,
+    run_adaptive_bench,
     run_session_bench,
     session_bench_csv_text,
+    write_adaptive_bench_csv,
     write_session_bench_csv,
 )
 from repro.server.session import (
@@ -44,18 +59,27 @@ from repro.server.session import (
 )
 
 __all__ = [
+    "AdaptiveBenchCell",
+    "ArrivalProcess",
     "AsyncClock",
+    "OpenSystemManager",
+    "SessionArrival",
     "SessionBenchCell",
     "SessionManager",
     "SessionResult",
     "SessionSpec",
     "SessionStream",
+    "make_session",
+    "adaptive_bench_csv_text",
+    "render_adaptive_bench",
     "render_session_bench",
     "render_session_table",
+    "run_adaptive_bench",
     "run_session_bench",
     "serial_baseline",
     "session_bench_csv_text",
     "session_specs",
     "total_records",
+    "write_adaptive_bench_csv",
     "write_session_bench_csv",
 ]

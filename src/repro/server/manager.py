@@ -37,18 +37,21 @@ paced runs are byte-identical to unpaced ones (docs/server.md).
 from __future__ import annotations
 
 import asyncio
+import math
 import time
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.driver import BenchmarkDriver, QueryRecord, SessionDriver
 from repro.common.clock import VirtualClock
 from repro.common.config import BenchmarkSettings
 from repro.common.errors import BenchmarkError
-from repro.common.rng import derive_session_seed
+from repro.common.rng import derive_rng, derive_session_seed
 from repro.engines.scheduler import FairSessionPolicy, WeightedSharingPolicy
 from repro.server.clock import AsyncClock
 from repro.server.session import SessionResult, SessionSpec, SessionStream
 from repro.workflow.generator import WorkflowGenerator
+from repro.workflow.policy import InteractionPolicy, make_policy
 from repro.workflow.spec import WorkflowType
 
 #: Sentinel: session is mid-step or has not declared its next event yet.
@@ -130,6 +133,11 @@ class SessionManager:
     on_record:
         Optional callback ``(session_id, record)`` subscribed to every
         session's metric stream.
+    policies:
+        Optional per-spec :class:`~repro.workflow.policy.InteractionPolicy`
+        list (``None`` entries run scripted). A session with a policy
+        chooses its interactions online from its observed records —
+        adaptive users (docs/server.md).
 
     A manager is single-shot: :meth:`run` (or :meth:`run_async`) may be
     called once; per-session streams are available on :attr:`streams`
@@ -148,6 +156,7 @@ class SessionManager:
         engine=None,
         accel: Optional[float] = None,
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+        policies: Optional[Sequence[Optional[InteractionPolicy]]] = None,
     ):
         self._specs = list(specs)
         if not self._specs:
@@ -155,6 +164,20 @@ class SessionManager:
         ids = [spec.session_id for spec in self._specs]
         if len(set(ids)) != len(ids):
             raise BenchmarkError(f"duplicate session ids: {ids}")
+        self._policies = list(policies) if policies is not None else [None] * len(
+            self._specs
+        )
+        if len(self._policies) != len(self._specs):
+            raise BenchmarkError(
+                f"{len(self._specs)} sessions need {len(self._specs)} "
+                f"policies, got {len(self._policies)}"
+            )
+        for spec, policy in zip(self._specs, self._policies):
+            if policy is None and not spec.workflows:
+                raise BenchmarkError(
+                    f"session {spec.session_id!r} declares policy "
+                    f"{spec.policy!r} but no policy object was supplied"
+                )
         if (engines is None) == (engine is None):
             raise BenchmarkError(
                 "pass exactly one of engines= (isolated) or engine= (shared)"
@@ -217,10 +240,11 @@ class SessionManager:
                 self._engines[index],
                 self.oracle,
                 self.settings,
-                list(spec.workflows),
+                [] if self._policies[index] is not None else list(spec.workflows),
                 session_id=spec.session_id,
                 lifecycle=not self.shared,
                 on_record=self.streams[spec.session_id].push,
+                policy=self._policies[index],
             )
             for index, spec in enumerate(self._specs)
         ]
@@ -245,8 +269,12 @@ class SessionManager:
             # silently inherit the last-stepped session's group.
             self._shared_engine.scheduler.set_group(None)
         return [
-            SessionResult(spec, self.streams[spec.session_id].records)
-            for spec in self._specs
+            SessionResult(
+                spec,
+                self.streams[spec.session_id].records,
+                interaction_counts=dict(driver.interaction_counts),
+            )
+            for spec, driver in zip(self._specs, drivers)
         ]
 
     # ------------------------------------------------------------------
@@ -292,20 +320,40 @@ class SessionManager:
         speculation: bool = False,
         normalized: bool = False,
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+        policy: Optional[str] = None,
     ) -> "SessionManager":
         """Build a manager from an :class:`ExperimentContext`.
 
         Sessions get deterministic per-session workflow suites via
-        :func:`session_specs`; engines come from the engine registry over
-        the context's shared dataset.
+        :func:`session_specs` (scripted and ``replay``) or adaptive
+        per-session policies seeded from the same purpose strings
+        (``markov``/``uncertainty``); engines come from the engine
+        registry over the context's shared dataset.
         """
         from repro.bench.experiments import make_engine
 
         settings = ctx.settings
         dataset = ctx.dataset(settings.data_size, normalized)
         oracle = ctx.oracle(settings.data_size, normalized)
-        specs = session_specs(
-            ctx, num_sessions, per_session=per_session, workflow_type=workflow_type
+        if num_sessions < 1:
+            raise BenchmarkError(
+                f"need at least one session, got {num_sessions!r}"
+            )
+        generator = _shared_generator(ctx) if policy is not None else None
+        pairs = [
+            make_session(
+                ctx,
+                index,
+                per_session=per_session,
+                workflow_type=workflow_type,
+                policy=policy,
+                generator=generator,
+            )
+            for index in range(num_sessions)
+        ]
+        specs = [spec for spec, _ in pairs]
+        policies = (
+            [built for _, built in pairs] if policy is not None else None
         )
         if share_engine:
             engine = make_engine(
@@ -313,7 +361,7 @@ class SessionManager:
             )
             return cls(
                 specs, oracle, settings, engine=engine, accel=accel,
-                on_record=on_record,
+                on_record=on_record, policies=policies,
             )
         engines = [
             make_engine(engine_name, dataset, settings, VirtualClock(), speculation)
@@ -321,8 +369,69 @@ class SessionManager:
         ]
         return cls(
             specs, oracle, settings, engines=engines, accel=accel,
-            on_record=on_record,
+            on_record=on_record, policies=policies,
         )
+
+
+def _shared_generator(ctx) -> WorkflowGenerator:
+    """One sampling generator over the context's profiles (read-only)."""
+    return WorkflowGenerator(
+        ctx.profiles(ctx.settings.data_size),
+        table=ctx.settings.dataset,
+        seed=ctx.settings.seed,
+    )
+
+
+def make_session(
+    ctx,
+    index: int,
+    *,
+    per_session: int = 2,
+    workflow_type: WorkflowType = WorkflowType.MIXED,
+    policy: Optional[str] = None,
+    generator: Optional[WorkflowGenerator] = None,
+) -> Tuple[SessionSpec, Optional[InteractionPolicy]]:
+    """The canonical constructor of session *index*'s spec and policy.
+
+    Session *i*'s seed is
+    :func:`~repro.common.rng.derive_session_seed`\\ ``(root, i)`` — a pure
+    function of ``(root seed, i)``, independent of how many sessions run,
+    of stepping order, and of whether the session starts at time zero
+    (closed system) or arrives mid-run (open system): both managers call
+    this one function, so the invariant cannot drift between them.
+    Scripted sessions (and the ``replay`` policy) carry a workflow suite
+    generated from that seed; adaptive policies carry only the seed —
+    their interactions are chosen online. ``generator`` may pass a shared
+    sampling generator for adaptive policies (built on demand otherwise).
+    """
+    seed = derive_session_seed(ctx.settings.seed, index)
+    workflows: Tuple = ()
+    if policy is None or policy == "replay":
+        per_session_generator = WorkflowGenerator(
+            ctx.profiles(ctx.settings.data_size),
+            table=ctx.settings.dataset,
+            seed=seed,
+        )
+        workflows = tuple(
+            per_session_generator.generate_suite(workflow_type, per_session)
+        )
+    spec = SessionSpec(
+        session_id=f"session-{index}",
+        workflows=workflows,
+        seed=seed,
+        policy=policy,
+    )
+    if policy is None:
+        return spec, None
+    built = make_policy(
+        policy,
+        workflows=workflows or None,
+        generator=generator if generator is not None else _shared_generator(ctx),
+        per_session=per_session,
+        workflow_type=workflow_type,
+        seed=seed,
+    )
+    return spec, built
 
 
 def session_specs(
@@ -330,30 +439,348 @@ def session_specs(
     num_sessions: int,
     per_session: int = 2,
     workflow_type: WorkflowType = WorkflowType.MIXED,
+    policy: Optional[str] = None,
 ) -> List[SessionSpec]:
-    """Deterministic per-session workflow suites from a context.
-
-    Session *i*'s suite is generated with the seed
-    :func:`~repro.common.rng.derive_session_seed`\\ ``(root, i)`` over the
-    context's column profiles — a pure function of ``(root seed, i)``,
-    independent of how many sessions run or in what order they step.
-    """
+    """Deterministic per-session workload specs (see :func:`make_session`)."""
     if num_sessions < 1:
         raise BenchmarkError(f"need at least one session, got {num_sessions!r}")
-    profiles = ctx.profiles(ctx.settings.data_size)
-    specs: List[SessionSpec] = []
-    for index in range(num_sessions):
-        seed = derive_session_seed(ctx.settings.seed, index)
-        generator = WorkflowGenerator(
-            profiles, table=ctx.settings.dataset, seed=seed
-        )
-        workflows = tuple(generator.generate_suite(workflow_type, per_session))
-        specs.append(
-            SessionSpec(
-                session_id=f"session-{index}", workflows=workflows, seed=seed
+    generator = _shared_generator(ctx) if policy is not None else None
+    return [
+        make_session(
+            ctx,
+            index,
+            per_session=per_session,
+            workflow_type=workflow_type,
+            policy=policy,
+            generator=generator,
+        )[0]
+        for index in range(num_sessions)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Open-system serving: seeded arrivals and mid-run churn
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SessionArrival:
+    """One scheduled session of an open-system run.
+
+    ``departure_time`` is the virtual instant the user walks away
+    (``inf`` = stays until their workload completes). A departing
+    session abandons whatever is still in flight — queries are
+    cancelled, never evaluated.
+    """
+
+    index: int
+    arrival_time: float
+    departure_time: float = math.inf
+
+    def __post_init__(self):
+        if self.arrival_time < 0:
+            raise BenchmarkError(
+                f"arrival time must be >= 0, got {self.arrival_time!r}"
             )
+        if self.departure_time <= self.arrival_time:
+            raise BenchmarkError(
+                f"session {self.index} departs at {self.departure_time!r} "
+                f"before arriving at {self.arrival_time!r}"
+            )
+
+
+class ArrivalProcess:
+    """Seeded Poisson arrivals (and exponential residences) over virtual time.
+
+    The open-system counterpart of the closed N-session configuration:
+    sessions join at rate ``rate`` per virtual second until ``horizon``,
+    and — with ``mean_residence`` set — leave after an exponentially
+    distributed stay, mid-workload if need be. The whole schedule is a
+    pure function of ``(seed, rate, horizon, mean_residence,
+    max_sessions)``: it is drawn once, up front, from the
+    ``("open-system-arrivals",)`` purpose stream, so churned runs stay
+    byte-deterministic no matter how stepping interleaves.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        horizon: float,
+        *,
+        seed: int = 42,
+        mean_residence: Optional[float] = None,
+        max_sessions: Optional[int] = None,
+    ):
+        if rate <= 0:
+            raise BenchmarkError(f"arrival rate must be positive, got {rate!r}")
+        if horizon <= 0:
+            raise BenchmarkError(f"horizon must be positive, got {horizon!r}")
+        if mean_residence is not None and mean_residence <= 0:
+            raise BenchmarkError(
+                f"mean residence must be positive, got {mean_residence!r}"
+            )
+        if max_sessions is not None and max_sessions < 1:
+            raise BenchmarkError(
+                f"max sessions must be >= 1, got {max_sessions!r}"
+            )
+        self.rate = float(rate)
+        self.horizon = float(horizon)
+        self.seed = seed
+        self.mean_residence = mean_residence
+        self.max_sessions = max_sessions
+
+    def schedule(self) -> List[SessionArrival]:
+        """The deterministic arrival/departure schedule of this process."""
+        rng = derive_rng(self.seed, "open-system-arrivals")
+        arrivals: List[SessionArrival] = []
+        now = 0.0
+        while self.max_sessions is None or len(arrivals) < self.max_sessions:
+            now += float(rng.exponential(1.0 / self.rate))
+            if now >= self.horizon:
+                break
+            departure = math.inf
+            if self.mean_residence is not None:
+                departure = now + float(rng.exponential(self.mean_residence))
+            arrivals.append(
+                SessionArrival(
+                    index=len(arrivals),
+                    arrival_time=now,
+                    departure_time=departure,
+                )
+            )
+        return arrivals
+
+
+#: Timeline slot of the arrival spawner — below every session index, so
+#: at equal virtual times the arrival is processed first.
+_SPAWNER = -1
+
+
+class OpenSystemManager:
+    """Serves an *open system*: sessions arrive and depart mid-run.
+
+    Where :class:`SessionManager` steps a fixed population to
+    completion, this manager follows an :class:`ArrivalProcess`: a
+    spawner occupies one slot of the shared :class:`_VirtualTimeline`
+    and, at each scheduled arrival instant, creates the session —
+    deterministic per-session seed via
+    :func:`~repro.common.rng.derive_session_seed`, scripted suite or
+    adaptive policy via ``session_factory`` — registers it with the
+    timeline and lets it compete for step turns. Sessions whose
+    ``departure_time`` overtakes their next event *abandon*: in-flight
+    queries are cancelled (never evaluated), speculation hints freed,
+    and — on a shared engine — the scheduler's whole session group is
+    cancelled (:meth:`~repro.engines.scheduler.ProcessorSharingScheduler.cancel_group`),
+    so ghost load from churned-out users cannot skew the survivors.
+
+    Determinism: the schedule is precomputed, every grant follows global
+    ``(time, index)`` order with the spawner below all sessions, and
+    abandonment happens at the departing session's own last event time —
+    so a churned run's bytes are a pure function of its configuration,
+    invariant to wall pacing (``accel``) and re-invocation.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        settings: BenchmarkSettings,
+        arrivals: ArrivalProcess,
+        session_factory: Callable[
+            [int], Tuple[SessionSpec, Optional[InteractionPolicy]]
+        ],
+        *,
+        engine_factory: Optional[Callable[[], object]] = None,
+        engine=None,
+        accel: Optional[float] = None,
+        on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+    ):
+        if (engine_factory is None) == (engine is None):
+            raise BenchmarkError(
+                "pass exactly one of engine_factory= (isolated) or "
+                "engine= (shared)"
+            )
+        self.oracle = oracle
+        self.settings = settings
+        self.arrivals = arrivals
+        self.schedule = arrivals.schedule()
+        self.shared = engine is not None
+        self._engine_factory = engine_factory
+        self._shared_engine = engine
+        if self.shared and isinstance(
+            engine.scheduler.policy, WeightedSharingPolicy
+        ):
+            engine.scheduler.set_policy(FairSessionPolicy())
+        self._session_factory = session_factory
+        self.accel = accel
+        self._on_record = on_record
+        self.streams: Dict[str, SessionStream] = {}
+        self.trace: List[Tuple[float, str]] = []
+        self.wall_seconds: float = 0.0
+        self._timeline = _VirtualTimeline(
+            pacer=AsyncClock(accel) if accel is not None else None
         )
-    return specs
+        self._results: Dict[int, SessionResult] = {}
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[SessionResult]:
+        """Serve the whole schedule to completion (blocking wrapper)."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> List[SessionResult]:
+        """Serve arrivals as they come; results in arrival order."""
+        if self._ran:
+            raise BenchmarkError("an OpenSystemManager can only run once")
+        self._ran = True
+        if not self.schedule:
+            return []
+        if self.shared:
+            if not self._shared_engine.is_prepared:
+                self._shared_engine.prepare()
+            self._shared_engine.workflow_start()
+        started = time.perf_counter()
+        tasks: List[asyncio.Task] = []
+        self._timeline.register(_SPAWNER)
+        await self._spawner(tasks)
+        if tasks:
+            await asyncio.gather(*tasks)
+        self.wall_seconds = time.perf_counter() - started
+        if self.shared:
+            self._shared_engine.workflow_end()
+            self._shared_engine.scheduler.set_group(None)
+        return [self._results[arrival.index] for arrival in self.schedule]
+
+    # ------------------------------------------------------------------
+    async def _spawner(self, tasks: List[asyncio.Task]) -> None:
+        try:
+            for arrival in self.schedule:
+                await self._timeline.acquire(_SPAWNER, arrival.arrival_time)
+                self.trace.append((arrival.arrival_time, "arrival"))
+                driver, spec = self._spawn(arrival)
+                self._timeline.register(arrival.index)
+                tasks.append(
+                    asyncio.ensure_future(
+                        self._run_session(arrival, driver, spec)
+                    )
+                )
+        finally:
+            await self._timeline.retire(_SPAWNER)
+
+    def _spawn(self, arrival: SessionArrival):
+        spec, policy = self._session_factory(arrival.index)
+        stream = SessionStream(spec.session_id)
+        if self._on_record is not None:
+            stream.subscribe(self._on_record)
+        self.streams[spec.session_id] = stream
+        if self.shared:
+            engine = self._shared_engine
+        else:
+            engine = self._engine_factory()
+            if not engine.is_prepared:
+                engine.prepare()
+        # The session's virtual life starts at its arrival instant. The
+        # spawner holds the globally minimal timeline slot, so advancing
+        # the engine clock here is monotone for every live session.
+        if engine.clock.now() < arrival.arrival_time:
+            engine.clock.advance_to(arrival.arrival_time)
+            engine.advance_to(arrival.arrival_time)
+        driver = SessionDriver(
+            engine,
+            self.oracle,
+            self.settings,
+            list(spec.workflows) if policy is None else [],
+            session_id=spec.session_id,
+            lifecycle=not self.shared,
+            on_record=stream.push,
+            policy=policy,
+        )
+        return driver, spec
+
+    async def _run_session(
+        self, arrival: SessionArrival, driver: SessionDriver, spec: SessionSpec
+    ) -> None:
+        departed = False
+        try:
+            while True:
+                event_time = driver.next_event_time()
+                if event_time is None:
+                    break
+                if event_time >= arrival.departure_time:
+                    departed = True
+                    break
+                await self._timeline.acquire(arrival.index, event_time)
+                self.trace.append((event_time, spec.session_id))
+                if self.shared:
+                    self._shared_engine.scheduler.set_group(spec.session_id)
+                driver.step()
+        finally:
+            if departed:
+                driver.abandon()
+                if self.shared:
+                    self._shared_engine.scheduler.cancel_group(spec.session_id)
+            self._results[arrival.index] = SessionResult(
+                spec,
+                self.streams[spec.session_id].records,
+                interaction_counts=dict(driver.interaction_counts),
+                departed_at=arrival.departure_time if departed else None,
+            )
+            await self._timeline.retire(arrival.index)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_engine(
+        cls,
+        ctx,
+        engine_name: str,
+        arrivals: ArrivalProcess,
+        *,
+        policy: Optional[str] = None,
+        per_session: int = 2,
+        workflow_type: WorkflowType = WorkflowType.MIXED,
+        share_engine: bool = False,
+        accel: Optional[float] = None,
+        speculation: bool = False,
+        normalized: bool = False,
+        on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+    ) -> "OpenSystemManager":
+        """Build an open-system manager from an :class:`ExperimentContext`.
+
+        Arriving session *i* gets the same purpose-string seed
+        (:func:`~repro.common.rng.derive_session_seed`\\ ``(root, i)``)
+        closed-system session *i* would get, so its workload is
+        identical whether it arrives mid-run or starts at time zero.
+        """
+        from repro.bench.experiments import make_engine
+
+        settings = ctx.settings
+        dataset = ctx.dataset(settings.data_size, normalized)
+        oracle = ctx.oracle(settings.data_size, normalized)
+        generator = _shared_generator(ctx) if policy is not None else None
+
+        def session_factory(index: int):
+            return make_session(
+                ctx,
+                index,
+                per_session=per_session,
+                workflow_type=workflow_type,
+                policy=policy,
+                generator=generator,
+            )
+
+        if share_engine:
+            engine = make_engine(
+                engine_name, dataset, settings, VirtualClock(), speculation
+            )
+            return cls(
+                oracle, settings, arrivals, session_factory,
+                engine=engine, accel=accel, on_record=on_record,
+            )
+        return cls(
+            oracle, settings, arrivals, session_factory,
+            engine_factory=lambda: make_engine(
+                engine_name, dataset, settings, VirtualClock(), speculation
+            ),
+            accel=accel, on_record=on_record,
+        )
 
 
 def serial_baseline(

@@ -29,8 +29,9 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from repro.common.fingerprint import CACHE_SCHEMA_VERSION
 from repro.common.fingerprint import fmt_cell as _fmt
-from repro.server.manager import SessionManager
+from repro.server.manager import ArrivalProcess, OpenSystemManager, SessionManager
 from repro.server.session import SessionResult
+from repro.workflow.policy import interaction_mix
 from repro.workflow.spec import WorkflowType
 
 #: Columns of the deterministic load-report CSV.
@@ -297,6 +298,299 @@ def session_bench_csv_text(cells: Sequence[SessionBenchCell]) -> str:
     buffer = io.StringIO()
     _write(buffer, cells)
     return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Adaptive/churn report (repro bench-adaptive)
+# ----------------------------------------------------------------------
+
+#: Interaction kinds reported as mix columns, in CSV order.
+MIX_KINDS = ("create_viz", "set_filter", "select_bins", "link", "discard_viz")
+
+#: Columns of the deterministic adaptive-report CSV.
+ADAPTIVE_COLUMNS = (
+    "engine",
+    "policy",
+    "sessions",
+    "churn",
+    "workflows_per_session",
+    "sessions_served",
+    "sessions_departed",
+    "num_queries",
+    "pct_tr_violated",
+    "mean_latency_answered",
+    "virtual_makespan",
+) + tuple(f"mix_{kind}" for kind in MIX_KINDS)
+
+
+@dataclass
+class AdaptiveBenchCell:
+    """One cell of the adaptive report: (policy, session count, churn)."""
+
+    engine: str
+    policy: str
+    sessions: int
+    churn: str  # "closed" | "open"
+    workflows_per_session: int
+    #: Sessions that actually ran (open cells serve what the Poisson
+    #: schedule yields within the horizon, capped at ``sessions``).
+    sessions_served: int
+    #: Sessions that left mid-run, abandoning in-flight queries.
+    sessions_departed: int
+    num_queries: int
+    pct_tr_violated: float
+    mean_latency_answered: float
+    virtual_makespan: float
+    #: Fraction of fired interactions per kind — the behavioral
+    #: fingerprint that separates adaptive policies from replay.
+    mix: dict
+    wall_seconds: float = 0.0
+    from_cache: bool = False
+
+    def payload(self) -> dict:
+        data = {k: v for k, v in self.__dict__.items() if k != "from_cache"}
+        return data
+
+    @classmethod
+    def from_payload(cls, payload: dict, from_cache: bool = False) -> "AdaptiveBenchCell":
+        return cls(from_cache=from_cache, **payload)
+
+
+def adaptive_cell_key(
+    settings,
+    engine: str,
+    policy: str,
+    sessions: int,
+    churn: str,
+    per_session: int,
+    workflow_type: WorkflowType,
+    arrival_rate: float,
+    horizon: float,
+    residence: Optional[float],
+    share_engine: bool,
+) -> tuple:
+    """Artifact-store key of one adaptive-report cell (content-addressed).
+
+    Closed cells never consult the arrival process, so its parameters are
+    normalized out of their keys — tuning ``--arrivals``/``--residence``
+    must not invalidate cached closed-system sweeps.
+    """
+    if churn == "closed":
+        arrival_rate = horizon = residence = None
+    return (
+        "adaptive-bench",
+        CACHE_SCHEMA_VERSION,
+        settings.to_dict(),
+        engine,
+        policy,
+        sessions,
+        churn,
+        per_session,
+        workflow_type.value,
+        arrival_rate,
+        horizon,
+        residence,
+        share_engine,
+    )
+
+
+def _adaptive_cell(
+    engine: str,
+    policy: str,
+    sessions: int,
+    churn: str,
+    per_session: int,
+    results: Sequence[SessionResult],
+    wall_seconds: float,
+) -> AdaptiveBenchCell:
+    records = [record for result in results for record in result.records]
+    answered = [r for r in records if not r.tr_violated]
+    latencies = [r.end_time - r.start_time for r in answered]
+    counts: dict = {}
+    for result in results:
+        for kind, count in result.interaction_counts.items():
+            counts[kind] = counts.get(kind, 0) + count
+    return AdaptiveBenchCell(
+        engine=engine,
+        policy=policy,
+        sessions=sessions,
+        churn=churn,
+        workflows_per_session=per_session,
+        sessions_served=len(results),
+        sessions_departed=sum(r.departed_at is not None for r in results),
+        num_queries=len(records),
+        pct_tr_violated=(
+            100.0 * sum(r.tr_violated for r in records) / len(records)
+            if records
+            else float("nan")
+        ),
+        mean_latency_answered=(
+            sum(latencies) / len(latencies) if latencies else float("nan")
+        ),
+        virtual_makespan=max((r.end_time for r in records), default=0.0),
+        mix=interaction_mix(counts),
+        wall_seconds=wall_seconds,
+    )
+
+
+def run_adaptive_bench(
+    ctx,
+    engine: str,
+    policies: Sequence[str],
+    session_counts: Sequence[int],
+    *,
+    per_session: int = 1,
+    workflow_type: WorkflowType = WorkflowType.MIXED,
+    churn_modes: Sequence[str] = ("closed", "open"),
+    arrival_rate: float = 0.1,
+    horizon: float = 60.0,
+    residence: Optional[float] = 30.0,
+    share_engine: bool = False,
+    store=None,
+    reuse_results: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[AdaptiveBenchCell]:
+    """Run the sessions × policy × churn sweep; cells restore from ``store``.
+
+    ``closed`` cells serve exactly ``sessions`` concurrent users from
+    time zero to workload completion; ``open`` cells draw a Poisson
+    arrival schedule (``arrival_rate``/``horizon``/``residence``, capped
+    at ``sessions``) and let users churn mid-run. Every cell's CSV row is
+    deterministic, so cached restores are byte-identical to fresh runs.
+    """
+    unknown = [mode for mode in churn_modes if mode not in ("closed", "open")]
+    if unknown:
+        raise ValueError(
+            f"unknown churn mode(s) {unknown!r} (choose from: closed, open)"
+        )
+    if "open" in churn_modes:
+        # Validate the arrival parameters before any cell runs — a bad
+        # rate must not surface halfway through an expensive sweep.
+        ArrivalProcess(
+            arrival_rate, horizon,
+            seed=ctx.settings.seed, mean_residence=residence, max_sessions=1,
+        )
+    cells: List[AdaptiveBenchCell] = []
+    for policy in policies:
+        for sessions in session_counts:
+            for churn in churn_modes:
+                key = adaptive_cell_key(
+                    ctx.settings, engine, policy, sessions, churn,
+                    per_session, workflow_type, arrival_rate, horizon,
+                    residence, share_engine,
+                )
+                if store is not None and reuse_results:
+                    payload = store.get(key)
+                    if payload is not None:
+                        cells.append(
+                            AdaptiveBenchCell.from_payload(payload, from_cache=True)
+                        )
+                        if progress:
+                            progress(f"[cache] {policy} ×{sessions} {churn}")
+                        continue
+                if churn == "closed":
+                    manager = SessionManager.for_engine(
+                        ctx, engine, sessions,
+                        per_session=per_session,
+                        workflow_type=workflow_type,
+                        share_engine=share_engine,
+                        policy=None if policy == "scripted" else policy,
+                    )
+                    results = manager.run()
+                    wall = manager.wall_seconds
+                else:
+                    arrivals = ArrivalProcess(
+                        arrival_rate, horizon,
+                        seed=ctx.settings.seed,
+                        mean_residence=residence,
+                        max_sessions=sessions,
+                    )
+                    open_manager = OpenSystemManager.for_engine(
+                        ctx, engine, arrivals,
+                        policy=None if policy == "scripted" else policy,
+                        per_session=per_session,
+                        workflow_type=workflow_type,
+                        share_engine=share_engine,
+                    )
+                    results = open_manager.run()
+                    wall = open_manager.wall_seconds
+                cell = _adaptive_cell(
+                    engine, policy, sessions, churn, per_session, results, wall
+                )
+                if store is not None:
+                    store.put(key, cell.payload())
+                cells.append(cell)
+                if progress:
+                    progress(f"[ran {wall:6.2f}s] {policy} ×{sessions} {churn}")
+    return cells
+
+
+def adaptive_rows(cells: Sequence[AdaptiveBenchCell]) -> List[List[object]]:
+    """Deterministic CSV rows (no wall-clock columns), in sweep order."""
+    return [
+        [
+            cell.engine,
+            cell.policy,
+            cell.sessions,
+            cell.churn,
+            cell.workflows_per_session,
+            cell.sessions_served,
+            cell.sessions_departed,
+            cell.num_queries,
+            _fmt(cell.pct_tr_violated),
+            _fmt(cell.mean_latency_answered),
+            _fmt(cell.virtual_makespan),
+        ]
+        + [_fmt(cell.mix.get(kind, 0.0)) for kind in MIX_KINDS]
+        for cell in cells
+    ]
+
+
+def write_adaptive_bench_csv(
+    path: Union[str, Path, io.TextIOBase], cells: Sequence[AdaptiveBenchCell]
+) -> None:
+    """Write the adaptive report CSV (stable bytes for a configuration)."""
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            _write_adaptive(handle, cells)
+    else:
+        _write_adaptive(path, cells)
+
+
+def _write_adaptive(handle, cells: Sequence[AdaptiveBenchCell]) -> None:
+    writer = csv.writer(handle)
+    writer.writerow(ADAPTIVE_COLUMNS)
+    for row in adaptive_rows(cells):
+        writer.writerow(row)
+
+
+def adaptive_bench_csv_text(cells: Sequence[AdaptiveBenchCell]) -> str:
+    """The adaptive report CSV as a string (byte-identity comparisons)."""
+    buffer = io.StringIO()
+    _write_adaptive(buffer, cells)
+    return buffer.getvalue()
+
+
+def render_adaptive_bench(
+    cells: Sequence[AdaptiveBenchCell], title: str = "adaptive session report"
+) -> str:
+    """Plain-text sessions × policy × churn table for terminal output."""
+    header = (
+        f"{'policy':<12} {'sessions':>8} {'churn':<7} {'served':>6} "
+        f"{'left':>5} {'queries':>7} {'%TR viol':>9} {'filter%':>8} "
+        f"{'select%':>8} {'wall':>7} {'cached':>6}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for cell in cells:
+        lines.append(
+            f"{cell.policy:<12} {cell.sessions:>8} {cell.churn:<7} "
+            f"{cell.sessions_served:>6} {cell.sessions_departed:>5} "
+            f"{cell.num_queries:>7} {cell.pct_tr_violated:>8.1f}% "
+            f"{100 * cell.mix.get('set_filter', 0.0):>7.1f}% "
+            f"{100 * cell.mix.get('select_bins', 0.0):>7.1f}% "
+            f"{cell.wall_seconds:>6.2f}s {'yes' if cell.from_cache else 'no':>6}"
+        )
+    return "\n".join(lines)
 
 
 def render_session_bench(

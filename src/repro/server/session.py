@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.driver import QueryRecord
 from repro.bench.report import DetailedReport, SummaryRow, summarize_records
@@ -30,18 +30,26 @@ from repro.workflow.spec import Workflow
 
 @dataclass(frozen=True)
 class SessionSpec:
-    """One simulated user session: identity, seed, and workflow suite."""
+    """One simulated user session: identity, seed, and workload source.
+
+    A session runs either a pre-generated ``workflows`` suite (scripted —
+    and, through :class:`~repro.workflow.policy.ReplayPolicy`, the
+    ``replay`` policy) or an adaptive :attr:`policy` by name, in which
+    case ``workflows`` is empty and the session chooses interactions
+    online from what it observes (docs/server.md's adaptive mode).
+    """
 
     session_id: str
-    workflows: Tuple[Workflow, ...]
+    workflows: Tuple[Workflow, ...] = ()
     seed: int = 0
+    policy: Optional[str] = None
 
     def __post_init__(self):
         if not self.session_id:
             raise BenchmarkError("session needs an id")
-        if not self.workflows:
+        if not self.workflows and self.policy is None:
             raise BenchmarkError(
-                f"session {self.session_id!r} needs at least one workflow"
+                f"session {self.session_id!r} needs workflows or a policy"
             )
 
     @property
@@ -82,6 +90,13 @@ class SessionResult:
 
     spec: SessionSpec
     records: List[QueryRecord] = field(default_factory=list)
+    #: Interactions the session actually fired, by kind — the observable
+    #: behavioral fingerprint adaptive policies are compared on
+    #: (``repro bench-adaptive``'s interaction-mix columns).
+    interaction_counts: Dict[str, int] = field(default_factory=dict)
+    #: Virtual time the session left mid-run (open-system churn), or None
+    #: when it ran to completion.
+    departed_at: Optional[float] = None
 
     @property
     def session_id(self) -> str:

@@ -296,6 +296,30 @@ class WorkflowGenerator:
         return [self.generate(workflow_type, i) for i in range(count)]
 
     # ------------------------------------------------------------------
+    # Public sampling API (shared with the adaptive interaction policies)
+    # ------------------------------------------------------------------
+    def sample_viz_spec(
+        self, rng: np.random.Generator, name: str
+    ) -> VizSpec:
+        """Sample one visualization spec named ``name``.
+
+        The same materialization the offline generator uses, exposed so
+        online policies (:mod:`repro.workflow.policy`) build dashboards
+        from the identical distributions.
+        """
+        return self._sample_viz(None, rng, name)
+
+    def sample_filter(self, rng: np.random.Generator, viz: VizSpec) -> Filter:
+        """Sample a filter for ``viz`` (see :meth:`_sample_filter`)."""
+        return self._sample_filter(rng, viz)
+
+    def sample_selection(
+        self, rng: np.random.Generator, viz: VizSpec
+    ) -> Tuple[BinKey, ...]:
+        """Sample a bin selection for ``viz`` (see :meth:`_sample_selection`)."""
+        return self._sample_selection(rng, viz)
+
+    # ------------------------------------------------------------------
     # Type-specific fills
     # ------------------------------------------------------------------
     def _fill_typed(

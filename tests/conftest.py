@@ -93,3 +93,25 @@ def delay_avg_query():
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(7)
+
+
+@pytest.fixture(scope="session")
+def server_ctx():
+    """Shared ExperimentContext for every session-server test module.
+
+    One seed-table + copula-fit + scaled-table + oracle construction per
+    test session instead of one per module: the server, churn, policy,
+    and golden-report suites all run the same (S, scale=50 000, seed=5,
+    TR=1 s) configuration, and contexts only hand out immutable shared
+    state (engines are built per test). ~2 000 actual rows — large
+    enough for non-trivial metrics, fast enough for tier 1.
+    """
+    from repro.bench.experiments import ExperimentContext
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=50_000,
+        seed=5,
+        time_requirement=1.0,
+    )
+    return ExperimentContext(settings)

@@ -127,3 +127,65 @@ class TestRunAndReport:
             "--size", "S", "--workflows", str(suite), "--seed", "3",
         ])
         assert code == 0
+
+
+class TestCacheSubcommand:
+    """repro cache {stats,clear,evict} — the artifact-store GC wiring."""
+
+    def _populate(self, tmp_path, entries=4):
+        from repro.runtime import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "cache")
+        for index in range(entries):
+            store.put(("cli-cache-test", index), {"payload": "x" * 200, "i": index})
+        return store
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        code = main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "entries: 4" in captured
+
+    def test_clear_removes_everything(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        code = main(["cache", "clear", "--cache-dir", str(tmp_path / "cache")])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "removed 4 artifacts" in captured
+        assert len(store) == 0
+
+    def test_evict_shrinks_to_budget(self, tmp_path, capsys):
+        store = self._populate(tmp_path)
+        per_entry = store.total_bytes() // 4
+        code = main([
+            "cache", "evict", "--cache-dir", str(tmp_path / "cache"),
+            "--max-bytes", str(per_entry * 2),
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "evicted 2 artifacts" in captured
+        assert len(store) == 2
+        assert store.total_bytes() <= per_entry * 2
+
+    def test_evict_defaults_to_budget(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        code = main(["cache", "evict", "--cache-dir", str(tmp_path / "cache")])
+        captured = capsys.readouterr().out
+        assert code == 0
+        # Tiny store, nothing over the default 2 GiB budget.
+        assert "evicted 0 artifacts" in captured
+
+    def test_run_matrix_applies_cache_budget(self, tmp_path, capsys):
+        cache = tmp_path / "budgeted"
+        code = main([
+            "run-matrix", "--engines", "monetdb-sim", "--trs", "1",
+            "--sizes", "S", "--scale", "50000", "--seed", "5",
+            "--per-type", "1", "--cache-dir", str(cache),
+            "--cache-budget", "1", "--quiet",
+        ])
+        assert code == 0
+        from repro.runtime import ArtifactStore
+
+        # Budget of one byte: the store evicted everything it wrote.
+        assert ArtifactStore(cache).total_bytes() <= 1

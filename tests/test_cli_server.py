@@ -97,11 +97,120 @@ class TestBenchSessions:
         assert "unknown engines" in capsys.readouterr().err
 
 
+class TestServeAdaptive:
+    def test_policy_markov(self, capsys):
+        code = main(
+            ["serve", "--engine", "idea-sim", "--sessions", "2",
+             "--per-session", "1", "--policy", "markov"] + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "markov users" in captured
+
+    def test_replay_policy_passes_verify(self, capsys):
+        code = main(
+            ["serve", "--engine", "idea-sim", "--sessions", "2",
+             "--per-session", "1", "--policy", "replay", "--verify"]
+            + COMMON
+        )
+        assert code == 0
+        assert "byte-identical to serial runs" in capsys.readouterr().out
+
+    def test_verify_rejected_with_adaptive_policy(self, capsys):
+        code = main(
+            ["serve", "--sessions", "2", "--policy", "markov", "--verify"]
+            + COMMON
+        )
+        assert code == 1
+        assert "adaptive policies" in capsys.readouterr().err
+
+    def test_open_system_arrivals(self, capsys):
+        code = main(
+            ["serve", "--engine", "idea-sim", "--sessions", "4",
+             "--arrivals", "0.2", "--horizon", "40", "--residence", "25",
+             "--policy", "uncertainty"] + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "open system" in captured
+        assert "departed mid-run" in captured
+
+    def test_verify_rejected_with_arrivals(self, capsys):
+        code = main(
+            ["serve", "--sessions", "2", "--arrivals", "0.2", "--verify"]
+            + COMMON
+        )
+        assert code == 1
+        assert "open-system arrivals" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", [["--residence", "25"], ["--horizon", "40"]])
+    def test_churn_flags_without_arrivals_rejected(self, capsys, flag):
+        code = main(["serve", "--sessions", "2"] + flag + COMMON)
+        assert code == 1
+        assert "need --arrivals" in capsys.readouterr().err
+
+
+class TestBenchAdaptive:
+    def test_sweep_writes_deterministic_csv(self, tmp_path, capsys):
+        out_a, out_b = tmp_path / "a.csv", tmp_path / "b.csv"
+        args = [
+            "bench-adaptive", "--engine", "idea-sim",
+            "--policies", "replay,markov", "--sessions", "2",
+            "--per-session", "1", "--churn", "closed,open",
+            "--arrivals", "0.2", "--horizon", "40", "--residence", "25",
+        ] + COMMON
+        assert main(args + ["--out", str(out_a)]) == 0
+        captured = capsys.readouterr().out
+        assert "sessions × policy × churn report" in captured
+        assert main(args + ["--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        lines = out_a.read_text(encoding="utf-8").strip().splitlines()
+        assert lines[0].startswith("engine,policy,sessions,churn")
+        assert len(lines) == 1 + 4  # 2 policies × 1 count × 2 churn modes
+
+    def test_cache_restores_cells(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = [
+            "bench-adaptive", "--engine", "idea-sim",
+            "--policies", "markov", "--sessions", "2",
+            "--per-session", "1", "--churn", "closed",
+            "--cache-dir", str(cache),
+        ] + COMMON
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "[cache]" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self, capsys):
+        code = main(
+            ["bench-adaptive", "--policies", "telepathy"] + COMMON
+        )
+        assert code == 1
+        assert "unknown policies" in capsys.readouterr().err
+
+    def test_unknown_churn_rejected(self, capsys):
+        code = main(
+            ["bench-adaptive", "--policies", "replay",
+             "--churn", "sideways"] + COMMON
+        )
+        assert code == 1
+        assert "unknown churn mode" in capsys.readouterr().err
+
+
 class TestParser:
-    @pytest.mark.parametrize("command", ["serve", "bench-sessions"])
+    @pytest.mark.parametrize(
+        "command", ["serve", "bench-sessions", "bench-adaptive"]
+    )
     def test_subcommands_registered(self, command):
         from repro.cli import build_parser
 
         parser = build_parser()
         args = parser.parse_args([command])
+        assert callable(args.func)
+
+    def test_cache_subcommand_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["cache", "stats", "--cache-dir", "x"])
         assert callable(args.func)

@@ -68,6 +68,18 @@ class TestArchitectureCoverage:
         assert "src/repro/runtime/" in architecture
 
 
+class TestRequiredSections:
+    def test_all_required_sections_present(self, root):
+        assert check_docs.check_required_sections(root) == []
+
+    def test_missing_marker_detected(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "server.md").write_text("stub", encoding="utf-8")
+        problems = check_docs.check_required_sections(tmp_path)
+        assert any("Adaptive sessions" in problem for problem in problems)
+        assert any("README.md is missing" in problem for problem in problems)
+
+
 class TestModuleAnchors:
     def test_every_module_states_a_paper_anchor(self, root):
         """Each public module's docstring names its paper-section anchor

@@ -135,3 +135,42 @@ class TestPolicyAndGroupHooks:
         policy = FairSessionPolicy()
         scheduler.set_policy(policy)
         assert scheduler.policy is policy
+
+
+class TestCancelGroup:
+    """Group lifecycle on churn: a departing session's tasks all stop."""
+
+    def test_cancels_only_the_group(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock)
+        scheduler.set_policy(FairSessionPolicy())
+        mine = [scheduler.add_task(10.0, group="s0") for _ in range(2)]
+        other = scheduler.add_task(10.0, group="s1")
+        _advance(clock, scheduler, 1.0)
+        assert scheduler.cancel_group("s0") == 2
+        for task in mine:
+            assert scheduler.is_cancelled(task)
+        assert not scheduler.is_cancelled(other)
+        assert scheduler.active_tasks() == [other]
+        # The survivor now gets full capacity.
+        _advance(clock, scheduler, 2.0)
+        assert scheduler.work_done(other) == pytest.approx(0.5 + 1.0)
+
+    def test_finished_tasks_are_left_alone(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock)
+        done = scheduler.add_task(1.0, group="s0")
+        _advance(clock, scheduler, 2.0)
+        assert scheduler.finished_at(done) == pytest.approx(1.0)
+        assert scheduler.cancel_group("s0") == 0
+        assert not scheduler.is_cancelled(done)
+        assert scheduler.finished_at(done) == pytest.approx(1.0)
+
+    def test_none_group_cancels_untagged_tasks(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock)
+        untagged = scheduler.add_task(5.0)
+        tagged = scheduler.add_task(5.0, group="s0")
+        assert scheduler.cancel_group(None) == 1
+        assert scheduler.is_cancelled(untagged)
+        assert not scheduler.is_cancelled(tagged)

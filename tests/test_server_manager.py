@@ -17,11 +17,9 @@ import io
 
 import pytest
 
-from repro.bench.driver import BenchmarkDriver
-from repro.bench.experiments import ExperimentContext, make_engine
+from repro.bench.experiments import make_engine
 from repro.bench.report import DetailedReport
 from repro.common.clock import VirtualClock
-from repro.common.config import BenchmarkSettings, DataSize
 from repro.common.errors import BenchmarkError
 from repro.common.rng import derive_session_seed
 from repro.engines.scheduler import FairSessionPolicy
@@ -33,20 +31,8 @@ from repro.server import (
 )
 from repro.workflow.spec import WorkflowType
 
-#: ~2 000 actual rows: large enough for non-trivial metrics, fast enough
-#: for tier 1.
-SCALE = 50_000
-
-
-@pytest.fixture(scope="module")
-def server_ctx():
-    settings = BenchmarkSettings(
-        data_size=DataSize.S,
-        scale=SCALE,
-        seed=5,
-        time_requirement=1.0,
-    )
-    return ExperimentContext(settings)
+# The shared ExperimentContext (S, scale=50 000, seed=5, TR=1 s) comes
+# from the session-scoped ``server_ctx`` fixture in conftest.py.
 
 
 def _csv(records):

@@ -11,6 +11,12 @@ Two guarantees, kept machine-checked so the docs cannot silently rot:
 2. **architecture coverage** — every package under ``src/repro/`` (and
    the top-level ``cli.py``) is mentioned in ``docs/architecture.md``,
    so the package map can never miss a subsystem.
+3. **required sections** — load-bearing documentation sections must keep
+   existing: docs/server.md must document the adaptive-policy and
+   open-system churn modes (and their determinism guarantees),
+   docs/paper-mapping.md must map the policy module, and the README must
+   list the ``bench-adaptive`` and ``cache`` CLI commands. The required
+   markers live in :data:`REQUIRED_SECTIONS`.
 
 Run from the repository root (CI does)::
 
@@ -101,9 +107,59 @@ def check_architecture_coverage(root: Path) -> List[str]:
     return problems
 
 
+#: file → literal strings that must appear in it. Keep the markers short
+#: and load-bearing: each one names a documented capability whose silent
+#: disappearance should fail CI.
+REQUIRED_SECTIONS = {
+    "docs/server.md": [
+        "## Adaptive sessions (interaction policies)",
+        "## Open-system churn (arrivals and departures)",
+        "byte-identical across repeated invocations",
+        "cancel_group",
+        "tools/regen_golden.py",
+    ],
+    "docs/paper-mapping.md": [
+        "src/repro/workflow/policy.py",
+        "ArrivalProcess",
+    ],
+    "README.md": [
+        "bench-adaptive",
+        "repro cache",
+        "--policy",
+        "--arrivals",
+    ],
+}
+
+
+def check_required_sections(root: Path) -> List[str]:
+    """Return one problem string per missing required doc marker.
+
+    Matching is whitespace-insensitive (runs of whitespace collapse to a
+    single space on both sides), so re-wrapping a paragraph never breaks
+    the check — only removing the documented capability does.
+    """
+    problems = []
+    for rel_path, markers in REQUIRED_SECTIONS.items():
+        path = root / rel_path
+        if not path.exists():
+            problems.append(f"{rel_path} is missing")
+            continue
+        text = " ".join(path.read_text(encoding="utf-8").split())
+        for marker in markers:
+            if " ".join(marker.split()) not in text:
+                problems.append(
+                    f"{rel_path}: required section/marker missing: {marker!r}"
+                )
+    return problems
+
+
 def main() -> int:
     root = repo_root()
-    problems = check_links(root) + check_architecture_coverage(root)
+    problems = (
+        check_links(root)
+        + check_architecture_coverage(root)
+        + check_required_sections(root)
+    )
     files = markdown_files(root)
     if problems:
         print(f"docs check FAILED ({len(problems)} problem(s)):")
@@ -112,7 +168,8 @@ def main() -> int:
         return 1
     print(
         f"docs check OK: {len(files)} markdown files, all relative links "
-        f"resolve, architecture.md covers every src/repro package"
+        f"resolve, architecture.md covers every src/repro package, all "
+        f"required sections present"
     )
     return 0
 

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-report corpus under ``tests/golden/``.
+
+The corpus pins the exact bytes of four end-to-end reports — a serial
+run, a shared-engine server run, an adaptive (markov) run and an
+open-system churn run — so any change to engines, driver, server,
+policies or report rendering that shifts output is caught as a diff, not
+discovered downstream. ``tests/test_golden_reports.py`` re-executes the
+same builders in-process and asserts byte identity against the checked-in
+files.
+
+After an *intentional* behavior change, refresh the corpus with::
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit the updated files together with the change that caused them.
+The configuration is deliberately tiny (S size at scale 50 000 → ~2 000
+actual rows, TR 1 s) so regeneration and the test both run in seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+if str(REPO_ROOT / "src") not in sys.path:  # direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def build_context():
+    """The corpus configuration: identical to the tests' ``server_ctx``."""
+    from repro.bench.experiments import ExperimentContext
+    from repro.common.config import BenchmarkSettings, DataSize
+
+    return ExperimentContext(
+        BenchmarkSettings(
+            data_size=DataSize.S,
+            scale=50_000,
+            seed=5,
+            time_requirement=1.0,
+        )
+    )
+
+
+def _session_text(results) -> str:
+    """Concatenate per-session detailed CSVs under stable banners."""
+    parts = []
+    for result in results:
+        departed = (
+            f" departed_at={result.departed_at:.6f}"
+            if result.departed_at is not None
+            else ""
+        )
+        parts.append(f"== {result.session_id}{departed} ==\n")
+        parts.append(result.csv_text())
+    return "".join(parts)
+
+
+def case_serial_run(ctx) -> str:
+    """The ``repro run`` path: two mixed workflows on idea-sim, serially."""
+    import io
+
+    from repro.bench.report import DetailedReport
+    from repro.workflow.spec import WorkflowType
+
+    records = ctx.run("idea-sim", ctx.workflows(WorkflowType.MIXED, 2))
+    buffer = io.StringIO()
+    DetailedReport(records).to_csv(buffer)
+    return buffer.getvalue()
+
+
+def case_server_shared(ctx) -> str:
+    """Two sessions contending on one idea-sim engine (fair scheduling)."""
+    from repro.server import SessionManager
+
+    results = SessionManager.for_engine(
+        ctx, "idea-sim", 2, per_session=1, share_engine=True
+    ).run()
+    return _session_text(results)
+
+
+def case_adaptive_markov(ctx) -> str:
+    """Two adaptive (markov) sessions on isolated idea-sim engines."""
+    from repro.server import SessionManager
+
+    results = SessionManager.for_engine(
+        ctx, "idea-sim", 2, per_session=1, policy="markov"
+    ).run()
+    return _session_text(results)
+
+
+def case_open_churn(ctx) -> str:
+    """Open system: Poisson arrivals churning on a shared engine."""
+    from repro.server import ArrivalProcess, OpenSystemManager
+
+    arrivals = ArrivalProcess(
+        0.2, 40.0, seed=ctx.settings.seed, mean_residence=25.0, max_sessions=4
+    )
+    results = OpenSystemManager.for_engine(
+        ctx, "idea-sim", arrivals, policy="uncertainty",
+        per_session=1, share_engine=True,
+    ).run()
+    return _session_text(results)
+
+
+#: File name → builder. Each builder gets a fresh-or-shared context and
+#: returns the complete file content as text.
+GOLDEN_CASES = {
+    "serial_run.csv": case_serial_run,
+    "server_shared.txt": case_server_shared,
+    "adaptive_markov.txt": case_adaptive_markov,
+    "open_churn.txt": case_open_churn,
+}
+
+
+def main() -> int:
+    ctx = build_context()
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, builder in GOLDEN_CASES.items():
+        path = GOLDEN_DIR / name
+        # Binary I/O end to end: the corpus pins exact bytes, so no
+        # platform newline translation may touch it.
+        data = builder(ctx).encode("utf-8")
+        changed = not path.exists() or path.read_bytes() != data
+        path.write_bytes(data)
+        status = "updated" if changed else "unchanged"
+        print(f"{status}: {path.relative_to(REPO_ROOT)} ({len(data)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
