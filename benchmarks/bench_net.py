@@ -1,0 +1,79 @@
+"""Acceptance benchmark for the network front-end (TCP protocol server).
+
+Run directly (not through pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_net.py [--sessions 4]
+
+A thin wrapper around the shared harness in :mod:`repro.net.bench`
+(the same one ``repro bench-net`` runs), asserting the subsystem's
+acceptance criteria:
+
+1. **scripted byte-equivalence** — a scripted client over loopback TCP
+   reassembles, for every session, a detailed report byte-identical to
+   the equivalent in-process ``repro serve`` run (the determinism
+   guarantee extended across the wire, docs/protocol.md);
+2. **client-driven replay equivalence** — driving a session interaction
+   by interaction over the wire reproduces the serial records for the
+   same workflow exactly (wall arrival time never leaks into results);
+3. **policy sessions over TCP** — a markov session served over the
+   socket is byte-identical across fetches and to the in-process run;
+4. **overhead report** — wall time over TCP vs in-process and the
+   per-query round-trip cost, as diagnostics (never gated).
+
+Results land in ``benchmarks/results/net.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentContext
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.net.bench import render_net_bench, run_net_bench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=4,
+                        help="scripted sessions to compare")
+    parser.add_argument("--per-session", type=int, default=1,
+                        dest="per_session")
+    parser.add_argument("--engine", default="idea-sim")
+    parser.add_argument("--scale", type=int, default=50_000,
+                        help="virtual-to-actual scale (50k → 2k rows at S)")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=1.0,
+    )
+    ctx = ExperimentContext(settings)
+    result = run_net_bench(
+        ctx, args.engine, args.sessions, per_session=args.per_session
+    )
+    lines = [
+        f"network front-end benchmark — {args.sessions} sessions on "
+        f"{args.engine} over loopback TCP, {settings.actual_rows:,} "
+        f"actual rows",
+        "",
+    ]
+    lines.extend(render_net_bench(result))
+    lines.append("")
+    lines.append("PASS" if result.ok else "FAIL")
+
+    text = "\n".join(lines)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "net.txt").write_text(text + "\n", encoding="utf-8")
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,12 @@ from repro.common.errors import BenchmarkError
 from repro.bench.metrics import QueryMetrics, compute_metrics
 from repro.query.filters import conjoin
 from repro.query.groundtruth import GroundTruthOracle
-from repro.workflow.policy import InteractionPolicy, PolicyView, WorkflowPlan
+from repro.workflow.policy import (
+    PENDING,
+    InteractionPolicy,
+    PolicyView,
+    WorkflowPlan,
+)
 from repro.query.model import AggQuery
 from repro.workflow.graph import VizGraph, VizNode
 from repro.workflow.spec import DiscardViz, Interaction, Link, Workflow, WorkflowType
@@ -198,6 +203,7 @@ class SessionDriver:
         self._policy = policy
         self._plan: Optional[WorkflowPlan] = None
         self._pending: Optional[Interaction] = None
+        self._stalled = False
         if policy is not None:
             self._plan = policy.begin_workflow(0)
             self._finished = self._plan is None
@@ -218,6 +224,52 @@ class SessionDriver:
     def next_query_id(self) -> int:
         """The ``query_id`` the next evaluated deadline would receive."""
         return self._query_counter
+
+    @property
+    def workflow_index(self) -> int:
+        """Index of the workflow the session is currently executing."""
+        return self._wf_index
+
+    @property
+    def in_flight(self) -> int:
+        """Queries submitted but not yet evaluated (outstanding deadlines)."""
+        return len(self._deadlines)
+
+    @property
+    def needs_input(self) -> bool:
+        """True when the session can only proceed with external input.
+
+        Only ever True in policy mode with an external interaction
+        source (:class:`~repro.workflow.policy.ExternalInteractionSource`)
+        that answered :data:`~repro.workflow.policy.PENDING`: the next
+        grid slot needs an interaction the frontend has not sent yet and
+        no deadline is due before it. Callers (the TCP server) must not
+        :meth:`step` while this holds; they feed the source and call
+        :meth:`resume`.
+        """
+        if self._finished or not self._stalled:
+            return False
+        if self._wf_start is None:
+            return True
+        fire_at = self._fire_time()
+        return not (
+            self._deadlines and self._deadlines[0].time <= fire_at + _TIE_EPSILON
+        )
+
+    def resume(self) -> None:
+        """Re-ask a stalled session's policy for the pending interaction.
+
+        No-op unless stalled. May raise (via ``_prefetch``) if the
+        source ends an empty workflow — a client that detaches without
+        ever interacting.
+        """
+        if self._stalled and not self._finished:
+            self._prefetch()
+            # The source may have ended the workflow while queries are
+            # still in flight (client detached mid-tail) — or with
+            # nothing in flight at all, in which case the session is
+            # over right now and no further step() will ever run.
+            self._maybe_finish_workflow()
 
     def next_event_time(self) -> Optional[float]:
         """Absolute time of the next due event; None when finished.
@@ -263,6 +315,11 @@ class SessionDriver:
             if self.on_record is not None:
                 self.on_record(record)
         else:
+            if self._stalled:
+                raise BenchmarkError(
+                    "session is stalled waiting for an external "
+                    "interaction; check needs_input before step()"
+                )
             self._advance(fire_at)
             self._fire_interaction(self._next_interaction(), fire_at)
             self._interaction_index += 1
@@ -303,7 +360,10 @@ class SessionDriver:
     # ------------------------------------------------------------------
     def _interactions_pending(self) -> bool:
         if self._policy is not None:
-            return self._pending is not None
+            # A stalled session *does* have a pending interaction — the
+            # frontend just has not told us what it is yet — so the
+            # workflow must not be treated as finished.
+            return self._pending is not None or self._stalled
         workflow = self._workflows[self._wf_index]
         return self._interaction_index < len(workflow.interactions)
 
@@ -321,14 +381,29 @@ class SessionDriver:
         user is looking at. ``None`` ends the current workflow once its
         deadline tail drains.
         """
+        last_latency = 0.0
+        if self.records:
+            last = self.records[-1]
+            last_latency = last.end_time - last.start_time
         view = PolicyView(
             session_id=self.session_id,
             workflow_index=self._wf_index,
             interaction_index=self._interaction_index,
             graph=self._graph,
             records=self.records,
+            queue_depth=len(self._deadlines),
+            last_latency=last_latency,
         )
-        self._pending = self._policy.next_interaction(view)
+        answer = self._policy.next_interaction(view)
+        if answer is PENDING:
+            # External source: the frontend has not sent the next
+            # interaction yet. Stall — deadlines keep draining, the
+            # grid slot waits for resume().
+            self._pending = None
+            self._stalled = True
+            return
+        self._stalled = False
+        self._pending = answer
         if self._pending is None and self._interaction_index == 0:
             raise BenchmarkError(
                 f"policy {self._policy.name!r} produced an empty workflow"

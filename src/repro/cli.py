@@ -10,8 +10,13 @@ CLI exposes the same lifecycle::
     repro run --engine idea-sim --tr 3 --out report.csv
     repro run-matrix --jobs 4 --cache-dir .repro-cache --out matrix.csv
     repro serve --engine idea-sim --sessions 4 --verify
+    repro serve --engine idea-sim --tcp 127.0.0.1:8642 --sessions 4
+    repro connect 127.0.0.1:8642 --session 0 --out session.csv
     repro bench-sessions --engines idea-sim --sessions 1,2,4
+    repro bench-net --sessions 2
     repro report report.csv
+    repro report snapshot matrix.csv --kind matrix
+    repro report diff a1b2c3d e4f5a6b
 
 ``run`` executes the default configuration (mixed workflows) against one
 engine simulator under the given settings and writes the detailed report;
@@ -52,6 +57,7 @@ from repro.runtime import (
     render_matrix,
     write_matrix_csv,
 )
+from repro.workflow.policy import POLICY_NAMES
 from repro.workflow.spec import Workflow, WorkflowType, load_suite, save_suite
 from repro.workflow.viewer import render_workflow
 
@@ -280,10 +286,90 @@ def _cmd_run_matrix(args) -> int:
     return 0
 
 
+def _parse_address(text: str) -> Optional[tuple]:
+    """Split ``HOST:PORT`` (port may be 0 for ephemeral); None if malformed."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        return None
+    try:
+        port = int(port_text)
+    except ValueError:
+        return None
+    if not 0 <= port <= 65535:
+        return None
+    return host, port
+
+
+def _cmd_serve_tcp(args, settings) -> int:
+    """``repro serve --tcp``: expose the session server over a socket."""
+    from repro.net.server import TcpSessionServer
+
+    address = _parse_address(args.tcp)
+    if address is None:
+        print(
+            f"--tcp expects HOST:PORT (port 0 picks an ephemeral port), "
+            f"got {args.tcp!r}",
+            file=sys.stderr,
+        )
+        return 1
+    blocked = [
+        (args.share_engine, "--share-engine"),
+        (args.verify, "--verify"),
+        (args.arrivals is not None, "--arrivals"),
+        (args.arrival_schedule is not None, "--arrival-schedule"),
+        (args.horizon is not None, "--horizon"),
+        (args.residence is not None, "--residence"),
+        (args.follow, "--follow"),
+        (args.out is not None, "--out"),
+        (args.policy is not None, "--policy"),
+        (args.accel is not None, "--accel"),
+        (args.per_session != 2, "--per-session"),
+        (args.workflow_type != "mixed", "--workflow-type"),
+    ]
+    offending = [flag for used, flag in blocked if used]
+    if offending:
+        print(
+            f"{', '.join(offending)} cannot combine with --tcp: sessions "
+            f"are isolated, their workload (suite size, workflow type, "
+            f"policy, pacing) is configured per connection at ATTACH "
+            f"(`repro connect` flags), and reports are reassembled on "
+            f"the client side (docs/protocol.md)",
+            file=sys.stderr,
+        )
+        return 1
+    host, port = address
+    ctx = ExperimentContext(settings)
+    max_sessions = args.sessions if args.sessions > 0 else None
+    server = TcpSessionServer(
+        ctx,
+        args.engine,
+        host=host,
+        port=port,
+        max_sessions=max_sessions,
+        speculation=args.speculation,
+        on_ready=lambda h, p: print(
+            f"listening on {h}:{p} ({args.engine}, "
+            + (f"up to {max_sessions} sessions" if max_sessions else
+               "serving until interrupted")
+            + ") — connect with: repro connect "
+            f"{h}:{p}",
+            flush=True,
+        ),
+    )
+    try:
+        served = server.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        print(f"\ninterrupted after {server.sessions_served} sessions")
+        return 0
+    print(f"served {served} TCP sessions")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.server import (
         ArrivalProcess,
         OpenSystemManager,
+        RateSchedule,
         SessionManager,
         render_session_table,
         serial_baseline,
@@ -297,14 +383,19 @@ def _cmd_serve(args) -> int:
         time_requirement=args.tr,
         think_time=args.think_time,
     )
-    adaptive = args.policy in ("markov", "uncertainty")
+    if args.tcp is not None:
+        return _cmd_serve_tcp(args, settings)
+    adaptive = args.policy in ("markov", "uncertainty", "load-adaptive")
     if args.arrivals is None and (
-        args.horizon is not None or args.residence is not None
+        args.horizon is not None
+        or args.residence is not None
+        or args.arrival_schedule is not None
     ):
         print(
-            "--horizon/--residence configure the open-system arrival "
-            "process and need --arrivals RATE; without it the run is a "
-            "closed system and they would be silently ignored",
+            "--horizon/--residence/--arrival-schedule configure the "
+            "open-system arrival process and need --arrivals RATE; "
+            "without it the run is a closed system and they would be "
+            "silently ignored",
             file=sys.stderr,
         )
         return 1
@@ -341,12 +432,18 @@ def _cmd_serve(args) -> int:
     if args.arrivals is not None:
         horizon = args.horizon if args.horizon is not None else 120.0
         try:
+            rate_schedule = None
+            if args.arrival_schedule is not None:
+                rate_schedule = RateSchedule.parse(
+                    args.arrival_schedule, args.arrivals, horizon
+                )
             arrivals = ArrivalProcess(
                 args.arrivals,
                 horizon,
                 seed=settings.seed,
                 mean_residence=args.residence,
                 max_sessions=args.sessions,
+                rate_schedule=rate_schedule,
             )
         except BenchmarkError as error:
             print(str(error), file=sys.stderr)
@@ -363,8 +460,13 @@ def _cmd_serve(args) -> int:
             speculation=args.speculation,
             on_record=on_record,
         )
+        shape = (
+            f"{args.arrival_schedule} schedule @ base {args.arrivals:g}/s"
+            if args.arrival_schedule is not None
+            else f"Poisson({args.arrivals:g}/s)"
+        )
         print(
-            f"open system: Poisson({args.arrivals:g}/s) arrivals over "
+            f"open system: {shape} arrivals over "
             f"{horizon:g}s (≤{args.sessions} sessions, "
             f"{users} users) on {args.engine} ({mode}{pacing})"
         )
@@ -544,6 +646,101 @@ def _cmd_bench_adaptive(args) -> int:
     return 0
 
 
+def _cmd_connect(args) -> int:
+    from repro.net.client import (
+        fetch_scripted_session,
+        records_csv_text,
+        replay_workflow,
+    )
+
+    address = _parse_address(args.address)
+    if address is None or address[1] == 0:
+        print(
+            f"connect expects HOST:PORT, got {args.address!r}",
+            file=sys.stderr,
+        )
+        return 1
+    host, port = address
+    if args.repl:
+        from repro.net.repl import Repl
+
+        return Repl(
+            host, port, workflow_type=args.workflow_type, timeout=args.timeout
+        ).run()
+    try:
+        if args.replay:
+            workflow = Workflow.from_json(args.replay)
+            session_id, records, summary = replay_workflow(
+                host, port, workflow, accel=args.accel, timeout=args.timeout
+            )
+            print(
+                f"replayed {workflow.name!r} ({len(workflow.interactions)} "
+                f"interactions) over the wire as session {session_id!r}"
+            )
+        else:
+            session_id, records, summary = fetch_scripted_session(
+                host,
+                port,
+                args.session,
+                per_session=args.per_session,
+                workflow_type=args.workflow_type,
+                policy=args.policy,
+                accel=args.accel,
+                timeout=args.timeout,
+            )
+            users = args.policy or "scripted"
+            print(
+                f"fetched session {session_id!r} ({users}, "
+                f"{args.per_session} {args.workflow_type} workflows)"
+            )
+    except (BenchmarkError, OSError) as error:
+        print(f"connect failed: {error}", file=sys.stderr)
+        return 1
+    violated = sum(record.tr_violated for record in records)
+    print(
+        f"{summary.queries} queries, {violated} TR-violated, "
+        f"virtual makespan {summary.makespan:.2f}s"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8", newline="") as handle:
+            handle.write(records_csv_text(records))
+        print(f"wrote detailed report ({len(records)} queries) to {args.out}")
+    return 0
+
+
+def _cmd_bench_net(args) -> int:
+    from repro.net.bench import render_net_bench, run_net_bench
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.parse(args.size),
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=args.tr,
+        think_time=args.think_time,
+    )
+    if not _check_engines([args.engine]):
+        return 1
+    ctx = ExperimentContext(settings)
+    workflow_type = WorkflowType(args.workflow_type)
+    print(
+        f"net benchmark: {args.sessions} scripted sessions × "
+        f"{args.per_session} {workflow_type.value} workflows on "
+        f"{args.engine} over loopback TCP"
+    )
+    result = run_net_bench(
+        ctx,
+        args.engine,
+        args.sessions,
+        per_session=args.per_session,
+        workflow_type=workflow_type,
+    )
+    for line in render_net_bench(result):
+        print(line)
+    print("PASS" if result.ok else
+          "FAIL: TCP reports differ from in-process serve")
+    return 0 if result.ok else 1
+
+
 def _cmd_cache(args) -> int:
     store = ArtifactStore(args.cache_dir)
     if args.action == "stats":
@@ -570,7 +767,69 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _report_snapshot(args) -> int:
+    """``repro report snapshot CSV``: store it under the current revision."""
+    from repro.runtime.regression import current_revision, snapshot
+
+    if len(args.extra) != 1:
+        print(
+            "usage: repro report snapshot CSV [--kind K] [--rev R] [--dir D]",
+            file=sys.stderr,
+        )
+        return 1
+    revision = args.rev or current_revision()
+    try:
+        target = snapshot(args.dir, revision, args.kind, args.extra[0])
+    except BenchmarkError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(
+        f"snapshot: {args.extra[0]} -> {target} "
+        f"(revision {revision}, kind {args.kind})"
+    )
+    return 0
+
+
+def _report_diff(args) -> int:
+    """``repro report diff REV_A REV_B``: compare two revisions' snapshots."""
+    from repro.runtime.regression import diff_revisions, snapshots
+
+    if len(args.extra) != 2:
+        known = ", ".join(snapshots(args.dir)) or "none"
+        print(
+            f"usage: repro report diff REV_A REV_B [--dir D] "
+            f"(known revisions: {known})",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        identical, report = diff_revisions(args.dir, *args.extra)
+    except BenchmarkError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(report)
+    if identical:
+        print(f"revisions {args.extra[0]} and {args.extra[1]} are identical")
+        return 0
+    print(
+        f"revisions {args.extra[0]} and {args.extra[1]} DIFFER — these "
+        f"CSVs are deterministic, so this is a real behavior change"
+    )
+    return 1
+
+
 def _cmd_report(args) -> int:
+    if args.detailed == "snapshot":
+        return _report_snapshot(args)
+    if args.detailed == "diff":
+        return _report_diff(args)
+    if args.extra:
+        print(
+            f"unexpected arguments {args.extra!r} "
+            f"(summary mode takes one CSV path)",
+            file=sys.stderr,
+        )
+        return 1
     # Rebuild a summary from a detailed CSV (settings travel in the rows).
     import csv
 
@@ -727,15 +986,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="all sessions contend on ONE engine "
                               "(per-session fair scheduling)")
     p_serve.add_argument("--policy", default=None,
-                         choices=["replay", "markov", "uncertainty"],
+                         choices=list(POLICY_NAMES),
                          help="user model: scripted suites (default), "
                               "replayed suites through the policy path, "
                               "or adaptive users that react to what "
-                              "they see")
+                              "they see (load-adaptive also reacts to "
+                              "server-side latency/queue signals)")
     p_serve.add_argument("--arrivals", type=float, default=None,
                          help="open-system mode: Poisson arrival rate in "
                               "sessions per virtual second (sessions "
                               "then join mid-run; --sessions caps them)")
+    p_serve.add_argument("--arrival-schedule", default=None,
+                         dest="arrival_schedule",
+                         help="non-stationary arrivals (with --arrivals "
+                              "as the base rate): constant, "
+                              "diurnal[:amplitude=A,period=P], "
+                              "flash[:peak=5x,at=T,width=W], or "
+                              "piecewise:T=R,T=R,...")
     p_serve.add_argument("--horizon", type=float, default=None,
                          help="virtual seconds during which arrivals "
                               "occur (with --arrivals; default 120)")
@@ -758,7 +1025,73 @@ def build_parser() -> argparse.ArgumentParser:
                               "per-session reports are byte-identical")
     p_serve.add_argument("--out", default=None,
                          help="directory for per-session detailed CSVs")
+    p_serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                         help="expose the server over a TCP socket "
+                              "instead of serving in-process (port 0 = "
+                              "ephemeral; --sessions bounds how many "
+                              "connections are served, 0 = forever; "
+                              "see docs/protocol.md)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_connect = sub.add_parser(
+        "connect",
+        help="connect to a repro TCP session server (client or REPL)",
+    )
+    p_connect.add_argument("address", metavar="HOST:PORT",
+                           help="address of a running `repro serve --tcp`")
+    p_connect.add_argument("--session", type=int, default=0,
+                           help="scripted mode: server-side session index "
+                                "to run (its seeded suite)")
+    p_connect.add_argument("--per-session", type=int, default=1,
+                           dest="per_session",
+                           help="scripted mode: workflows per session")
+    p_connect.add_argument("--workflow-type", default="mixed",
+                           dest="workflow_type",
+                           help="workflow type of the scripted suite "
+                                "(or REPL session label)")
+    p_connect.add_argument("--policy", default=None,
+                           choices=list(POLICY_NAMES),
+                           help="scripted mode: run this adaptive policy "
+                                "server-side instead of the suite")
+    p_connect.add_argument("--replay", default=None, metavar="WORKFLOW_JSON",
+                           help="drive a client-mode session by sending "
+                                "this workflow's interactions over the "
+                                "wire")
+    p_connect.add_argument("--repl", action="store_true",
+                           help="interactive client-driven session "
+                                "(load/send/records/detach commands)")
+    p_connect.add_argument("--accel", type=float, default=None,
+                           help="ask the server to pace this session to "
+                                "wall time at this acceleration")
+    p_connect.add_argument("--timeout", type=float, default=60.0,
+                           help="socket timeout in seconds")
+    p_connect.add_argument("--out", default=None,
+                           help="detailed report CSV path (reassembled "
+                                "client-side; byte-identical to the "
+                                "server's)")
+    p_connect.set_defaults(func=_cmd_connect)
+
+    p_bench_net = sub.add_parser(
+        "bench-net",
+        help="loopback TCP benchmark: byte-equivalence + round-trip "
+             "overhead vs in-process serving",
+    )
+    _add_settings_arguments(p_bench_net)
+    p_bench_net.add_argument("--engine", default="idea-sim",
+                             choices=list(MAIN_ENGINES) + ["system-y-sim"])
+    p_bench_net.add_argument("--sessions", type=int, default=2,
+                             help="scripted sessions to compare")
+    p_bench_net.add_argument("--per-session", type=int, default=1,
+                             dest="per_session",
+                             help="workflows per session")
+    p_bench_net.add_argument("--workflow-type", default="mixed",
+                             dest="workflow_type",
+                             help="workflow type of the per-session suites")
+    p_bench_net.add_argument("--tr", type=float, default=3.0,
+                             help="time requirement in seconds")
+    p_bench_net.add_argument("--think-time", type=float, default=1.0,
+                             dest="think_time")
+    p_bench_net.set_defaults(func=_cmd_bench_net)
 
     p_bench = sub.add_parser(
         "bench-sessions",
@@ -866,8 +1199,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: the 2 GiB default budget)")
     p_cache.set_defaults(func=_cmd_cache)
 
-    p_rep = sub.add_parser("report", help="summarize a detailed report CSV")
-    p_rep.add_argument("detailed", help="path to detailed report CSV")
+    p_rep = sub.add_parser(
+        "report",
+        help="summarize a detailed CSV, or snapshot/diff deterministic "
+             "reports across git revisions",
+    )
+    p_rep.add_argument("detailed",
+                       help="path to a detailed report CSV to summarize, "
+                            "or the keyword 'snapshot' (store a "
+                            "deterministic CSV under a revision) or "
+                            "'diff' (compare two revisions' snapshots)")
+    p_rep.add_argument("extra", nargs="*",
+                       help="snapshot: the CSV to store; diff: REV_A REV_B")
+    p_rep.add_argument("--dir", default=".repro-regress",
+                       help="snapshot directory (default .repro-regress)")
+    p_rep.add_argument("--kind", default="matrix",
+                       help="snapshot label, e.g. matrix, sessions, "
+                            "adaptive (default matrix)")
+    p_rep.add_argument("--rev", default=None,
+                       help="snapshot revision (default: git rev-parse "
+                            "--short HEAD, else 'worktree')")
     p_rep.set_defaults(func=_cmd_report)
     return parser
 

@@ -44,3 +44,14 @@ class EngineError(BenchmarkError):
 
 class SQLParseError(QueryError):
     """The SQL round-trip parser rejected a statement."""
+
+
+class ProtocolError(BenchmarkError):
+    """A network frame or message violates the wire protocol.
+
+    Raised for malformed frames (bad length prefix, oversized body,
+    invalid JSON), unknown or missing message types, version mismatches,
+    and messages arriving in an illegal state (e.g. an INTERACT before
+    ATTACH). The TCP server answers with an ERROR frame and closes the
+    connection; clients surface the message to the caller.
+    """

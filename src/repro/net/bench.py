@@ -1,0 +1,178 @@
+"""The loopback acceptance harness shared by ``repro bench-net`` and CI.
+
+One function, :func:`run_net_bench`, performs the network front-end's
+acceptance checks (§3's frontend↔engine loop, with the wire in the
+middle) against an in-process reference:
+
+1. **scripted byte-equivalence** — every scripted TCP session's
+   reassembled detailed CSV equals the in-process ``repro serve``
+   session's bytes;
+2. **client-driven replay equivalence** — session 0's first workflow,
+   sent interaction by interaction over the wire, reproduces the serial
+   records for that workflow;
+3. **policy determinism over TCP** — a markov session fetched twice is
+   byte-identical, and identical to the in-process policy run;
+4. **overhead diagnostics** — wall time over TCP vs in-process and the
+   per-query round-trip cost (never gated: wall time is machine noise).
+
+Both entry points — the ``repro bench-net`` CLI command and
+``benchmarks/bench_net.py`` (CI) — render the same
+:class:`NetBenchResult`, so the equivalence criterion lives in exactly
+one place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.net.client import (
+    fetch_scripted_session,
+    records_csv_text,
+    replay_workflow,
+)
+from repro.net.server import ServerThread, TcpSessionServer
+from repro.workflow.spec import WorkflowType
+
+
+@dataclass
+class NetBenchResult:
+    """Outcome of one loopback acceptance run."""
+
+    engine: str
+    #: (session_id, byte-identical?, query count) per scripted session.
+    scripted: List[Tuple[str, bool, int]] = field(default_factory=list)
+    replay_workflow_name: str = ""
+    replay_ok: bool = False
+    markov_repeat_ok: bool = False
+    markov_in_process_ok: bool = False
+    in_process_wall: float = 0.0
+    tcp_wall: float = 0.0
+
+    @property
+    def total_queries(self) -> int:
+        return sum(queries for _, _, queries in self.scripted)
+
+    @property
+    def per_query_overhead_ms(self) -> float:
+        if not self.total_queries:
+            return float("nan")
+        return (
+            (self.tcp_wall - self.in_process_wall)
+            / self.total_queries
+            * 1000.0
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            bool(self.scripted)
+            and all(identical for _, identical, _ in self.scripted)
+            and self.replay_ok
+            and self.markov_repeat_ok
+            and self.markov_in_process_ok
+        )
+
+
+def run_net_bench(
+    ctx,
+    engine: str = "idea-sim",
+    sessions: int = 4,
+    *,
+    per_session: int = 1,
+    workflow_type: WorkflowType = WorkflowType.MIXED,
+) -> NetBenchResult:
+    """Run the full loopback acceptance suite; see the module docstring."""
+    from repro.server import SessionManager
+
+    result = NetBenchResult(engine=engine)
+
+    started = time.perf_counter()
+    reference = SessionManager.for_engine(
+        ctx, engine, sessions,
+        per_session=per_session, workflow_type=workflow_type,
+    ).run()
+    result.in_process_wall = time.perf_counter() - started
+
+    # sessions scripted fetches + markov × 2 + one client-driven replay.
+    server = TcpSessionServer(ctx, engine, max_sessions=sessions + 3)
+    with ServerThread(server) as (host, port):
+        started = time.perf_counter()
+        for index, expected in enumerate(reference):
+            _, records, _ = fetch_scripted_session(
+                host, port, index,
+                per_session=per_session,
+                workflow_type=workflow_type.value,
+            )
+            result.scripted.append((
+                expected.session_id,
+                records_csv_text(records) == expected.csv_text(),
+                expected.num_queries,
+            ))
+        result.tcp_wall = time.perf_counter() - started
+
+        workflow = reference[0].spec.workflows[0]
+        result.replay_workflow_name = workflow.name
+        _, replay_records, _ = replay_workflow(host, port, workflow)
+        expected_records = [
+            record
+            for record in reference[0].records
+            if record.workflow == workflow.name
+        ]
+        result.replay_ok = records_csv_text(replay_records) == records_csv_text(
+            expected_records
+        )
+
+        _, first, _ = fetch_scripted_session(
+            host, port, 0, per_session=per_session, policy="markov"
+        )
+        _, second, _ = fetch_scripted_session(
+            host, port, 0, per_session=per_session, policy="markov"
+        )
+        result.markov_repeat_ok = (
+            records_csv_text(first) == records_csv_text(second)
+        )
+        in_process_markov = SessionManager.for_engine(
+            ctx, engine, 1, per_session=per_session, policy="markov"
+        ).run()
+        result.markov_in_process_ok = (
+            records_csv_text(first) == in_process_markov[0].csv_text()
+        )
+    return result
+
+
+def render_net_bench(result: NetBenchResult) -> List[str]:
+    """The human-readable check lines both entry points print."""
+
+    def mark(condition: bool, text: str) -> str:
+        return ("PASS: " if condition else "FAIL: ") + text
+
+    lines = []
+    for session_id, identical, queries in result.scripted:
+        lines.append(mark(
+            identical,
+            f"{session_id}: scripted TCP report byte-identical "
+            f"({queries} queries)",
+        ))
+    lines.append(mark(
+        result.replay_ok,
+        f"client-driven wire replay of {result.replay_workflow_name!r} "
+        f"byte-identical to the serial records",
+    ))
+    lines.append(mark(
+        result.markov_repeat_ok,
+        "markov session over TCP byte-identical across two fetches",
+    ))
+    lines.append(mark(
+        result.markov_in_process_ok,
+        "markov session over TCP byte-identical to in-process run",
+    ))
+    lines.append("")
+    lines.append(
+        f"wall: in-process {result.in_process_wall:.3f}s, over TCP "
+        f"{result.tcp_wall:.3f}s for {result.total_queries} queries "
+        f"({result.per_query_overhead_ms:+.3f} ms round-trip overhead "
+        f"per query)"
+    )
+    return lines

@@ -1,0 +1,303 @@
+"""Blocking client library for the network front-end.
+
+:class:`NetClient` speaks the :mod:`repro.net.protocol` frames over a
+plain socket — the dependency-free path a real IDE frontend (or remote
+load generator, §3's "unpredictable and speed-dependent" user) would
+take. On top of it:
+
+* :func:`fetch_scripted_session` — attach in scripted mode, let the
+  server run session *i*'s seeded suite (or adaptive policy), and
+  reassemble the streamed records;
+* :func:`replay_workflow` — drive a client-mode session by sending a
+  pre-generated workflow's interactions over the wire (the scripted
+  replay client of docs/protocol.md);
+* :func:`scripted_csv_over_tcp` — the acceptance helper: the detailed
+  CSV a scripted client reconstructs, compared byte-for-byte against
+  in-process ``repro serve`` output by ``benchmarks/bench_net.py``.
+
+Records cross the wire through :func:`repro.net.protocol.record_to_dict`
+round trips, so the client-side
+:class:`~repro.bench.report.DetailedReport` renders **byte-identical**
+CSV to the server-side one — JSON preserves every float (NaN included)
+exactly.
+"""
+
+from __future__ import annotations
+
+import io
+import socket
+from typing import List, Optional, Tuple
+
+from repro.bench.driver import QueryRecord
+from repro.bench.report import DetailedReport
+from repro.common.errors import ProtocolError
+from repro.net.protocol import (
+    Attach,
+    Detach,
+    ErrorMessage,
+    Hello,
+    Interact,
+    Message,
+    Record,
+    SubmitViz,
+    encode_message,
+    decode_body,
+    split_frame,
+)
+from repro.workflow.spec import CreateViz, Interaction, Workflow
+
+#: Default socket timeout (seconds) — generous, but hangs must surface.
+DEFAULT_TIMEOUT = 60.0
+
+
+class NetClient:
+    """One connection to a :class:`~repro.net.server.TcpSessionServer`.
+
+    Usable as a context manager; :meth:`hello` performs the handshake,
+    the ``attach_*`` methods join a session, and :meth:`read_message` /
+    :meth:`collect` consume the server's stream. With ``log_frames``
+    set, every received frame's canonical JSON text is appended to
+    :attr:`frame_log` — how the golden transcript is captured.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = DEFAULT_TIMEOUT,
+        log_frames: bool = False,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.frame_log: List[str] = [] if log_frames else None
+        self._sock: Optional[socket.socket] = None
+        self._buffer = b""
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "NetClient":
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "NetClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        if self._sock is None:
+            raise ProtocolError("client is not connected")
+        self._sock.sendall(encode_message(message))
+
+    def read_message(self) -> Message:
+        """Block until one complete frame arrives; decode it."""
+        if self._sock is None:
+            raise ProtocolError("client is not connected")
+        while True:
+            split = split_frame(self._buffer)
+            if split is not None:
+                body, self._buffer = split
+                if self.frame_log is not None:
+                    self.frame_log.append(body.decode("utf-8"))
+                message = decode_body(body)
+                if isinstance(message, ErrorMessage):
+                    raise ProtocolError(
+                        f"server error [{message.code}]: {message.message}"
+                    )
+                return message
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("connection closed mid-frame")
+            self._buffer += chunk
+
+    def drain(self, timeout: float = 0.2) -> List[Message]:
+        """Read whatever frames are already in flight (REPL convenience)."""
+        messages: List[Message] = []
+        if self._sock is None:
+            return messages
+        self._sock.settimeout(timeout)
+        try:
+            while True:
+                messages.append(self.read_message())
+        except socket.timeout:
+            pass
+        finally:
+            self._sock.settimeout(self.timeout)
+        return messages
+
+    # ------------------------------------------------------------------
+    def hello(self) -> Hello:
+        """Handshake; returns the server's HELLO (version already checked)."""
+        self.send(Hello(role="client"))
+        answer = self.read_message()
+        if not isinstance(answer, Hello):
+            raise ProtocolError(f"expected hello, got {answer.TYPE!r}")
+        return answer
+
+    def attach_scripted(
+        self,
+        session_index: int,
+        *,
+        per_session: int = 1,
+        workflow_type: str = "mixed",
+        policy: Optional[str] = None,
+        accel: Optional[float] = None,
+    ) -> Message:
+        """Join as a server-side scripted (or policy-driven) session."""
+        self.send(
+            Attach(
+                mode="scripted",
+                session_index=session_index,
+                per_session=per_session,
+                workflow_type=workflow_type,
+                policy=policy,
+                accel=accel,
+            )
+        )
+        return self.read_message()  # Progress(attached)
+
+    def attach_client(
+        self,
+        *,
+        name: Optional[str] = None,
+        workflow_type: str = "custom",
+        accel: Optional[float] = None,
+    ) -> Message:
+        """Join as a client-driven session (this connection is the user)."""
+        self.send(
+            Attach(
+                mode="client",
+                workflow_type=workflow_type,
+                accel=accel,
+                name=name,
+            )
+        )
+        return self.read_message()  # Progress(attached)
+
+    def send_interaction(self, interaction: Interaction) -> None:
+        """Client-driven mode: submit one §4.3 interaction."""
+        if isinstance(interaction, CreateViz):
+            self.send(SubmitViz(interaction.viz))
+        else:
+            self.send(Interact(interaction))
+
+    def detach(self) -> None:
+        """Client-driven mode: no more interactions (tail still drains)."""
+        self.send(Detach())
+
+    def collect(self) -> Tuple[List[QueryRecord], Detach]:
+        """Read until the server's DETACH; returns (records, summary)."""
+        records: List[QueryRecord] = []
+        while True:
+            message = self.read_message()
+            if isinstance(message, Record):
+                records.append(message.record)
+            elif isinstance(message, Detach):
+                return records, message
+            # Progress frames are informational; skip.
+
+
+# ----------------------------------------------------------------------
+# High-level helpers
+# ----------------------------------------------------------------------
+
+def fetch_scripted_session(
+    host: str,
+    port: int,
+    session_index: int,
+    *,
+    per_session: int = 1,
+    workflow_type: str = "mixed",
+    policy: Optional[str] = None,
+    accel: Optional[float] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Tuple[str, List[QueryRecord], Detach]:
+    """Run one scripted session over TCP; returns (id, records, summary)."""
+    with NetClient(host, port, timeout=timeout) as client:
+        client.hello()
+        progress = client.attach_scripted(
+            session_index,
+            per_session=per_session,
+            workflow_type=workflow_type,
+            policy=policy,
+            accel=accel,
+        )
+        records, summary = client.collect()
+        return progress.session_id, records, summary
+
+
+def replay_workflow(
+    host: str,
+    port: int,
+    workflow: Workflow,
+    *,
+    name: Optional[str] = None,
+    accel: Optional[float] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Tuple[str, List[QueryRecord], Detach]:
+    """Drive a client-mode session with a pre-generated workflow.
+
+    The scripted replay client: every interaction crosses the wire, the
+    server fires it on the think-time grid, and the records that come
+    back are byte-identical to a serial in-process run of the same
+    workflow (``benchmarks/bench_net.py`` checks this).
+    """
+    with NetClient(host, port, timeout=timeout) as client:
+        client.hello()
+        progress = client.attach_client(
+            name=name or workflow.name,
+            workflow_type=workflow.workflow_type.value,
+            accel=accel,
+        )
+        for interaction in workflow.interactions:
+            client.send_interaction(interaction)
+        client.detach()
+        records, summary = client.collect()
+        return progress.session_id, records, summary
+
+
+def records_csv_text(records: List[QueryRecord]) -> str:
+    """The Table-1 detailed CSV of reassembled records, as a string."""
+    buffer = io.StringIO()
+    DetailedReport(records).to_csv(buffer)
+    return buffer.getvalue()
+
+
+def scripted_csv_over_tcp(
+    host: str,
+    port: int,
+    session_index: int,
+    *,
+    per_session: int = 1,
+    workflow_type: str = "mixed",
+    policy: Optional[str] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> Tuple[str, str]:
+    """(session id, detailed CSV) of one scripted session fetched over TCP.
+
+    The byte-equivalence acceptance path: this CSV must equal the
+    corresponding in-process ``repro serve`` session's
+    ``SessionResult.csv_text()`` exactly.
+    """
+    session_id, records, _ = fetch_scripted_session(
+        host,
+        port,
+        session_index,
+        per_session=per_session,
+        workflow_type=workflow_type,
+        policy=policy,
+        timeout=timeout,
+    )
+    return session_id, records_csv_text(records)

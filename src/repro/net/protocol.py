@@ -1,0 +1,513 @@
+"""The versioned wire protocol of the network front-end.
+
+What crosses the wire is exactly the paper's vocabulary: §4.3
+interactions and visualizations outbound, §4.7-metric records inbound,
+under the §3 interactive session lifecycle.
+
+Frames
+------
+A frame is a 4-byte big-endian unsigned body length followed by a UTF-8
+JSON object (the *body*). Bodies are encoded canonically — sorted keys,
+minimal separators — so a message's bytes are a pure function of its
+content, which is what lets the golden transcript in ``tests/golden/``
+pin an entire server→client session byte-for-byte. Bodies above
+:data:`MAX_FRAME_BYTES` are rejected on both ends (a malformed or
+malicious length prefix must not allocate unbounded memory).
+
+Messages
+--------
+Every body carries ``{"v": PROTOCOL_VERSION, "type": <tag>, ...}``. The
+typed catalog (one dataclass per tag) mirrors the session lifecycle:
+
+==============  ======================================================
+``hello``       version/role handshake; both sides send one first
+``attach``      client joins as a session: ``scripted`` (server-side
+                suite or policy) or ``client`` (frontend-driven)
+``submit_viz``  client-driven: create a visualization (a
+                :class:`~repro.workflow.spec.VizSpec` payload)
+``interact``    client-driven: any §4.3 interaction
+``record``      server → client: one evaluated
+                :class:`~repro.bench.driver.QueryRecord`
+``progress``    server → client: lifecycle events (attached, workflow
+                transitions)
+``detach``      client → server: end the session (the deadline tail
+                still drains); server → client: final summary
+``error``       protocol violation or session failure; sender closes
+==============  ======================================================
+
+Payloads reuse the existing ``to_dict``/``from_dict`` machinery of
+:mod:`repro.workflow.spec` for visualizations and interactions, and
+:func:`record_to_dict`/:func:`record_from_dict` (defined here) for
+metric records, so everything that crosses the wire round-trips through
+exactly the serialization the on-disk formats already trust. JSON floats
+round-trip exactly (``repr``-based encoding), including the NaN values a
+TR-violated record carries — byte-identical reports on the far side are
+therefore possible, and ``tests/test_net_protocol.py`` fuzzes the
+encode→decode→encode fixpoint to keep it that way.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from repro.bench.driver import QueryRecord
+from repro.bench.metrics import QueryMetrics
+from repro.common.errors import ProtocolError, WorkflowError
+from repro.workflow.spec import Interaction, VizSpec
+
+#: Version tag carried in every message; bumped on incompatible change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a frame body (decoded JSON text), both directions.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: The 4-byte big-endian unsigned length prefix.
+_HEADER = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# Record serialization (QueryRecord + QueryMetrics round trip)
+# ----------------------------------------------------------------------
+
+#: QueryMetrics fields, in dataclass order (all JSON-primitive).
+_METRIC_FIELDS = (
+    "tr_violated",
+    "bins_delivered",
+    "bins_in_gt",
+    "missing_bins",
+    "rel_error_avg",
+    "rel_error_stdev",
+    "smape",
+    "cosine_distance",
+    "margin_avg",
+    "margin_stdev",
+    "bins_out_of_margin",
+    "bias",
+)
+
+#: QueryRecord fields except ``metrics`` (all JSON-primitive).
+_RECORD_FIELDS = (
+    "query_id",
+    "interaction_id",
+    "viz_name",
+    "driver",
+    "data_size",
+    "think_time",
+    "time_requirement",
+    "workflow",
+    "workflow_type",
+    "start_time",
+    "end_time",
+    "bin_dims",
+    "binning_type",
+    "agg_type",
+    "rows_processed",
+    "fraction",
+    "num_concurrent",
+    "qualifying_fraction",
+)
+
+
+def record_to_dict(record: QueryRecord) -> dict:
+    """One detailed-report row as a plain dict (Table-1 fidelity)."""
+    data = {name: getattr(record, name) for name in _RECORD_FIELDS}
+    data["metrics"] = {
+        name: getattr(record.metrics, name) for name in _METRIC_FIELDS
+    }
+    return data
+
+
+def record_from_dict(data: dict) -> QueryRecord:
+    """Rebuild the exact :class:`QueryRecord` a server evaluated."""
+    try:
+        metrics = QueryMetrics(
+            **{name: data["metrics"][name] for name in _METRIC_FIELDS}
+        )
+        return QueryRecord(
+            metrics=metrics,
+            **{name: data[name] for name in _RECORD_FIELDS},
+        )
+    except (KeyError, TypeError) as error:
+        raise ProtocolError(f"malformed record payload: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Message catalog
+# ----------------------------------------------------------------------
+
+class Message:
+    """Base of all wire messages; subclasses set :attr:`TYPE`."""
+
+    TYPE: str = ""
+
+    def to_payload(self) -> dict:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Message":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Hello(Message):
+    """Handshake: each side announces its protocol version and role."""
+
+    version: int = PROTOCOL_VERSION
+    role: str = "client"  # "client" | "server"
+    software: str = "idebench-repro"
+    engine: Optional[str] = None  # server → client: engine being served
+
+    TYPE = "hello"
+
+    def to_payload(self) -> dict:
+        return {
+            "version": self.version,
+            "role": self.role,
+            "software": self.software,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Hello":
+        return cls(
+            version=int(payload["version"]),
+            role=payload["role"],
+            software=payload.get("software", ""),
+            engine=payload.get("engine"),
+        )
+
+
+#: Session modes a client may attach in.
+ATTACH_MODES = ("scripted", "client")
+
+
+@dataclass(frozen=True)
+class Attach(Message):
+    """Join the server as one session.
+
+    ``scripted`` mode runs server-side: session ``session_index``'s
+    seeded workflow suite (or, with ``policy`` set, its adaptive policy)
+    exactly as ``repro serve`` would — which is what makes the scripted
+    TCP report byte-identical to the in-process one. ``client`` mode
+    turns the connection into the interaction source: the server stalls
+    on the think-time grid until the frontend sends SUBMIT_VIZ/INTERACT
+    frames.
+    """
+
+    mode: str = "scripted"
+    session_index: int = 0
+    per_session: int = 1
+    workflow_type: str = "mixed"
+    policy: Optional[str] = None
+    accel: Optional[float] = None
+    name: Optional[str] = None  # client mode: session id override
+
+    TYPE = "attach"
+
+    def __post_init__(self):
+        if self.mode not in ATTACH_MODES:
+            raise ProtocolError(
+                f"unknown attach mode {self.mode!r} "
+                f"(choose from: {', '.join(ATTACH_MODES)})"
+            )
+        if self.mode == "client" and self.policy is not None:
+            raise ProtocolError(
+                "client-driven sessions are their own interaction source; "
+                "policy= applies to scripted mode only"
+            )
+
+    def to_payload(self) -> dict:
+        return {
+            "mode": self.mode,
+            "session_index": self.session_index,
+            "per_session": self.per_session,
+            "workflow_type": self.workflow_type,
+            "policy": self.policy,
+            "accel": self.accel,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Attach":
+        return cls(
+            mode=payload.get("mode", "scripted"),
+            session_index=int(payload.get("session_index", 0)),
+            per_session=int(payload.get("per_session", 1)),
+            workflow_type=payload.get("workflow_type", "mixed"),
+            policy=payload.get("policy"),
+            accel=payload.get("accel"),
+            name=payload.get("name"),
+        )
+
+
+@dataclass(frozen=True)
+class SubmitViz(Message):
+    """Client-driven: create a visualization (sugar for INTERACT)."""
+
+    viz: VizSpec
+
+    TYPE = "submit_viz"
+
+    def to_payload(self) -> dict:
+        return {"viz": self.viz.to_dict()}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SubmitViz":
+        try:
+            return cls(viz=VizSpec.from_dict(payload["viz"]))
+        except (KeyError, TypeError, WorkflowError) as error:
+            raise ProtocolError(f"malformed viz payload: {error}") from error
+
+
+@dataclass(frozen=True)
+class Interact(Message):
+    """Client-driven: one §4.3 interaction (the on-disk dict format)."""
+
+    interaction: Interaction
+
+    TYPE = "interact"
+
+    def to_payload(self) -> dict:
+        return {"interaction": self.interaction.to_dict()}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Interact":
+        try:
+            return cls(interaction=Interaction.from_dict(payload["interaction"]))
+        except (KeyError, TypeError, WorkflowError) as error:
+            raise ProtocolError(
+                f"malformed interaction payload: {error}"
+            ) from error
+
+
+@dataclass(frozen=True)
+class Record(Message):
+    """Server → client: one evaluated query record, in deadline order."""
+
+    session_id: str
+    seq: int
+    record: QueryRecord
+
+    TYPE = "record"
+
+    def to_payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "seq": self.seq,
+            "record": record_to_dict(self.record),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Record":
+        try:
+            return cls(
+                session_id=payload["session_id"],
+                seq=int(payload["seq"]),
+                record=record_from_dict(payload["record"]),
+            )
+        except KeyError as error:
+            raise ProtocolError(f"malformed record frame: {error}") from error
+
+
+@dataclass(frozen=True)
+class Progress(Message):
+    """Server → client: session lifecycle events.
+
+    ``event`` is ``attached`` (session accepted; payload names the
+    session id, mode and engine) or ``workflow`` (a workflow boundary;
+    payload carries the new workflow index).
+    """
+
+    session_id: str
+    event: str
+    payload: dict
+
+    TYPE = "progress"
+
+    def to_payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "event": self.event,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Progress":
+        try:
+            return cls(
+                session_id=payload["session_id"],
+                event=payload["event"],
+                payload=dict(payload.get("payload", {})),
+            )
+        except KeyError as error:
+            raise ProtocolError(f"malformed progress frame: {error}") from error
+
+
+@dataclass(frozen=True)
+class Detach(Message):
+    """Session end.
+
+    Client → server: "no more interactions" (fields unset; the deadline
+    tail still drains and its records still stream). Server → client:
+    the final summary — record count and virtual makespan.
+    """
+
+    session_id: Optional[str] = None
+    queries: Optional[int] = None
+    makespan: Optional[float] = None
+
+    TYPE = "detach"
+
+    def to_payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "queries": self.queries,
+            "makespan": self.makespan,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Detach":
+        return cls(
+            session_id=payload.get("session_id"),
+            queries=payload.get("queries"),
+            makespan=payload.get("makespan"),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorMessage(Message):
+    """A protocol violation or session failure; the sender closes."""
+
+    code: str
+    message: str
+
+    TYPE = "error"
+
+    def to_payload(self) -> dict:
+        return {"code": self.code, "message": self.message}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ErrorMessage":
+        return cls(
+            code=payload.get("code", "error"),
+            message=payload.get("message", ""),
+        )
+
+
+#: Tag → message class; the complete catalog.
+MESSAGE_TYPES: Dict[str, Type[Message]] = {
+    cls.TYPE: cls
+    for cls in (
+        Hello,
+        Attach,
+        SubmitViz,
+        Interact,
+        Record,
+        Progress,
+        Detach,
+        ErrorMessage,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Frame codec
+# ----------------------------------------------------------------------
+
+def encode_body(message: Message) -> bytes:
+    """The canonical JSON body of ``message`` (no length prefix).
+
+    Canonical means sorted keys and minimal separators: the bytes are a
+    pure function of the message content, which the golden transcript
+    test relies on. ``allow_nan`` stays on — TR-violated records carry
+    NaN metrics and must cross the wire unchanged.
+    """
+    body = {"v": PROTOCOL_VERSION, "type": message.TYPE}
+    body.update(message.to_payload())
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":"), allow_nan=True
+    ).encode("utf-8")
+
+
+def encode_message(message: Message) -> bytes:
+    """``message`` as a complete frame (length prefix + canonical body)."""
+    body = encode_body(message)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Message:
+    """Parse one frame body back into its typed message."""
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}") from error
+    return decode_message(data)
+
+
+def decode_message(data: object) -> Message:
+    """Parse a decoded JSON body (a dict) into its typed message."""
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(data).__name__}"
+        )
+    version = data.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    tag = data.get("type")
+    message_cls = MESSAGE_TYPES.get(tag)
+    if message_cls is None:
+        raise ProtocolError(f"unknown message type {tag!r}")
+    return message_cls.from_payload(data)
+
+
+def split_frame(buffer: bytes) -> Optional[tuple]:
+    """Split ``(body, rest)`` off a byte buffer, or None if incomplete.
+
+    The incremental decoder for blocking sockets: feed accumulated bytes,
+    get back the first complete frame body and the unconsumed remainder.
+    Raises :class:`ProtocolError` on an oversized length prefix.
+    """
+    if len(buffer) < _HEADER.size:
+        return None
+    (length,) = _HEADER.unpack_from(buffer)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length prefix of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    end = _HEADER.size + length
+    if len(buffer) < end:
+        return None
+    return buffer[_HEADER.size:end], buffer[end:]
+
+
+async def read_frame_async(reader) -> bytes:
+    """Read one frame body from an :class:`asyncio.StreamReader`.
+
+    Raises :class:`asyncio.IncompleteReadError` on EOF mid-frame and
+    :class:`ProtocolError` on an oversized length prefix.
+    """
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length prefix of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return await reader.readexactly(length)
+
+
+async def read_message_async(reader) -> Message:
+    """Read and decode one typed message from a stream reader."""
+    return decode_body(await read_frame_async(reader))

@@ -1,0 +1,470 @@
+"""The asyncio TCP server: real frontends driving simulated engines.
+
+Each accepted connection becomes one simulated IDE session (§2.2's one
+user). After the HELLO handshake the client ATTACHes in one of two modes:
+
+* **scripted** — the server runs session ``session_index``'s seeded
+  workflow suite (or, with ``policy`` set, its adaptive policy) through a
+  :class:`~repro.bench.driver.SessionDriver` on a fresh engine over the
+  shared dataset, streaming every evaluated record back as a RECORD
+  frame. Because isolated serving is byte-identical to serial runs, the
+  report a scripted client reassembles is **byte-identical** to the
+  in-process ``repro serve`` report for the same configuration — the
+  determinism guarantee extended across the wire (docs/protocol.md).
+* **client** — the connection is the interaction source: SUBMIT_VIZ and
+  INTERACT frames feed an
+  :class:`~repro.workflow.policy.ExternalInteractionSource`, and the
+  driver *stalls* on the think-time grid whenever the next interaction
+  has not arrived (``driver.needs_input``). Interactions still fire at
+  exact grid instants, so wall arrival time never leaks into results.
+
+Sessions are isolated (one engine per connection): concurrent
+connections interleave freely on the event loop without affecting each
+other's bytes. Shared-engine contention remains an in-process mode —
+global virtual-time ordering across independently-paced remote clients
+would force the server to block every session on the slowest frontend.
+
+Wall pacing is per session: an ATTACH with ``accel`` paces that session's
+events through an :class:`~repro.server.clock.AsyncClock` (1.0 = real
+time, the original IDEBench driver's behavior) without changing results.
+
+:class:`ServerThread` runs a server on a background thread with its own
+event loop — how the blocking client library, the benchmarks, and
+``repro bench-net`` embed a loopback server in one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Set
+
+from repro.bench.driver import SessionDriver
+from repro.common.errors import BenchmarkError, ProtocolError
+from repro.server.clock import AsyncClock
+from repro.server.manager import make_session
+from repro.server.session import SessionSpec
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    Attach,
+    Detach,
+    ErrorMessage,
+    Hello,
+    Interact,
+    Message,
+    Progress,
+    Record,
+    SubmitViz,
+    encode_message,
+    read_message_async,
+)
+from repro.workflow.policy import ExternalInteractionSource
+from repro.workflow.spec import CreateViz, WorkflowType
+
+#: Software tag announced in the server's HELLO.
+SERVER_SOFTWARE = "idebench-repro"
+
+
+class TcpSessionServer:
+    """Serves simulated IDE sessions over length-prefixed JSON frames.
+
+    Parameters
+    ----------
+    ctx:
+        The :class:`~repro.bench.experiments.ExperimentContext` providing
+        settings, dataset, oracle and column profiles (shared across all
+        connections; engines are per-connection).
+    engine_name:
+        Engine simulator each session runs against.
+    host, port:
+        Bind address. Port ``0`` picks an ephemeral port; the bound port
+        is on :attr:`port` once running (and passed to ``on_ready``).
+    max_sessions:
+        Stop serving after this many sessions end (``None`` = serve until
+        :meth:`request_stop`). What ``repro serve --tcp --sessions N``
+        uses so benchmarks and tests terminate deterministically.
+    speculation:
+        Enable speculative execution on engines that support it.
+    on_ready:
+        Optional callback ``(host, port)`` invoked once listening.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        engine_name: str = "idea-sim",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: Optional[int] = None,
+        speculation: bool = False,
+        normalized: bool = False,
+        on_ready=None,
+    ):
+        if max_sessions is not None and max_sessions < 1:
+            raise BenchmarkError(
+                f"max_sessions must be >= 1 or None, got {max_sessions!r}"
+            )
+        self.ctx = ctx
+        self.engine_name = engine_name
+        self.host = host
+        self.port = port
+        self.max_sessions = max_sessions
+        self.speculation = speculation
+        self.normalized = normalized
+        self.sessions_served = 0
+        self._on_ready = on_ready
+        self._dataset = ctx.dataset(ctx.settings.data_size, normalized)
+        self._oracle = ctx.oracle(ctx.settings.data_size, normalized)
+        self._client_counter = 0
+        self._done: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._handlers: Set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Serve until ``max_sessions`` end or stop is requested.
+
+        Returns the number of sessions served.
+        """
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> int:
+        self._loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        server = await asyncio.start_server(self._accept, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        if self._on_ready is not None:
+            self._on_ready(self.host, self.port)
+        async with server:
+            await self._done.wait()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        return self.sessions_served
+
+    def request_stop(self) -> None:
+        """Ask a running server to stop accepting and shut down (thread-safe)."""
+        loop, done = self._loop, self._done
+        if loop is None or done is None or loop.is_closed():
+            return  # never started, or already torn down
+        try:
+            loop.call_soon_threadsafe(done.set)
+        except RuntimeError:  # pragma: no cover - loop closed mid-call
+            pass
+
+    def _session_ended(self) -> None:
+        self.sessions_served += 1
+        if (
+            self.max_sessions is not None
+            and self.sessions_served >= self.max_sessions
+        ):
+            self._done.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _accept(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        try:
+            await self._handle(reader, writer)
+        finally:
+            self._handlers.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+
+    async def _handle(self, reader, writer) -> None:
+        attached = False
+        try:
+            hello = await read_message_async(reader)
+            if not isinstance(hello, Hello):
+                raise ProtocolError(
+                    f"expected hello, got {hello.TYPE!r}"
+                )
+            await self._send(
+                writer,
+                Hello(
+                    version=PROTOCOL_VERSION,
+                    role="server",
+                    software=SERVER_SOFTWARE,
+                    engine=self.engine_name,
+                ),
+            )
+            attach = await read_message_async(reader)
+            if not isinstance(attach, Attach):
+                raise ProtocolError(
+                    f"expected attach, got {attach.TYPE!r}"
+                )
+            attached = True
+            if attach.mode == "client":
+                await self._serve_client_driven(reader, writer, attach)
+            else:
+                await self._serve_scripted(reader, writer, attach)
+        except ProtocolError as error:
+            await self._send_error(writer, "protocol", str(error))
+        except BenchmarkError as error:
+            await self._send_error(writer, "session", str(error))
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            # Peer vanished (mid-session disconnect): nothing to answer.
+            pass
+        finally:
+            if attached:
+                self._session_ended()
+
+    async def _send(self, writer, message: Message) -> None:
+        writer.write(encode_message(message))
+        await writer.drain()
+
+    async def _send_error(self, writer, code: str, text: str) -> None:
+        try:
+            await self._send(writer, ErrorMessage(code=code, message=text))
+        except (ConnectionError, OSError):  # pragma: no cover - peer gone
+            pass
+
+    def _make_engine(self):
+        from repro.bench.experiments import make_engine
+        from repro.common.clock import VirtualClock
+
+        engine = make_engine(
+            self.engine_name,
+            self._dataset,
+            self.ctx.settings,
+            VirtualClock(),
+            self.speculation,
+        )
+        engine.prepare()
+        return engine
+
+    # ------------------------------------------------------------------
+    # Scripted / policy-driven sessions
+    # ------------------------------------------------------------------
+    async def _serve_scripted(self, reader, writer, attach: Attach) -> None:
+        try:
+            workflow_type = WorkflowType(attach.workflow_type)
+        except ValueError as error:
+            raise ProtocolError(
+                f"unknown workflow type {attach.workflow_type!r}"
+            ) from error
+        spec, policy = make_session(
+            self.ctx,
+            attach.session_index,
+            per_session=attach.per_session,
+            workflow_type=workflow_type,
+            policy=attach.policy,
+        )
+        driver = SessionDriver(
+            self._make_engine(),
+            self._oracle,
+            self.ctx.settings,
+            [] if policy is not None else list(spec.workflows),
+            session_id=spec.session_id,
+            policy=policy,
+        )
+        await self._send(
+            writer,
+            Progress(
+                session_id=spec.session_id,
+                event="attached",
+                payload={
+                    "mode": attach.mode,
+                    "engine": self.engine_name,
+                    "policy": attach.policy,
+                    "per_session": attach.per_session,
+                    "workflow_type": workflow_type.value,
+                },
+            ),
+        )
+        await self._stream_session(writer, driver, spec, attach)
+
+    async def _stream_session(
+        self, writer, driver: SessionDriver, spec: SessionSpec, attach: Attach
+    ) -> None:
+        pacer = AsyncClock(attach.accel) if attach.accel else None
+        seq = 0
+        last_workflow = driver.workflow_index
+        while True:
+            event_time = driver.next_event_time()
+            if event_time is None:
+                break
+            if pacer is not None:
+                await pacer.sleep_until(event_time)
+            for record in driver.step():
+                await self._send(
+                    writer, Record(spec.session_id, seq, record)
+                )
+                seq += 1
+            if driver.workflow_index != last_workflow and not driver.finished:
+                last_workflow = driver.workflow_index
+                await self._send(
+                    writer,
+                    Progress(
+                        session_id=spec.session_id,
+                        event="workflow",
+                        payload={"index": last_workflow},
+                    ),
+                )
+            # Let other connections interleave between events.
+            await asyncio.sleep(0)
+        await self._send(
+            writer,
+            Detach(
+                session_id=spec.session_id,
+                queries=len(driver.records),
+                makespan=max(
+                    (r.end_time for r in driver.records), default=0.0
+                ),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Client-driven sessions
+    # ------------------------------------------------------------------
+    async def _serve_client_driven(self, reader, writer, attach: Attach) -> None:
+        try:
+            workflow_type = WorkflowType(attach.workflow_type)
+        except ValueError as error:
+            raise ProtocolError(
+                f"unknown workflow type {attach.workflow_type!r}"
+            ) from error
+        session_id = attach.name or f"client-{self._client_counter}"
+        self._client_counter += 1
+        source = ExternalInteractionSource(
+            plan_name=session_id, workflow_type=workflow_type
+        )
+        spec = SessionSpec(session_id=session_id, policy="external")
+        driver = SessionDriver(
+            self._make_engine(),
+            self._oracle,
+            self.ctx.settings,
+            [],
+            session_id=session_id,
+            policy=source,
+        )
+        await self._send(
+            writer,
+            Progress(
+                session_id=session_id,
+                event="attached",
+                payload={
+                    "mode": "client",
+                    "engine": self.engine_name,
+                    "workflow_type": workflow_type.value,
+                },
+            ),
+        )
+        pacer = AsyncClock(attach.accel) if attach.accel else None
+        seq = 0
+        try:
+            while not driver.finished:
+                while driver.needs_input:
+                    message = await read_message_async(reader)
+                    if isinstance(message, Detach):
+                        source.finish()
+                        if not driver.interaction_counts and not source.buffered:
+                            # The client detached without ever
+                            # interacting — a legitimate no-op session
+                            # (REPL `quit`, piped-stdin EOF). Nothing
+                            # ran, so answer with an empty summary
+                            # instead of the empty-workflow error
+                            # resume() would raise.
+                            driver.abandon()
+                            break
+                    elif isinstance(message, SubmitViz):
+                        source.feed(CreateViz(message.viz))
+                    elif isinstance(message, Interact):
+                        source.feed(message.interaction)
+                    else:
+                        raise ProtocolError(
+                            f"unexpected {message.TYPE!r} frame in a "
+                            f"client-driven session"
+                        )
+                    driver.resume()
+                if driver.finished:
+                    break
+                event_time = driver.next_event_time()
+                if event_time is None:
+                    break
+                if pacer is not None:
+                    await pacer.sleep_until(event_time)
+                for record in driver.step():
+                    await self._send(writer, Record(session_id, seq, record))
+                    seq += 1
+                await asyncio.sleep(0)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            # The frontend vanished mid-session: abandon cleanly —
+            # cancel in-flight queries, free hints — and stop. No
+            # records are produced for events the departed user never
+            # saw, exactly like an open-system churn departure.
+            driver.abandon()
+            raise
+        await self._send(
+            writer,
+            Detach(
+                session_id=session_id,
+                queries=len(driver.records),
+                makespan=max(
+                    (r.end_time for r in driver.records), default=0.0
+                ),
+            ),
+        )
+
+
+class ServerThread:
+    """Run a :class:`TcpSessionServer` on a dedicated background thread.
+
+    Context manager: entering starts the thread (with its own asyncio
+    loop) and blocks until the server is listening, yielding
+    ``(host, port)``; exiting requests a stop and joins. Lets blocking
+    clients — the CLI, the benchmarks, the tests — talk to a loopback
+    server inside one process::
+
+        server = TcpSessionServer(ctx, "idea-sim", max_sessions=2)
+        with ServerThread(server) as (host, port):
+            records = fetch_scripted_session(host, port, 0)
+    """
+
+    def __init__(self, server: TcpSessionServer, join_timeout: float = 30.0):
+        self.server = server
+        self.join_timeout = join_timeout
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    def __enter__(self):
+        previous_ready = self.server._on_ready
+
+        def on_ready(host, port):
+            if previous_ready is not None:
+                previous_ready(host, port)
+            self._ready.set()
+
+        self.server._on_ready = on_ready
+
+        def main():
+            try:
+                self.server.run()
+            except BaseException as error:  # pragma: no cover - diagnostics
+                self._failure = error
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=main, name="tcp-session-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self.join_timeout):  # pragma: no cover
+            raise BenchmarkError("TCP server failed to start listening")
+        if self._failure is not None:
+            raise BenchmarkError(
+                f"TCP server failed to start: {self._failure}"
+            ) from self._failure
+        return self.server.host, self.server.port
+
+    def __exit__(self, exc_type, exc, tb):
+        self.server.request_stop()
+        self._thread.join(self.join_timeout)
+        return False

@@ -18,7 +18,10 @@ matrix:
   per-cell seeding, making parallel output bit-identical to serial and
   crashed runs resumable;
 * :mod:`repro.runtime.report` — deterministic matrix summaries (plan
-  order, fixed float formatting: stable bytes at any job count).
+  order, fixed float formatting: stable bytes at any job count);
+* :mod:`repro.runtime.regression` — cross-run regression tracking:
+  snapshot the deterministic report CSVs per git revision and diff two
+  revisions (``repro report snapshot`` / ``repro report diff``).
 """
 
 from repro.runtime.executor import (
@@ -39,6 +42,13 @@ from repro.runtime.planner import (
     plan_think_time,
     plan_workflow_types,
 )
+from repro.runtime.regression import (
+    DEFAULT_REGRESS_DIR,
+    current_revision,
+    diff_revisions,
+    snapshot,
+    snapshots,
+)
 from repro.runtime.report import (
     matrix_csv_text,
     matrix_summary_rows,
@@ -52,11 +62,16 @@ __all__ = [
     "ArtifactStore",
     "DEFAULT_CACHE_BUDGET_BYTES",
     "CellResult",
+    "DEFAULT_REGRESS_DIR",
     "MatrixExecutor",
     "RunSpec",
     "WorkflowSelector",
     "context_key",
+    "current_revision",
+    "diff_revisions",
     "execute_cell",
+    "snapshot",
+    "snapshots",
     "matrix_csv_text",
     "matrix_summary_rows",
     "plan_detailed_table",

@@ -1,0 +1,145 @@
+"""Cross-run regression tracking: snapshot deterministic CSVs per revision.
+
+Reproducibility is IDEBench's headline requirement (§1: "standardized,
+automated, and re-producible"); this module leans on it across *code*
+revisions. Every report this package persists — ``repro run-matrix --out``,
+``repro bench-sessions --out``, ``repro bench-adaptive --out``, per-
+session detailed CSVs — is **deterministic bytes** for a given
+configuration. That turns regression tracking into plain file
+comparison: snapshot a report under the producing git revision, and any
+later byte difference at the same configuration is a *real* behavior
+change, never measurement noise.
+
+``repro report snapshot`` stores a CSV under
+``<dir>/<revision>/<kind>.csv`` (revision defaults to the current
+``git rev-parse --short HEAD``); ``repro report diff REV_A REV_B``
+compares every kind the two revisions share, reports added/removed
+kinds, and renders a unified diff of the changed ones — exit status 1
+on any difference, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import difflib
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.common.errors import BenchmarkError
+
+#: Default snapshot directory, relative to the working tree.
+DEFAULT_REGRESS_DIR = ".repro-regress"
+
+#: Revision used when git metadata is unavailable.
+FALLBACK_REVISION = "worktree"
+
+
+def current_revision(cwd: Union[str, Path, None] = None) -> str:
+    """The short git revision of ``cwd`` (or :data:`FALLBACK_REVISION`)."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return FALLBACK_REVISION
+    revision = result.stdout.strip()
+    return revision if result.returncode == 0 and revision else FALLBACK_REVISION
+
+
+def _validate_name(name: str, what: str) -> str:
+    if not name or "/" in name or "\\" in name or name.startswith("."):
+        raise BenchmarkError(f"invalid {what} {name!r}")
+    return name
+
+
+def snapshot(
+    directory: Union[str, Path],
+    revision: str,
+    kind: str,
+    source: Union[str, Path],
+) -> Path:
+    """Store ``source`` (a CSV file) as ``<dir>/<revision>/<kind>.csv``.
+
+    Bytes are copied verbatim — the whole point is that the stored file
+    is the deterministic artifact itself, not a lossy summary of it.
+    """
+    _validate_name(revision, "revision")
+    _validate_name(kind, "kind")
+    source = Path(source)
+    if not source.is_file():
+        raise BenchmarkError(f"snapshot source {source} does not exist")
+    target_dir = Path(directory) / revision
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / f"{kind}.csv"
+    target.write_bytes(source.read_bytes())
+    return target
+
+
+def snapshots(directory: Union[str, Path]) -> Dict[str, List[str]]:
+    """``{revision: [kinds]}`` of everything stored under ``directory``."""
+    root = Path(directory)
+    if not root.is_dir():
+        return {}
+    result: Dict[str, List[str]] = {}
+    for revision_dir in sorted(root.iterdir()):
+        if not revision_dir.is_dir():
+            continue
+        kinds = sorted(
+            path.stem for path in revision_dir.glob("*.csv") if path.is_file()
+        )
+        if kinds:
+            result[revision_dir.name] = kinds
+    return result
+
+
+def diff_revisions(
+    directory: Union[str, Path], rev_a: str, rev_b: str
+) -> Tuple[bool, str]:
+    """Compare every snapshot kind between two revisions.
+
+    Returns ``(identical, report)``: ``identical`` is True when both
+    revisions hold the same kinds with byte-identical content. The
+    report lists kinds only one side has and unified diffs for changed
+    ones (these CSVs are deterministic, so any hunk is a real behavior
+    change).
+    """
+    root = Path(directory)
+    dir_a, dir_b = root / rev_a, root / rev_b
+    for revision, path in ((rev_a, dir_a), (rev_b, dir_b)):
+        if not path.is_dir():
+            known = ", ".join(snapshots(root)) or "none"
+            raise BenchmarkError(
+                f"no snapshots for revision {revision!r} under {root} "
+                f"(known revisions: {known})"
+            )
+    kinds_a = {path.stem for path in dir_a.glob("*.csv")}
+    kinds_b = {path.stem for path in dir_b.glob("*.csv")}
+    lines: List[str] = []
+    identical = True
+    for kind in sorted(kinds_a - kinds_b):
+        identical = False
+        lines.append(f"only in {rev_a}: {kind}")
+    for kind in sorted(kinds_b - kinds_a):
+        identical = False
+        lines.append(f"only in {rev_b}: {kind}")
+    for kind in sorted(kinds_a & kinds_b):
+        bytes_a = (dir_a / f"{kind}.csv").read_bytes()
+        bytes_b = (dir_b / f"{kind}.csv").read_bytes()
+        if bytes_a == bytes_b:
+            lines.append(f"{kind}: identical ({len(bytes_a)} bytes)")
+            continue
+        identical = False
+        lines.append(f"{kind}: DIFFERS")
+        diff = difflib.unified_diff(
+            bytes_a.decode("utf-8", errors="replace").splitlines(),
+            bytes_b.decode("utf-8", errors="replace").splitlines(),
+            fromfile=f"{rev_a}/{kind}.csv",
+            tofile=f"{rev_b}/{kind}.csv",
+            lineterm="",
+        )
+        lines.extend(diff)
+    return identical, "\n".join(lines)

@@ -32,6 +32,7 @@ from repro.server.clock import AsyncClock
 from repro.server.manager import (
     ArrivalProcess,
     OpenSystemManager,
+    RateSchedule,
     SessionArrival,
     SessionManager,
     make_session,
@@ -63,6 +64,7 @@ __all__ = [
     "ArrivalProcess",
     "AsyncClock",
     "OpenSystemManager",
+    "RateSchedule",
     "SessionArrival",
     "SessionBenchCell",
     "SessionManager",

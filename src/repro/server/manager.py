@@ -488,17 +488,206 @@ class SessionArrival:
             )
 
 
+class RateSchedule:
+    """A piecewise-constant (optionally periodic) arrival-rate curve.
+
+    The non-stationary extension of the open-system arrival process:
+    instead of one flat rate, the rate is a deterministic function of
+    virtual time — diurnal load, flash crowds, or any hand-written
+    piecewise profile. ``points`` is an ascending sequence of
+    ``(time, rate)`` pairs starting at time 0; each rate holds from its
+    time until the next point (or forever). With ``period`` set the
+    curve wraps, so a 60-second diurnal cycle covers any horizon.
+
+    A schedule is pure data: :class:`ArrivalProcess` samples it by
+    *thinning* a homogeneous Poisson stream at :attr:`max_rate`, which
+    keeps churned runs byte-deterministic — the draw is still a pure
+    function of the seed and the schedule.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Tuple[float, float]],
+        period: Optional[float] = None,
+    ):
+        if not points:
+            raise BenchmarkError("a rate schedule needs at least one point")
+        times = [float(t) for t, _ in points]
+        rates = [float(r) for _, r in points]
+        if times[0] != 0.0:
+            raise BenchmarkError(
+                f"the first schedule point must be at time 0, got {times[0]!r}"
+            )
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise BenchmarkError(
+                f"schedule point times must be strictly ascending: {times!r}"
+            )
+        if any(rate < 0 for rate in rates):
+            raise BenchmarkError(f"rates must be >= 0: {rates!r}")
+        if max(rates) <= 0:
+            raise BenchmarkError("at least one schedule rate must be positive")
+        if period is not None and period <= times[-1]:
+            raise BenchmarkError(
+                f"period {period!r} must exceed the last point time "
+                f"{times[-1]!r}"
+            )
+        self.points: List[Tuple[float, float]] = list(zip(times, rates))
+        self.period = float(period) if period is not None else None
+
+    @property
+    def max_rate(self) -> float:
+        """The thinning envelope: the largest rate anywhere on the curve."""
+        return max(rate for _, rate in self.points)
+
+    def rate_at(self, time: float) -> float:
+        """The instantaneous arrival rate at virtual ``time``."""
+        if time < 0:
+            raise BenchmarkError(f"time must be >= 0, got {time!r}")
+        if self.period is not None:
+            time = time % self.period
+        current = self.points[0][1]
+        for point_time, rate in self.points:
+            if point_time > time:
+                break
+            current = rate
+        return current
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, rate: float) -> "RateSchedule":
+        """A flat schedule (equivalent to the homogeneous process)."""
+        return cls([(0.0, rate)])
+
+    @classmethod
+    def diurnal(
+        cls,
+        base: float,
+        *,
+        amplitude: float = 0.8,
+        period: float = 60.0,
+        steps: int = 24,
+    ) -> "RateSchedule":
+        """A sinusoidal day/night cycle sampled into ``steps`` segments.
+
+        ``rate(t) = base * (1 + amplitude * sin(2πt/period))``, clipped
+        at 0 — quiet nights, busy middays, repeating every ``period``
+        virtual seconds.
+        """
+        if not 0.0 < amplitude <= 1.0:
+            raise BenchmarkError(
+                f"amplitude must be in (0, 1], got {amplitude!r}"
+            )
+        if steps < 2:
+            raise BenchmarkError(f"steps must be >= 2, got {steps!r}")
+        points = []
+        for i in range(steps):
+            t = period * i / steps
+            rate = base * (1.0 + amplitude * math.sin(2.0 * math.pi * i / steps))
+            points.append((t, max(rate, 0.0)))
+        return cls(points, period=period)
+
+    @classmethod
+    def flash_crowd(
+        cls, base: float, *, peak: float, at: float, width: float
+    ) -> "RateSchedule":
+        """Baseline load with one burst: ``peak`` from ``at`` for ``width``."""
+        if at <= 0 or width <= 0:
+            raise BenchmarkError(
+                f"flash crowd needs at > 0 and width > 0, got "
+                f"at={at!r} width={width!r}"
+            )
+        return cls([(0.0, base), (at, peak), (at + width, base)])
+
+    @classmethod
+    def parse(cls, spec: str, base_rate: float, horizon: float) -> "RateSchedule":
+        """Build a schedule from a CLI spec string.
+
+        Grammar (``repro serve --arrival-schedule``)::
+
+            constant
+            diurnal[:amplitude=0.8][:period=60]
+            flash[:peak=5x|RATE][:at=T][:width=W]
+            piecewise:T=R,T=R,...
+
+        ``base_rate`` is the ``--arrivals`` value; flash defaults put a
+        5× burst one third into the ``horizon`` lasting a sixth of it.
+        """
+        head, _, tail = spec.partition(":")
+        options: Dict[str, str] = {}
+        if tail:
+            for item in tail.split(","):
+                key, sep, value = item.partition("=")
+                if not sep or not key.strip():
+                    raise BenchmarkError(
+                        f"malformed schedule option {item!r} in {spec!r} "
+                        f"(expected key=value)"
+                    )
+                options[key.strip()] = value.strip()
+        def no_leftovers():
+            if options:
+                raise BenchmarkError(
+                    f"unknown schedule option(s) {sorted(options)!r} "
+                    f"in {spec!r}"
+                )
+
+        try:
+            if head == "constant":
+                no_leftovers()
+                return cls.constant(base_rate)
+            if head == "diurnal":
+                amplitude = float(options.pop("amplitude", 0.8))
+                period = float(options.pop("period", min(horizon, 60.0)))
+                steps = int(options.pop("steps", 24))
+                no_leftovers()
+                return cls.diurnal(
+                    base_rate, amplitude=amplitude, period=period, steps=steps
+                )
+            if head == "flash":
+                peak_text = options.pop("peak", "5x")
+                at = float(options.pop("at", horizon / 3.0))
+                width = float(options.pop("width", horizon / 6.0))
+                no_leftovers()
+                peak = (
+                    base_rate * float(peak_text[:-1])
+                    if peak_text.endswith("x")
+                    else float(peak_text)
+                )
+                return cls.flash_crowd(base_rate, peak=peak, at=at, width=width)
+            if head == "piecewise":
+                points = [
+                    (float(t), float(r))
+                    for t, r in (pair.split("=") for pair in tail.split(","))
+                ]
+                return cls(points)
+        except (ValueError, IndexError) as error:
+            # Bad numeric values / malformed pairs; unknown-option and
+            # schedule-shape errors above are already BenchmarkErrors.
+            raise BenchmarkError(
+                f"malformed arrival schedule {spec!r}: {error}"
+            ) from error
+        raise BenchmarkError(
+            f"unknown arrival schedule kind {head!r} "
+            f"(choose from: constant, diurnal, flash, piecewise)"
+        )
+
+
 class ArrivalProcess:
     """Seeded Poisson arrivals (and exponential residences) over virtual time.
 
     The open-system counterpart of the closed N-session configuration:
     sessions join at rate ``rate`` per virtual second until ``horizon``,
     and — with ``mean_residence`` set — leave after an exponentially
-    distributed stay, mid-workload if need be. The whole schedule is a
-    pure function of ``(seed, rate, horizon, mean_residence,
-    max_sessions)``: it is drawn once, up front, from the
-    ``("open-system-arrivals",)`` purpose stream, so churned runs stay
-    byte-deterministic no matter how stepping interleaves.
+    distributed stay, mid-workload if need be. With ``rate_schedule``
+    set the process is *non-stationary*: candidate arrivals are drawn at
+    the schedule's max rate and thinned to the instantaneous rate (the
+    standard non-homogeneous Poisson construction), so diurnal cycles
+    and flash crowds ride on the exact same machinery. Either way the
+    whole schedule is a pure function of ``(seed, rate/schedule,
+    horizon, mean_residence, max_sessions)``: it is drawn once, up
+    front, from the ``("open-system-arrivals",)`` purpose stream, so
+    churned runs stay byte-deterministic no matter how stepping
+    interleaves (and a homogeneous process draws the exact same stream
+    it always did).
     """
 
     def __init__(
@@ -509,6 +698,7 @@ class ArrivalProcess:
         seed: int = 42,
         mean_residence: Optional[float] = None,
         max_sessions: Optional[int] = None,
+        rate_schedule: Optional[RateSchedule] = None,
     ):
         if rate <= 0:
             raise BenchmarkError(f"arrival rate must be positive, got {rate!r}")
@@ -527,16 +717,30 @@ class ArrivalProcess:
         self.seed = seed
         self.mean_residence = mean_residence
         self.max_sessions = max_sessions
+        self.rate_schedule = rate_schedule
 
     def schedule(self) -> List[SessionArrival]:
         """The deterministic arrival/departure schedule of this process."""
         rng = derive_rng(self.seed, "open-system-arrivals")
+        envelope = (
+            self.rate_schedule.max_rate
+            if self.rate_schedule is not None
+            else self.rate
+        )
         arrivals: List[SessionArrival] = []
         now = 0.0
         while self.max_sessions is None or len(arrivals) < self.max_sessions:
-            now += float(rng.exponential(1.0 / self.rate))
+            now += float(rng.exponential(1.0 / envelope))
             if now >= self.horizon:
                 break
+            if self.rate_schedule is not None:
+                # Thinning: accept a candidate with probability
+                # rate(t)/max_rate. The uniform draw happens for every
+                # candidate, so the accepted set is a pure function of
+                # the seed and the schedule.
+                accept = float(rng.random()) * envelope
+                if accept >= self.rate_schedule.rate_at(now):
+                    continue
             departure = math.inf
             if self.mean_residence is not None:
                 departure = now + float(rng.exponential(self.mean_residence))

@@ -70,6 +70,14 @@ def render_session_table(
     )
     lines = [title, "=" * len(header), header, "-" * len(header)]
     for result in results:
+        if not result.records:
+            # A churned-out session can depart before any deadline was
+            # evaluated — nothing to summarize, but it still served.
+            lines.append(
+                f"{result.session_id:<12} {len(result.spec.workflows):>9} "
+                f"{0:>7} {'—':>9} {'—':>8} {'—':>8} {0.0:>8.1f}s"
+            )
+            continue
         summary = result.summary()
         mre = "—" if math.isnan(summary.mre_median) else f"{summary.mre_median:.3f}"
         lines.append(

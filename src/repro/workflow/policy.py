@@ -48,6 +48,7 @@ from repro.workflow.generator import _CHAINS, WorkflowGenerator
 from repro.workflow.graph import VizGraph
 from repro.workflow.spec import (
     CreateViz,
+    DiscardViz,
     Interaction,
     Link,
     SelectBins,
@@ -57,7 +58,15 @@ from repro.workflow.spec import (
 )
 
 #: Registry of policy names accepted by ``make_policy`` (and the CLI).
-POLICY_NAMES = ("replay", "markov", "uncertainty")
+POLICY_NAMES = ("replay", "markov", "uncertainty", "load-adaptive")
+
+#: Sentinel an *external* interaction source returns from
+#: ``next_interaction`` when the next interaction is not known yet (the
+#: remote frontend has not sent it). The session driver then *stalls* —
+#: it keeps draining due deadlines but will not fire an interaction —
+#: until :meth:`repro.bench.driver.SessionDriver.resume` is called.
+#: In-process policies never return this.
+PENDING = object()
 
 #: A result delivering this many bins or fewer counts as "empty/low
 #: cardinality" — the signal MarkovPolicy reacts to by re-filtering.
@@ -86,6 +95,13 @@ class PolicyView:
     interaction_index: int
     graph: VizGraph
     records: Sequence  # QueryRecord, duck-typed to avoid a bench import
+    #: Server-side load signals (Purich et al.'s adaptive direction):
+    #: how many of the session's queries are still in flight, and the
+    #: end-to-end latency of the last evaluated one (0.0 before the
+    #: first). Both are pure functions of the session's own event
+    #: history, so policies reading them stay byte-deterministic.
+    queue_depth: int = 0
+    last_latency: float = 0.0
 
 
 class InteractionPolicy:
@@ -146,6 +162,73 @@ class ReplayPolicy(InteractionPolicy):
         interaction = workflow.interactions[self._cursor]
         self._cursor += 1
         return interaction
+
+
+class ExternalInteractionSource(InteractionPolicy):
+    """Adapter for interactions arriving from *outside* the process.
+
+    The network front-end (:mod:`repro.net`) maps each client-driven TCP
+    connection to one session whose interactions are chosen by the
+    remote frontend. This class is the bridge: the connection handler
+    :meth:`feed`\\ s decoded interactions into a buffer, the session
+    driver pops them through the normal policy interface, and when the
+    buffer is empty the source answers :data:`PENDING` — the driver
+    stalls (see :attr:`repro.bench.driver.SessionDriver.needs_input`)
+    instead of ending the workflow, because the frontend may still be
+    thinking. :meth:`finish` ends the session (the client detached); the
+    deadline tail then drains normally.
+
+    Interactions still *fire* on the think-time grid regardless of when
+    their frames arrive, so a client that sends the same interactions as
+    a scripted session produces byte-identical records — wall arrival
+    time never leaks into the simulation.
+    """
+
+    name = "external"
+
+    def __init__(
+        self,
+        plan_name: str = "client",
+        workflow_type: WorkflowType = WorkflowType.CUSTOM,
+    ):
+        self._plan_name = plan_name
+        self._workflow_type = workflow_type
+        self._buffer: List[Interaction] = []
+        self._finished = False
+
+    def feed(self, interaction: Interaction) -> None:
+        """Queue one frontend interaction for the driver to fire."""
+        if self._finished:
+            raise WorkflowError(
+                "external source already finished; cannot accept interactions"
+            )
+        self._buffer.append(interaction)
+
+    def finish(self) -> None:
+        """No more interactions will arrive (the client detached)."""
+        self._finished = True
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def begin_workflow(self, index: int) -> Optional[WorkflowPlan]:
+        # One client workflow per attachment: the TCP session *is* the
+        # workflow, ended by the client's detach.
+        if index > 0:
+            return None
+        return WorkflowPlan(self._plan_name, self._workflow_type)
+
+    def next_interaction(self, view: PolicyView) -> Optional[Interaction]:
+        if self._buffer:
+            return self._buffer.pop(0)
+        if self._finished:
+            return None
+        return PENDING  # type: ignore[return-value]
 
 
 class _GenerativePolicy(InteractionPolicy):
@@ -318,6 +401,102 @@ class MarkovPolicy(_GenerativePolicy):
         return []
 
 
+class LoadAdaptivePolicy(MarkovPolicy):
+    """A markov user who *backs off* when the server is struggling.
+
+    Purich et al.'s adaptive benchmark observes that real exploration
+    load is elastic: users slow down and shed work when the system lags.
+    This policy closes that loop with the server-side signals
+    :class:`PolicyView` now carries: when the session's in-flight query
+    count reaches ``backoff_depth``, the last evaluated query violated
+    its time requirement (the user saw a blank chart), or its end-to-end
+    latency ran *past* ``backoff_fraction`` × TR (progressive engines
+    complete exactly at the deadline, so only genuine overruns trip
+    this), the user's next move *sheds load* — discarding the newest
+    dashboard visualization (closing charts, the way a real user reacts
+    to a sluggish dashboard) instead of issuing new queries.
+    With one viz left there is nothing worth closing, so the user simply
+    walks away (the workflow ends early).
+
+    Under light load the policy is exactly a :class:`MarkovPolicy` walk;
+    decisions depend only on the session's own observed records and
+    in-flight count, so runs remain byte-deterministic.
+    """
+
+    name = "load-adaptive"
+
+    def __init__(
+        self,
+        generator: WorkflowGenerator,
+        per_session: int,
+        workflow_type: WorkflowType = WorkflowType.MIXED,
+        seed: int = 0,
+        backoff_depth: int = 6,
+        backoff_fraction: float = 1.0,
+    ):
+        super().__init__(
+            generator, per_session, workflow_type=workflow_type, seed=seed
+        )
+        if backoff_depth < 1:
+            raise WorkflowError(
+                f"backoff_depth must be >= 1, got {backoff_depth!r}"
+            )
+        if backoff_fraction <= 0.0:
+            raise WorkflowError(
+                f"backoff_fraction must be positive, got {backoff_fraction!r}"
+            )
+        self._backoff_depth = backoff_depth
+        self._backoff_fraction = backoff_fraction
+        self._last_record = None
+        self.backoffs = 0
+
+    def begin_workflow(self, index: int) -> Optional[WorkflowPlan]:
+        plan = super().begin_workflow(index)
+        if plan is None:
+            return None
+        # Strain is per task: a violated record at the end of the
+        # previous workflow must not make the user give up on the next
+        # one before it produced anything.
+        self._last_record = None
+        return WorkflowPlan(f"load_adaptive_{index}", plan.workflow_type)
+
+    def observe(self, record) -> None:
+        super().observe(record)
+        self._last_record = record
+
+    def _overloaded(self, view: PolicyView) -> bool:
+        if view.queue_depth >= self._backoff_depth:
+            return True
+        # The latency signal counts only once the *current* workflow has
+        # an evaluated record (every record observed since begin_workflow
+        # belongs to it — the previous workflow's deadline tail drains
+        # before a new workflow starts).
+        if self._last_record is None or not view.records:
+            return False
+        if view.records[-1] is not self._last_record:
+            return False  # stale: latest record predates this workflow
+        last = view.records[-1]
+        if last.metrics.tr_violated:
+            return True
+        budget = last.time_requirement * self._backoff_fraction
+        return view.last_latency > budget
+
+    def _choose(self, view: PolicyView) -> List[Interaction]:
+        names = view.graph.viz_names
+        # An empty dashboard means the user just sat down: always start
+        # working; back off only once there is something to shed.
+        if names and self._overloaded(view):
+            self.backoffs += 1
+            if len(names) > 1:
+                # Shed the newest chart (highest creation counter; names
+                # are viz_<n>, so the lexicographically-by-length-then-
+                # value max is the latest). Deterministic tie-break.
+                newest = max(names, key=lambda n: (len(n), n))
+                return [DiscardViz(newest)]
+            return []  # one chart left: the user gives up on this task
+        return super()._choose(view)
+
+
 class UncertaintyChaserPolicy(_GenerativePolicy):
     """Chases the visualization with the widest confidence intervals.
 
@@ -422,6 +601,14 @@ def make_policy(
         if generator is None:
             raise WorkflowError("uncertainty policy requires a workflow generator")
         return UncertaintyChaserPolicy(generator, per_session, seed=seed)
+    if name == "load-adaptive":
+        if generator is None:
+            raise WorkflowError(
+                "load-adaptive policy requires a workflow generator"
+            )
+        return LoadAdaptivePolicy(
+            generator, per_session, workflow_type=workflow_type, seed=seed
+        )
     raise WorkflowError(
         f"unknown policy {name!r} (choose from: {', '.join(POLICY_NAMES)})"
     )

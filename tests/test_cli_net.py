@@ -1,0 +1,302 @@
+"""CLI tests for the network front-end and regression-tracking commands.
+
+Covers ``repro serve --tcp`` + ``repro connect`` (scripted fetch, wire
+replay, REPL), ``repro bench-net``, ``repro serve --arrival-schedule``,
+and ``repro report snapshot``/``diff``. Loopback servers run on a
+background thread via :class:`~repro.net.server.ServerThread`.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.net.server import ServerThread, TcpSessionServer
+
+#: Small-but-honest configuration matching the server test fixtures.
+COMMON = ["--size", "S", "--scale", "50000", "--seed", "5", "--tr", "1"]
+
+
+@pytest.fixture()
+def tcp_server(server_ctx):
+    """A loopback TCP server on an ephemeral port; yields HOST:PORT."""
+    server = TcpSessionServer(server_ctx, "idea-sim")
+    with ServerThread(server) as (host, port):
+        yield f"{host}:{port}"
+
+
+class TestServeTcp:
+    def test_serves_n_sessions_then_exits(self, server_ctx, capsys):
+        # Drive `repro serve --tcp` itself in a thread; connect from here.
+        import re
+        import threading
+
+        from repro.net.client import scripted_csv_over_tcp
+
+        ready = threading.Event()
+        captured = {}
+
+        def run_cli():
+            import contextlib
+            import io
+
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                captured["code"] = main(
+                    ["serve", "--tcp", "127.0.0.1:0", "--sessions", "1",
+                     "--engine", "idea-sim"] + COMMON
+                )
+            captured["out"] = out.getvalue()
+
+        # Patch on_ready through the printed line: poll stdout text via
+        # a wrapper is fragile — instead run and parse the port from the
+        # "listening on" line written before serving starts.
+        import repro.net.server as net_server
+
+        original_init = net_server.TcpSessionServer.__init__
+
+        def patched_init(self, *args, **kwargs):
+            inner = kwargs.get("on_ready")
+
+            def on_ready(host, port):
+                captured["port"] = port
+                if inner:
+                    inner(host, port)
+                ready.set()
+
+            kwargs["on_ready"] = on_ready
+            original_init(self, *args, **kwargs)
+
+        net_server.TcpSessionServer.__init__ = patched_init
+        try:
+            thread = threading.Thread(target=run_cli, daemon=True)
+            thread.start()
+            assert ready.wait(30), "serve --tcp never started listening"
+            _, csv_text = scripted_csv_over_tcp(
+                "127.0.0.1", captured["port"], 0, per_session=1
+            )
+            thread.join(30)
+        finally:
+            net_server.TcpSessionServer.__init__ = original_init
+        assert captured["code"] == 0
+        assert "served 1 TCP sessions" in captured["out"]
+        assert re.search(r"listening on 127\.0\.0\.1:\d+", captured["out"])
+        assert csv_text.startswith("id,interaction")
+
+    @pytest.mark.parametrize(
+        "flag", [["--share-engine"], ["--verify"], ["--follow"],
+                 ["--arrivals", "0.2"], ["--policy", "markov"],
+                 ["--accel", "2"], ["--per-session", "3"],
+                 ["--arrival-schedule", "diurnal"], ["--horizon", "10"]]
+    )
+    def test_incompatible_flags_rejected(self, capsys, flag):
+        code = main(
+            ["serve", "--tcp", "127.0.0.1:0", "--sessions", "1"]
+            + flag + COMMON
+        )
+        assert code == 1
+        assert "cannot combine with --tcp" in capsys.readouterr().err
+
+    def test_malformed_address_rejected(self, capsys):
+        code = main(["serve", "--tcp", "nonsense"] + COMMON)
+        assert code == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestConnect:
+    def test_scripted_fetch_writes_byte_identical_csv(
+        self, tcp_server, server_ctx, tmp_path, capsys
+    ):
+        from repro.server import SessionManager
+
+        out = tmp_path / "session.csv"
+        code = main(
+            ["connect", tcp_server, "--session", "0", "--per-session", "1",
+             "--out", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "fetched session 'session-0'" in captured
+        reference = SessionManager.for_engine(
+            server_ctx, "idea-sim", 1, per_session=1
+        ).run()
+        assert out.read_bytes() == reference[0].csv_text().encode("utf-8")
+
+    def test_replay_over_wire(self, tcp_server, server_ctx, tmp_path, capsys):
+        from repro.server import session_specs
+
+        spec = session_specs(server_ctx, 1, per_session=1)[0]
+        path = tmp_path / "wf.json"
+        spec.workflows[0].to_json(path)
+        code = main(["connect", tcp_server, "--replay", str(path)])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "replayed" in captured
+        assert "queries" in captured
+
+    def test_connection_refused_reported(self, capsys):
+        code = main(["connect", "127.0.0.1:9", "--session", "0"])
+        assert code == 1
+        assert "connect failed" in capsys.readouterr().err
+
+    def test_malformed_address_rejected(self, capsys):
+        code = main(["connect", "nonsense"])
+        assert code == 1
+        assert "HOST:PORT" in capsys.readouterr().err
+
+
+class TestRepl:
+    def test_scripted_stdin_session(
+        self, tcp_server, server_ctx, tmp_path, monkeypatch, capsys
+    ):
+        from repro.server import session_specs
+
+        spec = session_specs(server_ctx, 1, per_session=1)[0]
+        path = tmp_path / "wf.json"
+        spec.workflows[0].to_json(path)
+        lines = iter([
+            "help",
+            "status",
+            "bogus",
+            f"load {path}",
+            "send 2",
+            "records",
+            "all",
+            "detach",
+        ])
+        monkeypatch.setattr(
+            "builtins.input", lambda prompt="": next(lines)
+        )
+        code = main(["connect", tcp_server, "--repl"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "connected to idebench-repro" in captured
+        assert "queued" in captured
+        assert "unknown command 'bogus'" in captured
+        assert "done:" in captured
+
+    def test_eof_detaches_cleanly(self, tcp_server, server_ctx, monkeypatch,
+                                  capsys):
+        def raise_eof(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", raise_eof)
+        # Detaching with nothing sent is a legitimate no-op session: the
+        # server answers with an empty summary.
+        code = main(["connect", tcp_server, "--repl"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "0 queries" in captured
+
+
+class TestBenchNet:
+    def test_loopback_equivalence_passes(self, capsys):
+        code = main(
+            ["bench-net", "--sessions", "2", "--per-session", "1"] + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        # 2 scripted sessions + wire replay + markov repeat + markov
+        # vs in-process: five byte-identity checks, all PASS lines.
+        assert captured.count("byte-identical") == 5
+        assert "FAIL" not in captured
+        assert "PASS" in captured
+        assert "overhead per query" in captured
+
+
+class TestArrivalSchedule:
+    def test_flash_crowd_serve(self, capsys):
+        code = main(
+            ["serve", "--engine", "idea-sim", "--sessions", "4",
+             "--arrivals", "0.2", "--horizon", "40",
+             "--arrival-schedule", "flash:peak=6x,at=10,width=10"]
+            + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "flash" in captured and "schedule" in captured
+
+    def test_schedule_without_arrivals_rejected(self, capsys):
+        code = main(
+            ["serve", "--sessions", "2",
+             "--arrival-schedule", "diurnal"] + COMMON
+        )
+        assert code == 1
+        assert "need --arrivals" in capsys.readouterr().err
+
+    def test_malformed_schedule_rejected(self, capsys):
+        code = main(
+            ["serve", "--sessions", "2", "--arrivals", "0.2",
+             "--arrival-schedule", "sideways"] + COMMON
+        )
+        assert code == 1
+        assert "unknown arrival schedule" in capsys.readouterr().err
+
+
+class TestReportSnapshotDiff:
+    def _write(self, path, text):
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_snapshot_and_identical_diff(self, tmp_path, capsys):
+        csv = self._write(tmp_path / "m.csv", "a,b\n1,2\n")
+        regress = tmp_path / "regress"
+        for rev in ("aaa1111", "bbb2222"):
+            code = main(
+                ["report", "snapshot", str(csv), "--kind", "matrix",
+                 "--rev", rev, "--dir", str(regress)]
+            )
+            assert code == 0
+        code = main(
+            ["report", "diff", "aaa1111", "bbb2222", "--dir", str(regress)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "identical" in captured
+
+    def test_differing_revisions_exit_nonzero_with_diff(
+        self, tmp_path, capsys
+    ):
+        regress = tmp_path / "regress"
+        csv_a = self._write(tmp_path / "a.csv", "a,b\n1,2\n")
+        csv_b = self._write(tmp_path / "b.csv", "a,b\n1,3\n")
+        assert main(["report", "snapshot", str(csv_a), "--rev", "aaa",
+                     "--dir", str(regress)]) == 0
+        assert main(["report", "snapshot", str(csv_b), "--rev", "bbb",
+                     "--dir", str(regress)]) == 0
+        code = main(["report", "diff", "aaa", "bbb", "--dir", str(regress)])
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "DIFFERS" in captured
+        assert "-1,2" in captured and "+1,3" in captured
+        assert "real behavior change" in captured
+
+    def test_unknown_revision_reported(self, tmp_path, capsys):
+        code = main(
+            ["report", "diff", "nope", "nada", "--dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert "no snapshots" in capsys.readouterr().err
+
+    def test_default_revision_comes_from_git(self, tmp_path, capsys):
+        csv = self._write(tmp_path / "m.csv", "a\n1\n")
+        regress = tmp_path / "regress"
+        code = main(
+            ["report", "snapshot", str(csv), "--dir", str(regress)]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "revision" in captured
+        stored = list(regress.iterdir())
+        assert len(stored) == 1  # one revision directory was created
+
+    def test_usage_errors(self, tmp_path, capsys):
+        assert main(["report", "snapshot", "--dir", str(tmp_path)]) == 1
+        assert "usage" in capsys.readouterr().err
+        assert main(["report", "diff", "only-one", "--dir", str(tmp_path)]) == 1
+        assert "usage" in capsys.readouterr().err
+
+    def test_summary_mode_rejects_surplus_arguments(self, tmp_path, capsys):
+        # (The original `repro report detailed.csv` path is covered by
+        # test_cli.py; here just check extra args are caught.)
+        csv = self._write(tmp_path / "d.csv", "x\n")
+        assert main(["report", str(csv), "surplus"]) == 1
+        assert "unexpected arguments" in capsys.readouterr().err

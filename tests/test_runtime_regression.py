@@ -1,0 +1,93 @@
+"""Unit tests for the cross-run regression tracker."""
+
+import pytest
+
+from repro.common.errors import BenchmarkError
+from repro.runtime.regression import (
+    FALLBACK_REVISION,
+    current_revision,
+    diff_revisions,
+    snapshot,
+    snapshots,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return tmp_path / "regress"
+
+
+def _csv(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestSnapshot:
+    def test_stores_bytes_verbatim(self, tmp_path, store):
+        source = _csv(tmp_path, "m.csv", "a,b\r\n1,2\r\n")
+        target = snapshot(store, "abc1234", "matrix", source)
+        assert target.read_bytes() == source.read_bytes()
+        assert snapshots(store) == {"abc1234": ["matrix"]}
+
+    def test_multiple_kinds_per_revision(self, tmp_path, store):
+        snapshot(store, "r1", "matrix", _csv(tmp_path, "a.csv", "x\n"))
+        snapshot(store, "r1", "sessions", _csv(tmp_path, "b.csv", "y\n"))
+        assert snapshots(store) == {"r1": ["matrix", "sessions"]}
+
+    def test_missing_source_rejected(self, tmp_path, store):
+        with pytest.raises(BenchmarkError, match="does not exist"):
+            snapshot(store, "r1", "matrix", tmp_path / "nope.csv")
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "..", ".hidden"])
+    def test_unsafe_names_rejected(self, tmp_path, store, bad):
+        source = _csv(tmp_path, "m.csv", "x\n")
+        with pytest.raises(BenchmarkError, match="invalid"):
+            snapshot(store, bad, "matrix", source)
+        with pytest.raises(BenchmarkError, match="invalid"):
+            snapshot(store, "rev", bad, source)
+
+    def test_empty_store_lists_nothing(self, store):
+        assert snapshots(store) == {}
+
+
+class TestDiff:
+    def test_identical_revisions(self, tmp_path, store):
+        source = _csv(tmp_path, "m.csv", "a,b\n1,2\n")
+        snapshot(store, "r1", "matrix", source)
+        snapshot(store, "r2", "matrix", source)
+        identical, report = diff_revisions(store, "r1", "r2")
+        assert identical
+        assert "identical" in report
+
+    def test_changed_bytes_render_a_unified_diff(self, tmp_path, store):
+        snapshot(store, "r1", "matrix", _csv(tmp_path, "a.csv", "a,b\n1,2\n"))
+        snapshot(store, "r2", "matrix", _csv(tmp_path, "b.csv", "a,b\n1,3\n"))
+        identical, report = diff_revisions(store, "r1", "r2")
+        assert not identical
+        assert "matrix: DIFFERS" in report
+        assert "-1,2" in report and "+1,3" in report
+
+    def test_kind_present_on_one_side_only(self, tmp_path, store):
+        snapshot(store, "r1", "matrix", _csv(tmp_path, "a.csv", "x\n"))
+        snapshot(store, "r2", "sessions", _csv(tmp_path, "b.csv", "x\n"))
+        identical, report = diff_revisions(store, "r1", "r2")
+        assert not identical
+        assert "only in r1: matrix" in report
+        assert "only in r2: sessions" in report
+
+    def test_unknown_revision_rejected_with_known_list(self, tmp_path, store):
+        snapshot(store, "r1", "matrix", _csv(tmp_path, "a.csv", "x\n"))
+        with pytest.raises(BenchmarkError, match="known revisions: r1"):
+            diff_revisions(store, "r1", "r9")
+
+
+class TestCurrentRevision:
+    def test_inside_this_repo_returns_short_hash(self):
+        revision = current_revision()
+        assert revision == FALLBACK_REVISION or (
+            4 <= len(revision) <= 16 and revision.isalnum()
+        )
+
+    def test_outside_a_repo_falls_back(self, tmp_path):
+        assert current_revision(tmp_path) == FALLBACK_REVISION

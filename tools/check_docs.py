@@ -121,12 +121,27 @@ REQUIRED_SECTIONS = {
     "docs/paper-mapping.md": [
         "src/repro/workflow/policy.py",
         "ArrivalProcess",
+        "src/repro/net/",
+        "RateSchedule",
+    ],
+    "docs/protocol.md": [
+        "## Wire format",
+        "## Message catalog",
+        "## Determinism contract",
+        "length (4 B)",
+        "byte-identical",
+        "tests/golden/tcp_session.txt",
     ],
     "README.md": [
         "bench-adaptive",
         "repro cache",
         "--policy",
         "--arrivals",
+        "--arrival-schedule",
+        "bench-net",
+        "connect",
+        "repro report snapshot",
+        "repro report diff",
     ],
 }
 

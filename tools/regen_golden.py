@@ -106,6 +106,27 @@ def case_open_churn(ctx) -> str:
     return _session_text(results)
 
 
+def case_tcp_session(ctx) -> str:
+    """One scripted TCP session's server→client frames, newline-joined.
+
+    The network front-end's determinism contract (docs/protocol.md):
+    message bodies are canonical JSON, so the entire wire conversation
+    for a fixed configuration is reproducible byte-for-byte. Length
+    prefixes are derivable from the bodies and therefore not pinned.
+    """
+    from repro.net.client import NetClient
+    from repro.net.server import ServerThread, TcpSessionServer
+
+    server = TcpSessionServer(ctx, "idea-sim", max_sessions=1)
+    with ServerThread(server) as (host, port):
+        with NetClient(host, port, log_frames=True) as client:
+            client.hello()
+            client.attach_scripted(0, per_session=1, workflow_type="mixed")
+            client.collect()
+            frames = list(client.frame_log)
+    return "\n".join(frames) + "\n"
+
+
 #: File name → builder. Each builder gets a fresh-or-shared context and
 #: returns the complete file content as text.
 GOLDEN_CASES = {
@@ -113,6 +134,7 @@ GOLDEN_CASES = {
     "server_shared.txt": case_server_shared,
     "adaptive_markov.txt": case_adaptive_markov,
     "open_churn.txt": case_open_churn,
+    "tcp_session.txt": case_tcp_session,
 }
 
 
