@@ -17,7 +17,16 @@ acceptance criteria:
    same workflow exactly (wall arrival time never leaks into results);
 3. **policy sessions over TCP** — a markov session served over the
    socket is byte-identical across fetches and to the in-process run;
-4. **overhead report** — wall time over TCP vs in-process and the
+4. **shared-engine byte-equivalence (v2 turn protocol)** — every
+   session of a shared-engine loopback run (scripted clients and a
+   client-driven wire replay) reassembles a report byte-identical to
+   the in-process ``repro serve --share-engine`` run;
+5. **remote load generation smoke** — ``bench-net --remote`` semantics:
+   N ≥ 3 real ``repro connect`` client processes against one
+   shared-engine server yield an aggregated contention report that is
+   byte-identical across repeated runs and to the in-process shared
+   report;
+6. **overhead report** — wall time over TCP vs in-process and the
    per-query round-trip cost, as diagnostics (never gated).
 
 Results land in ``benchmarks/results/net.txt``.
@@ -31,7 +40,14 @@ from pathlib import Path
 
 from repro.bench.experiments import ExperimentContext
 from repro.common.config import BenchmarkSettings, DataSize
-from repro.net.bench import render_net_bench, run_net_bench
+from repro.net.bench import (
+    render_net_bench,
+    render_remote_bench,
+    render_shared_net_bench,
+    run_net_bench,
+    run_remote_bench,
+    run_shared_net_bench,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -46,6 +62,9 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=int, default=50_000,
                         help="virtual-to-actual scale (50k → 2k rows at S)")
     parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--remote-clients", type=int, default=3,
+                        dest="remote_clients",
+                        help="client processes for the --remote smoke run")
     args = parser.parse_args(argv)
 
     settings = BenchmarkSettings(
@@ -58,6 +77,14 @@ def main(argv=None) -> int:
     result = run_net_bench(
         ctx, args.engine, args.sessions, per_session=args.per_session
     )
+    shared = run_shared_net_bench(
+        ctx, args.engine, args.sessions, per_session=args.per_session
+    )
+    remote = run_remote_bench(
+        ctx, args.engine, max(3, args.remote_clients),
+        per_session=args.per_session,
+    )
+    ok = result.ok and shared.ok and remote.ok
     lines = [
         f"network front-end benchmark — {args.sessions} sessions on "
         f"{args.engine} over loopback TCP, {settings.actual_rows:,} "
@@ -66,13 +93,17 @@ def main(argv=None) -> int:
     ]
     lines.extend(render_net_bench(result))
     lines.append("")
-    lines.append("PASS" if result.ok else "FAIL")
+    lines.extend(render_shared_net_bench(shared))
+    lines.append("")
+    lines.extend(render_remote_bench(remote))
+    lines.append("")
+    lines.append("PASS" if ok else "FAIL")
 
     text = "\n".join(lines)
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "net.txt").write_text(text + "\n", encoding="utf-8")
-    return 0 if result.ok else 1
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

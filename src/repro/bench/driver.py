@@ -191,6 +191,10 @@ class SessionDriver:
         self.on_record = on_record
         self.records: List[QueryRecord] = []
         self.interaction_counts: dict = {}
+        #: Events processed so far (deadline evaluations + interaction
+        #: fires) — a progress diagnostic for external pacers; always
+        #: equals ``len(records)`` + interactions fired.
+        self.steps = 0
         self._workflows = list(workflows)
         self._query_counter = first_query_id
         self._wf_index = 0
@@ -325,6 +329,7 @@ class SessionDriver:
             self._interaction_index += 1
             if self._policy is not None:
                 self._prefetch()
+        self.steps += 1
         self._maybe_finish_workflow()
         return produced
 

@@ -313,7 +313,6 @@ def _cmd_serve_tcp(args, settings) -> int:
         )
         return 1
     blocked = [
-        (args.share_engine, "--share-engine"),
         (args.verify, "--verify"),
         (args.arrivals is not None, "--arrivals"),
         (args.arrival_schedule is not None, "--arrival-schedule"),
@@ -321,19 +320,41 @@ def _cmd_serve_tcp(args, settings) -> int:
         (args.residence is not None, "--residence"),
         (args.follow, "--follow"),
         (args.out is not None, "--out"),
-        (args.policy is not None, "--policy"),
         (args.accel is not None, "--accel"),
-        (args.per_session != 2, "--per-session"),
-        (args.workflow_type != "mixed", "--workflow-type"),
     ]
+    if not args.share_engine:
+        # Isolated serving: the workload is configured per connection at
+        # ATTACH, so server-side workload flags would be silently dead.
+        blocked += [
+            (args.policy is not None, "--policy"),
+            (args.per_session != 2, "--per-session"),
+            (args.workflow_type != "mixed", "--workflow-type"),
+        ]
     offending = [flag for used, flag in blocked if used]
     if offending:
         print(
-            f"{', '.join(offending)} cannot combine with --tcp: sessions "
-            f"are isolated, their workload (suite size, workflow type, "
-            f"policy, pacing) is configured per connection at ATTACH "
-            f"(`repro connect` flags), and reports are reassembled on "
-            f"the client side (docs/protocol.md)",
+            f"{', '.join(offending)} cannot combine with --tcp: "
+            + (
+                "a shared-engine run is configured server-side "
+                "(--sessions/--per-session/--workflow-type/--policy), "
+                "its reports are reassembled client-side, and the whole "
+                "population rides one unpaced virtual timeline "
+                "(docs/protocol.md)"
+                if args.share_engine
+                else "sessions are isolated, their workload (suite "
+                "size, workflow type, policy, pacing) is configured per "
+                "connection at ATTACH (`repro connect` flags), and "
+                "reports are reassembled on the client side "
+                "(docs/protocol.md)"
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    if args.share_engine and args.sessions < 1:
+        print(
+            "--tcp --share-engine needs --sessions N (N >= 1): the "
+            "shared run's global virtual timeline must know its whole "
+            "population before the first turn grant",
             file=sys.stderr,
         )
         return 1
@@ -347,10 +368,18 @@ def _cmd_serve_tcp(args, settings) -> int:
         port=port,
         max_sessions=max_sessions,
         speculation=args.speculation,
+        share_engine=args.share_engine,
+        per_session=args.per_session,
+        workflow_type=WorkflowType(args.workflow_type),
+        policy=args.policy,
         on_ready=lambda h, p: print(
             f"listening on {h}:{p} ({args.engine}, "
-            + (f"up to {max_sessions} sessions" if max_sessions else
-               "serving until interrupted")
+            + (
+                f"ONE shared-engine run of {max_sessions} sessions"
+                if args.share_engine
+                else (f"up to {max_sessions} sessions" if max_sessions
+                      else "serving until interrupted")
+            )
             + ") — connect with: repro connect "
             f"{h}:{p}",
             flush=True,
@@ -671,7 +700,8 @@ def _cmd_connect(args) -> int:
         if args.replay:
             workflow = Workflow.from_json(args.replay)
             session_id, records, summary = replay_workflow(
-                host, port, workflow, accel=args.accel, timeout=args.timeout
+                host, port, workflow, accel=args.accel,
+                session_index=args.session, timeout=args.timeout,
             )
             print(
                 f"replayed {workflow.name!r} ({len(workflow.interactions)} "
@@ -709,7 +739,14 @@ def _cmd_connect(args) -> int:
 
 
 def _cmd_bench_net(args) -> int:
-    from repro.net.bench import render_net_bench, run_net_bench
+    from repro.net.bench import (
+        render_net_bench,
+        render_remote_bench,
+        render_shared_net_bench,
+        run_net_bench,
+        run_remote_bench,
+        run_shared_net_bench,
+    )
 
     settings = BenchmarkSettings(
         data_size=DataSize.parse(args.size),
@@ -722,6 +759,49 @@ def _cmd_bench_net(args) -> int:
         return 1
     ctx = ExperimentContext(settings)
     workflow_type = WorkflowType(args.workflow_type)
+    if args.remote or args.host is not None:
+        host = port = None
+        if args.host is not None:
+            address = _parse_address(args.host)
+            if address is None or address[1] == 0:
+                print(
+                    f"--host expects HOST:PORT of a running "
+                    f"`repro serve --tcp --share-engine` server, got "
+                    f"{args.host!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            host, port = address
+        where = (
+            f"against {host}:{port}" if host is not None
+            else "against a loopback shared-engine server"
+        )
+        print(
+            f"remote load generation: {args.sessions} `repro connect` "
+            f"client processes × {args.per_session} "
+            f"{workflow_type.value} workflows {where}"
+        )
+        try:
+            result = run_remote_bench(
+                ctx,
+                args.engine,
+                args.sessions,
+                per_session=args.per_session,
+                workflow_type=workflow_type,
+                host=host,
+                port=port,
+            )
+        except BenchmarkError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        for line in render_remote_bench(result):
+            print(line)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8", newline="") as handle:
+                handle.write(result.report)
+            print(f"wrote aggregated contention report to {args.out}")
+        print("PASS" if result.ok else "FAIL: remote runs diverged")
+        return 0 if result.ok else 1
     print(
         f"net benchmark: {args.sessions} scripted sessions × "
         f"{args.per_session} {workflow_type.value} workflows on "
@@ -736,9 +816,19 @@ def _cmd_bench_net(args) -> int:
     )
     for line in render_net_bench(result):
         print(line)
-    print("PASS" if result.ok else
+    shared = run_shared_net_bench(
+        ctx,
+        args.engine,
+        max(2, min(args.sessions, 4)),
+        per_session=args.per_session,
+        workflow_type=workflow_type,
+    )
+    for line in render_shared_net_bench(shared):
+        print(line)
+    ok = result.ok and shared.ok
+    print("PASS" if ok else
           "FAIL: TCP reports differ from in-process serve")
-    return 0 if result.ok else 1
+    return 0 if ok else 1
 
 
 def _cmd_cache(args) -> int:
@@ -1041,7 +1131,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="address of a running `repro serve --tcp`")
     p_connect.add_argument("--session", type=int, default=0,
                            help="scripted mode: server-side session index "
-                                "to run (its seeded suite)")
+                                "to run (its seeded suite); on a "
+                                "shared-engine server this is the "
+                                "timeline slot to claim (also with "
+                                "--replay)")
     p_connect.add_argument("--per-session", type=int, default=1,
                            dest="per_session",
                            help="scripted mode: workflows per session")
@@ -1091,6 +1184,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="time requirement in seconds")
     p_bench_net.add_argument("--think-time", type=float, default=1.0,
                              dest="think_time")
+    p_bench_net.add_argument("--remote", action="store_true",
+                             help="remote load generation: spawn "
+                                  "--sessions real `repro connect` "
+                                  "client processes against one "
+                                  "shared-engine server and aggregate "
+                                  "their client-side CSVs into one "
+                                  "deterministic contention report")
+    p_bench_net.add_argument("--host", default=None, metavar="HOST:PORT",
+                             help="with --remote: target an "
+                                  "already-running `repro serve --tcp "
+                                  "--share-engine` server instead of a "
+                                  "loopback one (no reference check)")
+    p_bench_net.add_argument("--out", default=None,
+                             help="with --remote: write the aggregated "
+                                  "contention report to this file")
     p_bench_net.set_defaults(func=_cmd_bench_net)
 
     p_bench = sub.add_parser(

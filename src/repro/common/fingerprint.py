@@ -96,7 +96,25 @@ def fmt_cell(value) -> str:
     Shared by every report module that promises byte-stable CSVs
     (:mod:`repro.runtime.report`, :mod:`repro.server.report`,
     :mod:`repro.bench.report`): six fixed decimals, locale-independent.
+
+    This function is **the** serialization boundary for non-finite
+    values, and it canonicalizes them to exactly one token each so the
+    byte-wise snapshot diffs of :mod:`repro.runtime.regression` can
+    never report a false regression from formatting drift:
+
+    * ``None`` and *any* NaN → the empty cell ``""`` — including NaN
+      carried by a non-``float`` numeric type such as ``numpy.float32``,
+      which ``isinstance(value, float)`` checks miss and a bare
+      ``f"{value:.6f}"`` would have leaked as a platform-spelled
+      ``"nan"``/``"-nan"`` token;
+    * ``±inf`` → ``"inf"`` / ``"-inf"`` (never the locale/format
+      dependent spellings ``Infinity``, ``1.#INF``, …).
     """
-    if value is None or (isinstance(value, float) and math.isnan(value)):
+    if value is None:
         return ""
-    return f"{value:.6f}"
+    number = float(value)
+    if math.isnan(number):
+        return ""
+    if math.isinf(number):
+        return "inf" if number > 0 else "-inf"
+    return f"{number:.6f}"

@@ -207,12 +207,17 @@ class ProcessorSharingScheduler:
     def cancel_group(self, group: Optional[str]) -> int:
         """Cancel every still-active task tagged with ``group``.
 
-        The session server's open-system mode calls this when a session
-        departs mid-run from a *shared* engine: whatever the departed
-        session still had running — foreground queries the driver did not
-        get to cancel, parked speculation — must stop consuming capacity,
-        or ghost load from churned-out users would skew every remaining
-        session. Returns the number of tasks cancelled.
+        The session server calls this when a session departs mid-run
+        from a *shared* engine — open-system churn, a remote frontend
+        disconnecting while it holds the turn, or a turn timeout:
+        whatever the departed session still had running — foreground
+        queries the driver did not get to cancel, parked speculation —
+        must stop consuming capacity, or ghost load from churned-out
+        users would skew every remaining session. If the cancelled group
+        is also the scheduler's *current default* group (the departing
+        session held the step turn when it died), the default is reset
+        to ``None`` so no later task can be tagged into a dead group.
+        Returns the number of tasks cancelled.
         """
         now = self._clock.now()
         self._settle(now)
@@ -222,7 +227,20 @@ class ProcessorSharingScheduler:
                 task.cancelled = True
                 task.record(now)
                 cancelled += 1
+        if group is not None and self._current_group == group:
+            self._current_group = None
         return cancelled
+
+    def active_groups(self) -> List[Optional[str]]:
+        """Groups that still own at least one active task, sorted.
+
+        ``None`` (the ungrouped pool) sorts last. The session server's
+        tests use this to assert a departed session's group was swept
+        clean; it is also a useful live diagnostic of who is consuming
+        capacity on a shared engine.
+        """
+        groups = {task.group for task in self._tasks.values() if task.active}
+        return sorted(groups, key=lambda g: (g is None, g or ""))
 
     # ------------------------------------------------------------------
     # Task management

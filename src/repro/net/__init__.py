@@ -34,7 +34,18 @@ extended across the wire, enforced by ``benchmarks/bench_net.py`` and
 the golden transcript in ``tests/golden/``.
 """
 
-from repro.net.bench import NetBenchResult, render_net_bench, run_net_bench
+from repro.net.bench import (
+    NetBenchResult,
+    RemoteNetBenchResult,
+    SharedNetBenchResult,
+    aggregate_session_reports,
+    render_net_bench,
+    render_remote_bench,
+    render_shared_net_bench,
+    run_net_bench,
+    run_remote_bench,
+    run_shared_net_bench,
+)
 from repro.net.client import (
     NetClient,
     fetch_scripted_session,
@@ -42,8 +53,11 @@ from repro.net.client import (
     scripted_csv_over_tcp,
 )
 from repro.net.protocol import (
+    CAP_SHARED_ENGINE,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     Attach,
+    Barrier,
     Detach,
     ErrorMessage,
     Hello,
@@ -51,16 +65,22 @@ from repro.net.protocol import (
     Progress,
     Record,
     SubmitViz,
+    TurnDone,
+    TurnGrant,
     decode_message,
     encode_message,
     record_from_dict,
     record_to_dict,
+    version_error,
 )
 from repro.net.server import ServerThread, TcpSessionServer
 
 __all__ = [
+    "CAP_SHARED_ENGINE",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "Attach",
+    "Barrier",
     "Detach",
     "ErrorMessage",
     "Hello",
@@ -69,16 +89,26 @@ __all__ = [
     "NetClient",
     "Progress",
     "Record",
+    "RemoteNetBenchResult",
     "ServerThread",
+    "SharedNetBenchResult",
     "SubmitViz",
     "TcpSessionServer",
+    "TurnDone",
+    "TurnGrant",
+    "aggregate_session_reports",
     "decode_message",
     "encode_message",
     "fetch_scripted_session",
     "record_from_dict",
     "record_to_dict",
     "render_net_bench",
+    "render_remote_bench",
+    "render_shared_net_bench",
     "replay_workflow",
     "run_net_bench",
+    "run_remote_bench",
+    "run_shared_net_bench",
     "scripted_csv_over_tcp",
+    "version_error",
 ]

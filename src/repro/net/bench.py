@@ -1,6 +1,6 @@
 """The loopback acceptance harness shared by ``repro bench-net`` and CI.
 
-One function, :func:`run_net_bench`, performs the network front-end's
+:func:`run_net_bench` performs the isolated network front-end's
 acceptance checks (§3's frontend↔engine loop, with the wire in the
 middle) against an in-process reference:
 
@@ -15,18 +15,38 @@ middle) against an in-process reference:
 4. **overhead diagnostics** — wall time over TCP vs in-process and the
    per-query round-trip cost (never gated: wall time is machine noise).
 
-Both entry points — the ``repro bench-net`` CLI command and
-``benchmarks/bench_net.py`` (CI) — render the same
-:class:`NetBenchResult`, so the equivalence criterion lives in exactly
-one place.
+:func:`run_shared_net_bench` is the shared-engine counterpart (the
+paper's headline contention scenario, served over the v2 turn
+protocol): every session of a shared loopback run — scripted clients
+*and* a client-driven wire replay — must reassemble reports
+**byte-identical** to the in-process ``repro serve --share-engine``
+run.
+
+:func:`run_remote_bench` is remote load generation: it spawns N real
+``repro connect`` client *processes* against one shared-engine server
+(loopback by default, or any remote ``host:port``) and aggregates
+their client-side CSVs into one deterministic contention report —
+many real processes, one shared simulated engine, same bytes every
+run.
+
+All entry points — the ``repro bench-net`` CLI command and
+``benchmarks/bench_net.py`` (CI) — render the same result objects, so
+each acceptance criterion lives in exactly one place.
 """
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
+from repro.common.errors import BenchmarkError
 from repro.net.client import (
     fetch_scripted_session,
     records_csv_text,
@@ -142,6 +162,315 @@ def run_net_bench(
     return result
 
 
+# ----------------------------------------------------------------------
+# Shared-engine serving over TCP (v2 turn protocol)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SharedNetBenchResult:
+    """Outcome of the shared-engine loopback acceptance run."""
+
+    engine: str
+    #: (session_id, byte-identical?, query count) per scripted session.
+    scripted: List[Tuple[str, bool, int]] = field(default_factory=list)
+    #: Session replayed client-driven over the wire in the second pass.
+    replay_session: str = ""
+    #: Replayed session AND its scripted neighbors all byte-identical.
+    replay_ok: bool = False
+    replay_skipped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (
+            bool(self.scripted)
+            and all(identical for _, identical, _ in self.scripted)
+            and (self.replay_ok or self.replay_skipped)
+        )
+
+
+def _shared_server(ctx, engine, sessions, per_session, workflow_type,
+                   **kwargs) -> TcpSessionServer:
+    return TcpSessionServer(
+        ctx,
+        engine,
+        share_engine=True,
+        max_sessions=sessions,
+        per_session=per_session,
+        workflow_type=workflow_type,
+        **kwargs,
+    )
+
+
+def _concurrent_sessions(jobs) -> List[str]:
+    """Run one blocking client job per session concurrently; CSVs in order.
+
+    ``jobs`` maps session index → zero-arg callable returning that
+    session's reassembled detailed CSV. All clients of a shared run must
+    be live at once (the run starts at the attach barrier), hence one
+    thread each.
+    """
+    results: dict = {}
+    failures: List[BaseException] = []
+
+    def run(index, job):
+        try:
+            results[index] = job()
+        except BaseException as error:  # noqa: BLE001 - reraised below
+            failures.append(error)
+
+    threads = {
+        index: threading.Thread(target=run, args=(index, job), daemon=True)
+        for index, job in jobs.items()
+    }
+    for thread in threads.values():
+        thread.start()
+    for thread in threads.values():
+        thread.join(300)
+    stuck = sorted(i for i, thread in threads.items() if thread.is_alive())
+    if stuck:
+        raise BenchmarkError(
+            f"shared-run client(s) {stuck} still blocked after 300s"
+        )
+    if failures:
+        raise failures[0]
+    return [results[index] for index in sorted(results)]
+
+
+def run_shared_net_bench(
+    ctx,
+    engine: str = "idea-sim",
+    sessions: int = 2,
+    *,
+    per_session: int = 1,
+    workflow_type: WorkflowType = WorkflowType.MIXED,
+) -> SharedNetBenchResult:
+    """The shared-engine acceptance suite; see the module docstring."""
+    from repro.server import SessionManager
+
+    result = SharedNetBenchResult(engine=engine)
+    reference = SessionManager.for_engine(
+        ctx, engine, sessions,
+        per_session=per_session, workflow_type=workflow_type,
+        share_engine=True,
+    ).run()
+
+    def scripted_job(host, port, index):
+        def job():
+            _, records, _ = fetch_scripted_session(
+                host, port, index,
+                per_session=per_session,
+                workflow_type=workflow_type.value,
+            )
+            return records_csv_text(records)
+        return job
+
+    # Pass 1: every session a scripted TCP client, attached concurrently.
+    server = _shared_server(ctx, engine, sessions, per_session, workflow_type)
+    with ServerThread(server) as (host, port):
+        csvs = _concurrent_sessions(
+            {i: scripted_job(host, port, i) for i in range(sessions)}
+        )
+    for index, expected in enumerate(reference):
+        result.scripted.append((
+            expected.session_id,
+            csvs[index] == expected.csv_text(),
+            expected.num_queries,
+        ))
+
+    # Pass 2: session 0 client-driven — its scripted workflow crosses the
+    # wire interaction by interaction — the rest scripted. Equivalence
+    # requires the client session to be exactly one workflow, so this
+    # pass only runs at per_session=1.
+    if per_session != 1:
+        result.replay_skipped = True
+        return result
+    workflow = reference[0].spec.workflows[0]
+    result.replay_session = reference[0].session_id
+    server = _shared_server(ctx, engine, sessions, per_session, workflow_type)
+    with ServerThread(server) as (host, port):
+        def replay_job():
+            _, records, _ = replay_workflow(
+                host, port, workflow, session_index=0
+            )
+            return records_csv_text(records)
+
+        jobs = {0: replay_job}
+        for index in range(1, sessions):
+            jobs[index] = scripted_job(host, port, index)
+        replay_csvs = _concurrent_sessions(jobs)
+    result.replay_ok = all(
+        replay_csvs[index] == reference[index].csv_text()
+        for index in range(sessions)
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Remote load generation (bench-net --remote)
+# ----------------------------------------------------------------------
+
+@dataclass
+class RemoteNetBenchResult:
+    """Outcome of a remote load-generation run (client processes)."""
+
+    clients: int
+    #: The aggregated contention report (per-session CSVs under banners).
+    report: str
+    runs: int = 1
+    #: Loopback only: every repeated run produced identical bytes.
+    deterministic: Optional[bool] = None
+    #: Loopback only: the aggregate equals the in-process shared run.
+    matches_reference: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.deterministic is not False and (
+            self.matches_reference is not False
+        )
+
+
+def aggregate_session_reports(named: Sequence[Tuple[str, str]]) -> str:
+    """Concatenate per-session CSVs under stable banners (one report).
+
+    The same ``== session-id ==`` banner format the golden corpus uses,
+    so aggregated remote reports diff cleanly against in-process ones.
+    """
+    return "".join(f"== {name} ==\n{text}" for name, text in named)
+
+
+def _client_env() -> dict:
+    """Subprocess environment with this package importable."""
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    return env
+
+
+def _spawn_clients(
+    host: str,
+    port: int,
+    clients: int,
+    per_session: int,
+    workflow_type: WorkflowType,
+    timeout: float,
+) -> str:
+    """Run N real ``repro connect`` processes; aggregate their CSVs."""
+    env = _client_env()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-net-") as tmp:
+        outs = [Path(tmp) / f"session-{i}.csv" for i in range(clients)]
+        procs = []
+        try:
+            for index, out in enumerate(outs):
+                procs.append(subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.cli", "connect",
+                        f"{host}:{port}",
+                        "--session", str(index),
+                        "--per-session", str(per_session),
+                        "--workflow-type", workflow_type.value,
+                        "--timeout", str(timeout),
+                        "--out", str(out),
+                    ],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    text=True,
+                    env=env,
+                ))
+            failures = []
+            for index, proc in enumerate(procs):
+                try:
+                    output, _ = proc.communicate(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    output, _ = proc.communicate()
+                    failures.append(f"client {index} timed out:\n{output}")
+                    continue
+                if proc.returncode != 0:
+                    failures.append(
+                        f"client {index} exited {proc.returncode}:\n{output}"
+                    )
+            if failures:
+                raise BenchmarkError(
+                    "remote load generation failed: " + "\n".join(failures)
+                )
+        finally:
+            for proc in procs:
+                if proc.poll() is None:  # pragma: no cover - cleanup
+                    proc.kill()
+        # Bytes, not read_text: universal-newline translation would fold
+        # the CSVs' \r\n and silently break byte-equality with the
+        # in-process report.
+        return aggregate_session_reports([
+            (f"session-{i}", outs[i].read_bytes().decode("utf-8"))
+            for i in range(clients)
+        ])
+
+
+def run_remote_bench(
+    ctx,
+    engine: str = "idea-sim",
+    clients: int = 3,
+    *,
+    per_session: int = 1,
+    workflow_type: WorkflowType = WorkflowType.MIXED,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    runs: int = 2,
+    timeout: float = 300.0,
+) -> RemoteNetBenchResult:
+    """Remote load generation: N client processes, one shared engine.
+
+    With ``host`` given, the clients target that already-running
+    ``repro serve --tcp --share-engine`` server (real remote load; one
+    run, no reference available). Without it, a loopback shared server
+    is started per run, the whole thing repeats ``runs`` times, and the
+    aggregated report is checked for byte-determinism across runs and
+    byte-equality with the in-process ``serve --share-engine`` report.
+    """
+    if clients < 1:
+        raise BenchmarkError(f"need at least one client, got {clients!r}")
+    if host is not None:
+        if port is None:
+            raise BenchmarkError("remote host needs a port")
+        report = _spawn_clients(
+            host, port, clients, per_session, workflow_type, timeout
+        )
+        return RemoteNetBenchResult(clients=clients, report=report, runs=1)
+
+    from repro.server import SessionManager
+
+    reference = SessionManager.for_engine(
+        ctx, engine, clients,
+        per_session=per_session, workflow_type=workflow_type,
+        share_engine=True,
+    ).run()
+    expected = aggregate_session_reports(
+        [(r.session_id, r.csv_text()) for r in reference]
+    )
+    reports = []
+    for _ in range(max(1, runs)):
+        server = _shared_server(
+            ctx, engine, clients, per_session, workflow_type
+        )
+        with ServerThread(server) as (bound_host, bound_port):
+            reports.append(_spawn_clients(
+                bound_host, bound_port, clients, per_session,
+                workflow_type, timeout,
+            ))
+    return RemoteNetBenchResult(
+        clients=clients,
+        report=reports[0],
+        runs=len(reports),
+        deterministic=all(report == reports[0] for report in reports),
+        matches_reference=(reports[0] == expected),
+    )
+
+
 def render_net_bench(result: NetBenchResult) -> List[str]:
     """The human-readable check lines both entry points print."""
 
@@ -175,4 +504,56 @@ def render_net_bench(result: NetBenchResult) -> List[str]:
         f"({result.per_query_overhead_ms:+.3f} ms round-trip overhead "
         f"per query)"
     )
+    return lines
+
+
+def render_shared_net_bench(result: SharedNetBenchResult) -> List[str]:
+    """Check lines for the shared-engine (turn protocol) suite."""
+
+    def mark(condition: bool, text: str) -> str:
+        return ("PASS: " if condition else "FAIL: ") + text
+
+    lines = []
+    for session_id, identical, queries in result.scripted:
+        lines.append(mark(
+            identical,
+            f"{session_id}: shared-TCP report byte-identical to "
+            f"in-process serve --share-engine ({queries} queries)",
+        ))
+    if result.replay_skipped:
+        lines.append(
+            "skip: shared wire-replay equivalence needs per_session=1"
+        )
+    else:
+        lines.append(mark(
+            result.replay_ok,
+            f"shared run with {result.replay_session} replayed over the "
+            f"wire (client-driven) byte-identical, neighbors unchanged",
+        ))
+    return lines
+
+
+def render_remote_bench(result: RemoteNetBenchResult) -> List[str]:
+    """Check lines for the remote load-generation mode."""
+
+    def mark(condition: bool, text: str) -> str:
+        return ("PASS: " if condition else "FAIL: ") + text
+
+    lines = [
+        f"remote load generation: {result.clients} client processes, "
+        f"{result.runs} run(s), aggregated report "
+        f"{len(result.report)} bytes"
+    ]
+    if result.deterministic is not None:
+        lines.append(mark(
+            result.deterministic,
+            f"aggregated report byte-identical across {result.runs} "
+            f"repeated runs",
+        ))
+    if result.matches_reference is not None:
+        lines.append(mark(
+            result.matches_reference,
+            "aggregated report byte-identical to the in-process "
+            "serve --share-engine report",
+        ))
     return lines

@@ -32,6 +32,7 @@ from repro.bench.driver import QueryRecord
 from repro.bench.report import DetailedReport
 from repro.common.errors import ProtocolError
 from repro.net.protocol import (
+    SUPPORTED_VERSIONS,
     Attach,
     Detach,
     ErrorMessage,
@@ -40,6 +41,8 @@ from repro.net.protocol import (
     Message,
     Record,
     SubmitViz,
+    TurnDone,
+    TurnGrant,
     encode_message,
     decode_body,
     split_frame,
@@ -58,6 +61,14 @@ class NetClient:
     :meth:`collect` consume the server's stream. With ``log_frames``
     set, every received frame's canonical JSON text is appended to
     :attr:`frame_log` — how the golden transcript is captured.
+
+    Shared-engine servers pace sessions with TURN_GRANT frames that must
+    be acknowledged (docs/protocol.md's v2 turn protocol). By default
+    the client acknowledges transparently inside :meth:`read_message`
+    (grants are still logged to :attr:`frame_log`, never surfaced to
+    callers), so scripted fetches, wire replays and the REPL work
+    unchanged against both serving modes. Pass ``auto_ack=False`` to
+    drive the turn protocol by hand — what the adversarial tests do.
     """
 
     def __init__(
@@ -66,10 +77,12 @@ class NetClient:
         port: int,
         timeout: float = DEFAULT_TIMEOUT,
         log_frames: bool = False,
+        auto_ack: bool = True,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.auto_ack = auto_ack
         self.frame_log: List[str] = [] if log_frames else None
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
@@ -102,7 +115,12 @@ class NetClient:
         self._sock.sendall(encode_message(message))
 
     def read_message(self) -> Message:
-        """Block until one complete frame arrives; decode it."""
+        """Block until one complete frame arrives; decode it.
+
+        With :attr:`auto_ack` on (the default), TURN_GRANT frames from a
+        shared-engine server are acknowledged immediately and skipped —
+        callers see the same stream an isolated server would send.
+        """
         if self._sock is None:
             raise ProtocolError("client is not connected")
         while True:
@@ -116,6 +134,14 @@ class NetClient:
                     raise ProtocolError(
                         f"server error [{message.code}]: {message.message}"
                     )
+                if isinstance(message, TurnGrant) and self.auto_ack:
+                    self.send(
+                        TurnDone(
+                            turn=message.turn,
+                            session_id=message.session_id,
+                        )
+                    )
+                    continue
                 return message
             chunk = self._sock.recv(65536)
             if not chunk:
@@ -139,11 +165,24 @@ class NetClient:
 
     # ------------------------------------------------------------------
     def hello(self) -> Hello:
-        """Handshake; returns the server's HELLO (version already checked)."""
+        """Handshake; returns the server's HELLO.
+
+        Raises a clear :class:`ProtocolError` on a version mismatch in
+        either direction: a newer server's typed ``version`` ERROR frame
+        surfaces with its ``supported_versions``, and an older server's
+        HELLO (decodable across versions) is rejected here by name
+        instead of dying in the codec.
+        """
         self.send(Hello(role="client"))
         answer = self.read_message()
         if not isinstance(answer, Hello):
             raise ProtocolError(f"expected hello, got {answer.TYPE!r}")
+        if answer.version not in SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+            raise ProtocolError(
+                f"server speaks protocol version {answer.version}; "
+                f"this client supports {supported}"
+            )
         return answer
 
     def attach_scripted(
@@ -174,14 +213,20 @@ class NetClient:
         name: Optional[str] = None,
         workflow_type: str = "custom",
         accel: Optional[float] = None,
+        session_index: int = 0,
     ) -> Message:
-        """Join as a client-driven session (this connection is the user)."""
+        """Join as a client-driven session (this connection is the user).
+
+        ``session_index`` matters only on a shared-engine server, where
+        it is the timeline slot this session claims.
+        """
         self.send(
             Attach(
                 mode="client",
                 workflow_type=workflow_type,
                 accel=accel,
                 name=name,
+                session_index=session_index,
             )
         )
         return self.read_message()  # Progress(attached)
@@ -245,6 +290,7 @@ def replay_workflow(
     *,
     name: Optional[str] = None,
     accel: Optional[float] = None,
+    session_index: int = 0,
     timeout: float = DEFAULT_TIMEOUT,
 ) -> Tuple[str, List[QueryRecord], Detach]:
     """Drive a client-mode session with a pre-generated workflow.
@@ -252,7 +298,9 @@ def replay_workflow(
     The scripted replay client: every interaction crosses the wire, the
     server fires it on the think-time grid, and the records that come
     back are byte-identical to a serial in-process run of the same
-    workflow (``benchmarks/bench_net.py`` checks this).
+    workflow (``benchmarks/bench_net.py`` checks this). Against a
+    shared-engine server the same call claims timeline slot
+    ``session_index`` and rides the turn protocol transparently.
     """
     with NetClient(host, port, timeout=timeout) as client:
         client.hello()
@@ -260,6 +308,7 @@ def replay_workflow(
             name=name or workflow.name,
             workflow_type=workflow.workflow_type.value,
             accel=accel,
+            session_index=session_index,
         )
         for interaction in workflow.interactions:
             client.send_interaction(interaction)

@@ -20,7 +20,9 @@ Every body carries ``{"v": PROTOCOL_VERSION, "type": <tag>, ...}``. The
 typed catalog (one dataclass per tag) mirrors the session lifecycle:
 
 ==============  ======================================================
-``hello``       version/role handshake; both sides send one first
+``hello``       version/role/capability handshake; both sides send one
+                first. Decodes across protocol versions so a mismatch
+                can be answered with a typed ``error`` frame.
 ``attach``      client joins as a session: ``scripted`` (server-side
                 suite or policy) or ``client`` (frontend-driven)
 ``submit_viz``  client-driven: create a visualization (a
@@ -30,9 +32,17 @@ typed catalog (one dataclass per tag) mirrors the session lifecycle:
                 :class:`~repro.bench.driver.QueryRecord`
 ``progress``    server → client: lifecycle events (attached, workflow
                 transitions)
+``barrier``     server → client (shared-engine serving): all expected
+                sessions have attached; the shared run starts now
+``turn_grant``  server → client (shared-engine serving): this session
+                won the global virtual timeline and is stepping
+``turn_done``   client → server: acknowledge a grant, releasing the
+                shared timeline for the next globally minimal event
 ``detach``      client → server: end the session (the deadline tail
                 still drains); server → client: final summary
-``error``       protocol violation or session failure; sender closes
+``error``       protocol violation or session failure; sender closes.
+                Decodes across protocol versions; a version-mismatch
+                error carries ``data.supported_versions``.
 ==============  ======================================================
 
 Payloads reuse the existing ``to_dict``/``from_dict`` machinery of
@@ -51,7 +61,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass
-from typing import Dict, Optional, Type
+from typing import Dict, Optional, Tuple, Type
 
 from repro.bench.driver import QueryRecord
 from repro.bench.metrics import QueryMetrics
@@ -59,7 +69,22 @@ from repro.common.errors import ProtocolError, WorkflowError
 from repro.workflow.spec import Interaction, VizSpec
 
 #: Version tag carried in every message; bumped on incompatible change.
-PROTOCOL_VERSION = 1
+#: v2 added the shared-engine turn protocol (BARRIER/TURN_GRANT/TURN_DONE),
+#: HELLO capability negotiation, and typed version-mismatch errors.
+PROTOCOL_VERSION = 2
+
+#: Versions this side can speak. A peer announcing anything else gets a
+#: typed ERROR frame carrying this tuple (see :func:`version_error`).
+SUPPORTED_VERSIONS = (2,)
+
+#: Message tags that decode regardless of the frame's version tag, so
+#: mismatched peers can still exchange a handshake and a typed error
+#: instead of failing with a generic decode exception.
+VERSION_EXEMPT_TYPES = frozenset({"hello", "error"})
+
+#: HELLO capability advertised by servers that grant wire-level step
+#: turns (shared-engine serving over TCP).
+CAP_SHARED_ENGINE = "shared-engine"
 
 #: Hard cap on a frame body (decoded JSON text), both directions.
 MAX_FRAME_BYTES = 8 * 1024 * 1024
@@ -153,12 +178,20 @@ class Message:
 
 @dataclass(frozen=True)
 class Hello(Message):
-    """Handshake: each side announces its protocol version and role."""
+    """Handshake: each side announces version, role and capabilities.
+
+    ``capabilities`` is the v2 negotiation hook: the server advertises
+    optional serving modes (currently :data:`CAP_SHARED_ENGINE` when it
+    grants wire-level step turns) so clients can fail fast instead of
+    discovering an unsupported mode mid-session. v1 peers never sent the
+    field; it decodes as an empty tuple.
+    """
 
     version: int = PROTOCOL_VERSION
     role: str = "client"  # "client" | "server"
     software: str = "idebench-repro"
     engine: Optional[str] = None  # server → client: engine being served
+    capabilities: Tuple[str, ...] = ()
 
     TYPE = "hello"
 
@@ -168,16 +201,25 @@ class Hello(Message):
             "role": self.role,
             "software": self.software,
             "engine": self.engine,
+            "capabilities": list(self.capabilities),
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Hello":
-        return cls(
-            version=int(payload["version"]),
-            role=payload["role"],
-            software=payload.get("software", ""),
-            engine=payload.get("engine"),
-        )
+        try:
+            # Fall back to the frame's version tag so a bare cross-version
+            # hello (no explicit "version" field) still reports what the
+            # peer speaks instead of failing the handshake with a KeyError.
+            version = payload.get("version", payload.get("v"))
+            return cls(
+                version=int(version) if version is not None else 0,
+                role=payload["role"],
+                software=payload.get("software", ""),
+                engine=payload.get("engine"),
+                capabilities=tuple(payload.get("capabilities") or ()),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed hello payload: {error}") from error
 
 
 #: Session modes a client may attach in.
@@ -347,6 +389,107 @@ class Progress(Message):
 
 
 @dataclass(frozen=True)
+class Barrier(Message):
+    """Server → client (shared-engine serving): the shared run starts.
+
+    Sent to every attached session once all ``sessions`` expected
+    participants have joined; no ``turn_grant`` precedes it. The barrier
+    is what lets the server register the whole population with the
+    global virtual timeline *before* the first grant — the same
+    all-declared-before-any-grant rule the in-process
+    :class:`~repro.server.manager.SessionManager` enforces.
+    """
+
+    sessions: int
+    event: str = "start"
+
+    TYPE = "barrier"
+
+    def to_payload(self) -> dict:
+        return {"sessions": self.sessions, "event": self.event}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Barrier":
+        try:
+            return cls(
+                sessions=int(payload["sessions"]),
+                event=payload.get("event", "start"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed barrier frame: {error}") from error
+
+
+@dataclass(frozen=True)
+class TurnGrant(Message):
+    """Server → client (shared-engine serving): your session steps now.
+
+    The session holding the globally minimal ``(event_time, slot)`` pair
+    is granted its step; the RECORD frames that step produced follow,
+    and the server then waits for the matching :class:`TurnDone` before
+    declaring the session's next event. ``turn`` counts grants per
+    session from 0 — the acknowledgement must echo it exactly.
+    """
+
+    session_id: str
+    turn: int
+    event_time: float
+
+    TYPE = "turn_grant"
+
+    def to_payload(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "turn": self.turn,
+            "event_time": self.event_time,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TurnGrant":
+        try:
+            return cls(
+                session_id=payload["session_id"],
+                turn=int(payload["turn"]),
+                event_time=float(payload["event_time"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"malformed turn_grant frame: {error}"
+            ) from error
+
+
+@dataclass(frozen=True)
+class TurnDone(Message):
+    """Client → server: acknowledge :class:`TurnGrant` number ``turn``.
+
+    Releases the shared timeline: until the acknowledgement arrives, no
+    session is granted another step — a slow client therefore blocks
+    only *virtual* time (every session waits, order unchanged), never
+    corrupts it. An out-of-order or unsolicited ``turn_done`` is a
+    protocol violation and abandons the sending session.
+    """
+
+    turn: int
+    session_id: Optional[str] = None
+
+    TYPE = "turn_done"
+
+    def to_payload(self) -> dict:
+        return {"turn": self.turn, "session_id": self.session_id}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TurnDone":
+        try:
+            return cls(
+                turn=int(payload["turn"]),
+                session_id=payload.get("session_id"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"malformed turn_done frame: {error}"
+            ) from error
+
+
+@dataclass(frozen=True)
 class Detach(Message):
     """Session end.
 
@@ -379,22 +522,50 @@ class Detach(Message):
 
 @dataclass(frozen=True)
 class ErrorMessage(Message):
-    """A protocol violation or session failure; the sender closes."""
+    """A protocol violation or session failure; the sender closes.
+
+    ``data`` carries optional machine-readable detail; a ``version``
+    error (see :func:`version_error`) puts the sender's
+    ``supported_versions`` there so a mismatched peer can report exactly
+    what would have been accepted.
+    """
 
     code: str
     message: str
+    data: Optional[dict] = None
 
     TYPE = "error"
 
     def to_payload(self) -> dict:
-        return {"code": self.code, "message": self.message}
+        return {"code": self.code, "message": self.message, "data": self.data}
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ErrorMessage":
+        data = payload.get("data")
         return cls(
             code=payload.get("code", "error"),
             message=payload.get("message", ""),
+            data=dict(data) if isinstance(data, dict) else None,
         )
+
+
+def version_error(peer_version: object) -> ErrorMessage:
+    """The typed ERROR frame answering an unsupported HELLO version.
+
+    Satisfies the negotiation contract: a version mismatch is answered
+    with a frame the peer can decode (``error`` is version-exempt) that
+    names the versions this side accepts — never a generic decode
+    failure on either end.
+    """
+    supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+    return ErrorMessage(
+        code="version",
+        message=(
+            f"unsupported protocol version {peer_version!r} "
+            f"(this side supports: {supported})"
+        ),
+        data={"supported_versions": list(SUPPORTED_VERSIONS)},
+    )
 
 
 #: Tag → message class; the complete catalog.
@@ -407,6 +578,9 @@ MESSAGE_TYPES: Dict[str, Type[Message]] = {
         Interact,
         Record,
         Progress,
+        Barrier,
+        TurnGrant,
+        TurnDone,
         Detach,
         ErrorMessage,
     )
@@ -459,12 +633,16 @@ def decode_message(data: object) -> Message:
             f"frame body must be a JSON object, got {type(data).__name__}"
         )
     version = data.get("v")
-    if version != PROTOCOL_VERSION:
+    tag = data.get("type")
+    if version not in SUPPORTED_VERSIONS and tag not in VERSION_EXEMPT_TYPES:
+        # Handshake and error frames decode across versions so the
+        # mismatch can be *negotiated* (typed version error, clear
+        # client exception) instead of dying in the codec.
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
         raise ProtocolError(
             f"protocol version mismatch: peer speaks {version!r}, "
-            f"this side speaks {PROTOCOL_VERSION}"
+            f"this side supports {supported}"
         )
-    tag = data.get("type")
     message_cls = MESSAGE_TYPES.get(tag)
     if message_cls is None:
         raise ProtocolError(f"unknown message type {tag!r}")

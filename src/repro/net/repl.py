@@ -80,6 +80,18 @@ class Repl:
             self._print("type 'help' for commands")
             try:
                 return self._loop(client, session_id)
+            except KeyboardInterrupt:
+                # An interactive quit is a *session end*, not a network
+                # failure: send a clean DETACH (best-effort) so the
+                # server drains the deadline tail and answers with a
+                # normal zero-or-partial summary, instead of logging the
+                # socket close as a mid-run disconnect/abandonment.
+                self._print("interrupted — detaching")
+                try:
+                    return self._cmd_detach(client, session_id)
+                except (ProtocolError, BenchmarkError, OSError) as error:
+                    self._print(f"detach failed: {error}")
+                    return 1
             except (ProtocolError, BenchmarkError) as error:
                 self._print(f"error: {error}")
                 return 1

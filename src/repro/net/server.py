@@ -18,15 +18,32 @@ user). After the HELLO handshake the client ATTACHes in one of two modes:
   has not arrived (``driver.needs_input``). Interactions still fire at
   exact grid instants, so wall arrival time never leaks into results.
 
-Sessions are isolated (one engine per connection): concurrent
+By default sessions are isolated (one engine per connection): concurrent
 connections interleave freely on the event loop without affecting each
-other's bytes. Shared-engine contention remains an in-process mode —
-global virtual-time ordering across independently-paced remote clients
-would force the server to block every session on the slowest frontend.
+other's bytes.
 
-Wall pacing is per session: an ATTACH with ``accel`` paces that session's
-events through an :class:`~repro.server.clock.AsyncClock` (1.0 = real
-time, the original IDEBench driver's behavior) without changing results.
+**Shared-engine serving** (``share_engine=True``, ``repro serve --tcp
+--share-engine``) attaches every connection to *one* shared-engine
+:class:`~repro.server.manager.SessionManager` instead: the server waits
+until all ``max_sessions`` expected participants have attached (each
+ATTACH claims one ``session_index`` slot), broadcasts a BARRIER, and
+then advances the global virtual timeline itself — each step turn is
+announced to its session's frontend as a TURN_GRANT frame, the records
+the step produced stream back, and the timeline is released only when
+the client's TURN_DONE acknowledgement arrives. A slow (or stalled
+client-driven) frontend therefore blocks only *virtual* time — every
+session waits, the deterministic ``(time, slot)`` order is unchanged —
+and never corrupts it; reports come out **byte-identical** to the
+in-process ``repro serve --share-engine`` run of the same configuration
+(docs/protocol.md's v2 contract). A frontend that disconnects while
+holding the turn, times out on its acknowledgement, or violates the
+turn protocol abandons exactly its own session (scheduler group swept
+via ``cancel_group``), exactly like an open-system churn departure.
+
+Wall pacing is per session (isolated mode only): an ATTACH with
+``accel`` paces that session's events through an
+:class:`~repro.server.clock.AsyncClock` (1.0 = real time, the original
+IDEBench driver's behavior) without changing results.
 
 :class:`ServerThread` runs a server on a background thread with its own
 event loop — how the blocking client library, the benchmarks, and
@@ -36,17 +53,27 @@ event loop — how the blocking client library, the benchmarks, and
 from __future__ import annotations
 
 import asyncio
+import re
 import threading
-from typing import Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.bench.driver import SessionDriver
 from repro.common.errors import BenchmarkError, ProtocolError
 from repro.server.clock import AsyncClock
-from repro.server.manager import make_session
+from repro.server.manager import (
+    SessionAbandoned,
+    SessionManager,
+    SessionTurnHook,
+    make_session,
+    shared_policy_generator,
+)
 from repro.server.session import SessionSpec
 from repro.net.protocol import (
+    CAP_SHARED_ENGINE,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     Attach,
+    Barrier,
     Detach,
     ErrorMessage,
     Hello,
@@ -55,14 +82,37 @@ from repro.net.protocol import (
     Progress,
     Record,
     SubmitViz,
+    TurnDone,
+    TurnGrant,
     encode_message,
     read_message_async,
+    version_error,
 )
 from repro.workflow.policy import ExternalInteractionSource
 from repro.workflow.spec import CreateViz, WorkflowType
 
 #: Software tag announced in the server's HELLO.
 SERVER_SOFTWARE = "idebench-repro"
+
+#: Wall-clock seconds a shared-engine server waits for a client's
+#: TURN_DONE (or, for a stalled client-driven session, its next
+#: interaction frame) before abandoning the session. Also bounds every
+#: server→client send of the turn protocol, so a client that
+#: acknowledges but stops *reading* cannot jam the run once the socket
+#: buffers fill.
+DEFAULT_TURN_TIMEOUT = 30.0
+
+#: Wall-clock seconds a shared-engine server waits for the whole
+#: population to attach. A client that attached and died before the
+#: barrier is undetectable without reading its socket (which may hold
+#: legitimately pipelined frames), so an incomplete population would
+#: otherwise wedge the server forever — this bound turns that into a
+#: typed error on every waiting connection and a clean server exit.
+DEFAULT_BARRIER_TIMEOUT = 120.0
+
+#: Scripted shared-run slots own ids of this shape; client-driven
+#: sessions may not squat on them.
+_SCRIPTED_ID = re.compile(r"session-\d+")
 
 
 class TcpSessionServer:
@@ -83,8 +133,26 @@ class TcpSessionServer:
         Stop serving after this many sessions end (``None`` = serve until
         :meth:`request_stop`). What ``repro serve --tcp --sessions N``
         uses so benchmarks and tests terminate deterministically.
+        **Required** in shared mode: it is the shared run's population.
     speculation:
         Enable speculative execution on engines that support it.
+    share_engine:
+        Serve ONE shared-engine run instead of isolated sessions: all
+        ``max_sessions`` connections contend on a single engine under
+        per-session fair scheduling, paced by the wire-level turn
+        protocol. ``per_session``/``workflow_type``/``policy`` then fix
+        the scripted workload server-side (ATTACH frames must match),
+        exactly as ``repro serve --share-engine`` would; the server
+        serves this one run and stops.
+    turn_timeout:
+        Shared mode: wall seconds to wait for a client's TURN_DONE (or a
+        stalled client-driven session's next frame) before abandoning
+        it; also bounds each turn-protocol send to a non-reading peer.
+    barrier_timeout:
+        Shared mode: wall seconds to wait for all ``max_sessions``
+        participants to attach before aborting the run with typed
+        errors (an attached-then-dead client would otherwise wedge the
+        barrier forever).
     on_ready:
         Optional callback ``(host, port)`` invoked once listening.
     """
@@ -99,6 +167,12 @@ class TcpSessionServer:
         max_sessions: Optional[int] = None,
         speculation: bool = False,
         normalized: bool = False,
+        share_engine: bool = False,
+        per_session: int = 1,
+        workflow_type: WorkflowType = WorkflowType.MIXED,
+        policy: Optional[str] = None,
+        turn_timeout: float = DEFAULT_TURN_TIMEOUT,
+        barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
         on_ready=None,
     ):
         if max_sessions is not None and max_sessions < 1:
@@ -112,6 +186,24 @@ class TcpSessionServer:
         self.max_sessions = max_sessions
         self.speculation = speculation
         self.normalized = normalized
+        self.share_engine = share_engine
+        self.per_session = per_session
+        self.workflow_type = (
+            workflow_type
+            if isinstance(workflow_type, WorkflowType)
+            else WorkflowType(workflow_type)
+        )
+        self.policy = policy
+        if turn_timeout <= 0:
+            raise BenchmarkError(
+                f"turn_timeout must be positive, got {turn_timeout!r}"
+            )
+        if barrier_timeout <= 0:
+            raise BenchmarkError(
+                f"barrier_timeout must be positive, got {barrier_timeout!r}"
+            )
+        self.turn_timeout = turn_timeout
+        self.barrier_timeout = barrier_timeout
         self.sessions_served = 0
         self._on_ready = on_ready
         self._dataset = ctx.dataset(ctx.settings.data_size, normalized)
@@ -120,6 +212,21 @@ class TcpSessionServer:
         self._done: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._handlers: Set[asyncio.Task] = set()
+        self._shared_run: Optional[_SharedRun] = None
+        if share_engine:
+            if max_sessions is None:
+                raise BenchmarkError(
+                    "shared-engine serving needs a fixed session count "
+                    "(max_sessions): the global virtual timeline must "
+                    "know its whole population before the first grant"
+                )
+            # One engine, one run: the population contends on it exactly
+            # as the in-process shared SessionManager would arrange.
+            self._shared_engine = self._make_engine()
+            self._policy_generator = (
+                shared_policy_generator(ctx) if policy is not None else None
+            )
+            self._shared_run = _SharedRun(self, max_sessions)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -140,8 +247,19 @@ class TcpSessionServer:
             self._on_ready(self.host, self.port)
         async with server:
             await self._done.wait()
+        if self._shared_run is not None:
+            # A stop before the whole population attached means the run
+            # will never start: release the waiting handlers (they
+            # answer with a typed error) instead of blocking shutdown.
+            self._shared_run.shutdown()
         if self._handlers:
-            await asyncio.gather(*self._handlers, return_exceptions=True)
+            await asyncio.gather(
+                *list(self._handlers), return_exceptions=True
+            )
+        if self._shared_run is not None and self._shared_run.task is not None:
+            await asyncio.gather(
+                self._shared_run.task, return_exceptions=True
+            )
         return self.sessions_served
 
     def request_stop(self) -> None:
@@ -171,12 +289,17 @@ class TcpSessionServer:
         try:
             await self._handle(reader, writer)
         finally:
-            self._handlers.discard(task)
+            # Deregister only after the socket is fully closed: the
+            # shutdown gather in run_async must cover the close itself,
+            # or the loop tears down mid-wait_closed and logs spurious
+            # CancelledErrors.
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover - teardown
                 pass
+            finally:
+                self._handlers.discard(task)
 
     async def _handle(self, reader, writer) -> None:
         attached = False
@@ -186,6 +309,12 @@ class TcpSessionServer:
                 raise ProtocolError(
                     f"expected hello, got {hello.TYPE!r}"
                 )
+            if hello.version not in SUPPORTED_VERSIONS:
+                # Typed negotiation failure: the peer can decode this
+                # (error frames are version-exempt) and learn exactly
+                # which versions would have been accepted.
+                await self._send(writer, version_error(hello.version))
+                return
             await self._send(
                 writer,
                 Hello(
@@ -193,6 +322,9 @@ class TcpSessionServer:
                     role="server",
                     software=SERVER_SOFTWARE,
                     engine=self.engine_name,
+                    capabilities=(
+                        (CAP_SHARED_ENGINE,) if self.share_engine else ()
+                    ),
                 ),
             )
             attach = await read_message_async(reader)
@@ -200,10 +332,15 @@ class TcpSessionServer:
                 raise ProtocolError(
                     f"expected attach, got {attach.TYPE!r}"
                 )
-            attached = True
-            if attach.mode == "client":
+            if self.share_engine:
+                # Shared-run sessions are counted by the run coordinator
+                # (all at once, when the run ends), not per handler.
+                await self._serve_shared(reader, writer, attach)
+            elif attach.mode == "client":
+                attached = True
                 await self._serve_client_driven(reader, writer, attach)
             else:
+                attached = True
                 await self._serve_scripted(reader, writer, attach)
         except ProtocolError as error:
             await self._send_error(writer, "protocol", str(error))
@@ -412,6 +549,454 @@ class TcpSessionServer:
                 ),
             ),
         )
+
+    # ------------------------------------------------------------------
+    # Shared-engine serving (wire-level turn protocol)
+    # ------------------------------------------------------------------
+    async def _serve_shared(self, reader, writer, attach: Attach) -> None:
+        slot = self._shared_run.register(attach, reader, writer)
+        await self._send(
+            writer,
+            Progress(
+                session_id=slot.session_id,
+                event="attached",
+                payload={
+                    "mode": attach.mode,
+                    "engine": self.engine_name,
+                    "shared": True,
+                    "sessions": self._shared_run.expected,
+                    "session_index": slot.index,
+                    "per_session": self.per_session,
+                    "workflow_type": self.workflow_type.value,
+                    "policy": self.policy,
+                },
+            ),
+        )
+        self._shared_run.maybe_start()
+        await slot.done.wait()
+        if slot.error is not None:
+            await self._send_error(writer, slot.error_code, slot.error)
+            return
+        if slot.abandoned:
+            # The peer disconnected / timed out / violated the turn
+            # protocol; the hook already said whatever could be said.
+            return
+        await self._send(
+            writer,
+            Detach(
+                session_id=slot.session_id,
+                queries=len(slot.records),
+                makespan=max(
+                    (r.end_time for r in slot.records), default=0.0
+                ),
+            ),
+        )
+
+
+class _SharedSlot:
+    """One attached participant of a shared-engine run."""
+
+    def __init__(self, index: int, attach: Attach, reader, writer,
+                 session_id: str):
+        self.index = index
+        self.attach = attach
+        self.reader = reader
+        self.writer = writer
+        self.session_id = session_id
+        self.records: List = []
+        self.done = asyncio.Event()
+        self.abandoned = False
+        self.error: Optional[str] = None
+        self.error_code = "session"
+
+
+class _SharedRun:
+    """Coordinates exactly one shared-engine run over TCP.
+
+    Connections claim ``session_index`` slots at ATTACH; once all
+    ``expected`` slots are filled the coordinator broadcasts a BARRIER,
+    builds the same shared-engine :class:`SessionManager` the in-process
+    ``repro serve --share-engine`` path builds, and runs it with one
+    :class:`_SharedTurnHook` per slot — which is precisely why the
+    per-session reports come out byte-identical to the in-process run.
+    """
+
+    def __init__(self, server: "TcpSessionServer", expected: int):
+        self.server = server
+        self.expected = expected
+        self.slots: Dict[int, _SharedSlot] = {}
+        self.started = False
+        self.aborted = False
+        self.task: Optional[asyncio.Task] = None
+        self._barrier_watchdog: Optional[asyncio.Task] = None
+
+    # -- attachment ----------------------------------------------------
+    def register(self, attach: Attach, reader, writer) -> _SharedSlot:
+        server = self.server
+        if self.aborted:
+            raise ProtocolError(
+                "the shared-engine run was aborted (barrier timeout); "
+                "restart the server for a fresh run"
+            )
+        if self.started:
+            raise ProtocolError(
+                "the shared-engine run has already started; this server "
+                "serves exactly one shared run per process"
+            )
+        if self._barrier_watchdog is None:
+            # Arm on the first attach: a participant that dies before
+            # the barrier is undetectable (its socket may hold
+            # legitimately pipelined frames we must not consume early),
+            # so an incomplete population must time out instead of
+            # wedging every connected client forever.
+            self._barrier_watchdog = asyncio.ensure_future(
+                self._barrier_deadline()
+            )
+        index = attach.session_index
+        if not 0 <= index < self.expected:
+            raise ProtocolError(
+                f"session_index {index} out of range for a "
+                f"{self.expected}-session shared run"
+            )
+        if index in self.slots:
+            raise ProtocolError(
+                f"session_index {index} is already attached"
+            )
+        if attach.accel is not None:
+            raise ProtocolError(
+                "shared-engine sessions share one global virtual "
+                "timeline; per-session accel pacing is not available"
+            )
+        if attach.mode == "scripted":
+            mismatched = []
+            if attach.per_session != server.per_session:
+                mismatched.append(
+                    f"per_session={attach.per_session} "
+                    f"(server: {server.per_session})"
+                )
+            if attach.workflow_type != server.workflow_type.value:
+                mismatched.append(
+                    f"workflow_type={attach.workflow_type!r} "
+                    f"(server: {server.workflow_type.value!r})"
+                )
+            if attach.policy != server.policy:
+                mismatched.append(
+                    f"policy={attach.policy!r} (server: {server.policy!r})"
+                )
+            if mismatched:
+                raise ProtocolError(
+                    "shared-engine serving fixes the scripted workload "
+                    "server-side so every participant runs the exact "
+                    "configuration the report is deterministic for; "
+                    "mismatched attach fields: " + ", ".join(mismatched)
+                )
+            session_id = f"session-{index}"
+        else:
+            session_id = attach.name or f"client-{index}"
+            if _SCRIPTED_ID.fullmatch(session_id):
+                raise ProtocolError(
+                    f"session name {session_id!r} is reserved for "
+                    f"scripted slots"
+                )
+            taken = {slot.session_id for slot in self.slots.values()}
+            if session_id in taken:
+                raise ProtocolError(
+                    f"session name {session_id!r} is already attached"
+                )
+        slot = _SharedSlot(index, attach, reader, writer, session_id)
+        self.slots[index] = slot
+        return slot
+
+    def maybe_start(self) -> None:
+        """Start the run once the whole population has attached."""
+        if self.started or self.aborted or len(self.slots) < self.expected:
+            return
+        self.started = True
+        if self._barrier_watchdog is not None:
+            self._barrier_watchdog.cancel()
+        self.task = asyncio.ensure_future(self._execute())
+
+    async def _barrier_deadline(self) -> None:
+        try:
+            await asyncio.sleep(self.server.barrier_timeout)
+        except asyncio.CancelledError:  # population completed in time
+            return
+        if self.started or self.aborted:
+            return
+        self.aborted = True
+        for slot in self.slots.values():
+            if not slot.done.is_set():
+                slot.error = (
+                    f"barrier timeout: only {len(self.slots)} of "
+                    f"{self.expected} sessions attached within "
+                    f"{self.server.barrier_timeout:g}s; the shared run "
+                    f"was aborted"
+                )
+                slot.done.set()
+        # No run can ever happen now; let the server exit cleanly.
+        self.server.request_stop()
+
+    def shutdown(self) -> None:
+        """Server stopping: fail slots whose run can no longer happen.
+
+        A run that already started finishes (or times out) on its own —
+        its slots get their events from :meth:`_execute`. Only a
+        never-started run leaves handlers waiting forever.
+        """
+        if self.started:
+            return
+        if self._barrier_watchdog is not None:
+            self._barrier_watchdog.cancel()
+        for slot in self.slots.values():
+            if not slot.done.is_set():
+                slot.error = (
+                    f"server stopped with {len(self.slots)} of "
+                    f"{self.expected} sessions attached; the shared run "
+                    f"never started"
+                )
+                slot.done.set()
+
+    # -- the run -------------------------------------------------------
+    async def _execute(self) -> None:
+        server = self.server
+        try:
+            specs, policies, hooks = [], [], {}
+            for index in range(self.expected):
+                slot = self.slots[index]
+                if slot.attach.mode == "scripted":
+                    spec, policy = make_session(
+                        server.ctx,
+                        index,
+                        per_session=server.per_session,
+                        workflow_type=server.workflow_type,
+                        policy=server.policy,
+                        generator=server._policy_generator,
+                    )
+                    source = None
+                else:
+                    try:
+                        workflow_type = WorkflowType(
+                            slot.attach.workflow_type
+                        )
+                    except ValueError as error:
+                        raise ProtocolError(
+                            f"unknown workflow type "
+                            f"{slot.attach.workflow_type!r}"
+                        ) from error
+                    source = ExternalInteractionSource(
+                        plan_name=slot.session_id,
+                        workflow_type=workflow_type,
+                    )
+                    spec = SessionSpec(
+                        session_id=slot.session_id, policy="external"
+                    )
+                    policy = source
+                specs.append(spec)
+                policies.append(policy)
+                hooks[index] = _SharedTurnHook(server, slot, source)
+            for index in range(self.expected):
+                await self._announce(self.slots[index])
+            manager = SessionManager(
+                specs,
+                server._oracle,
+                server.ctx.settings,
+                engine=server._shared_engine,
+                policies=policies,
+                turn_hooks=hooks,
+            )
+            results = await manager.run_async()
+        except Exception as error:  # noqa: BLE001 - reported to every peer
+            for slot in self.slots.values():
+                if not slot.done.is_set():
+                    slot.error = f"shared run failed: {error}"
+                    slot.done.set()
+        else:
+            for index, slot in self.slots.items():
+                slot.records = results[index].records
+                slot.done.set()
+        finally:
+            for _ in range(self.expected):
+                server._session_ended()
+
+    async def _announce(self, slot: _SharedSlot) -> None:
+        try:
+            await self.server._send(
+                slot.writer, Barrier(sessions=self.expected)
+            )
+        except (ConnectionError, OSError):
+            # Dead already; its first grant will notice and abandon it.
+            pass
+
+
+class _SharedTurnHook(SessionTurnHook):
+    """Wires one shared-run session's turns to its TCP connection.
+
+    Every callback runs while the session holds the global timeline, so
+    a slow acknowledgement (or a stalled client-driven frontend) blocks
+    virtual time for the whole run — order unchanged — and a dead or
+    misbehaving peer abandons exactly this session via
+    :class:`SessionAbandoned`.
+    """
+
+    def __init__(self, server: TcpSessionServer, slot: _SharedSlot,
+                 source: Optional[ExternalInteractionSource]):
+        self.server = server
+        self.slot = slot
+        self.source = source
+        self.turn = 0
+        self.seq = 0
+
+    # -- SessionTurnHook interface -------------------------------------
+    async def wait_input(self, driver) -> None:
+        source = self.source
+        if source is None:  # pragma: no cover - scripted sessions never stall
+            raise BenchmarkError("scripted session unexpectedly stalled")
+        if source.buffered or source.finished:
+            # Frames absorbed while awaiting an earlier acknowledgement
+            # (pipelined replay clients) are already queued; consume them
+            # before reading the socket again.
+            self._consume(driver)
+            return
+        message = await self._read()
+        await self._absorb(message, driver)
+
+    async def on_turn(self, event_time: float) -> None:
+        await self._send_timed(
+            TurnGrant(self.slot.session_id, self.turn, event_time)
+        )
+
+    async def on_step(self, event_time: float, records) -> None:
+        for record in records:
+            await self._send_timed(
+                Record(self.slot.session_id, self.seq, record)
+            )
+            self.seq += 1
+        await self._await_ack()
+        self.turn += 1
+
+    # -- internals -----------------------------------------------------
+    async def _send_timed(self, message: Message) -> None:
+        """Send with the turn timeout applied to the drain.
+
+        The read side alone cannot bound a misbehaving peer: a client
+        that pre-sends valid ascending TURN_DONE frames but stops
+        *reading* satisfies every acknowledgement from the buffer while
+        ``writer.drain()`` blocks forever once the socket fills. The
+        session holds the global timeline during sends, so this must
+        time out like any other turn-protocol wait — no error frame is
+        attempted (the pipe is jammed); the session is simply abandoned.
+        """
+        try:
+            await asyncio.wait_for(
+                self.server._send(self.slot.writer, message),
+                self.server.turn_timeout,
+            )
+        except asyncio.TimeoutError:
+            self.slot.abandoned = True
+            raise SessionAbandoned(
+                f"session {self.slot.session_id!r} stopped reading; send "
+                f"blocked past the {self.server.turn_timeout:g}s turn "
+                f"timeout"
+            ) from None
+        except (ConnectionError, OSError):
+            self._gone()
+
+    async def _await_ack(self) -> None:
+        while True:
+            message = await self._read()
+            if isinstance(message, TurnDone):
+                if message.turn != self.turn:
+                    await self._violate(
+                        "turn",
+                        f"out-of-order turn_done: expected turn "
+                        f"{self.turn}, got {message.turn}",
+                    )
+                return
+            if self.source is not None and isinstance(
+                message, (SubmitViz, Interact, Detach)
+            ):
+                # A pipelining client-driven frontend may send its next
+                # interactions (or its detach) before acknowledging the
+                # turn; queue them for the grid, keep waiting.
+                if isinstance(message, Detach):
+                    self.source.finish()
+                elif isinstance(message, SubmitViz):
+                    self.source.feed(CreateViz(message.viz))
+                else:
+                    self.source.feed(message.interaction)
+                continue
+            await self._violate(
+                "protocol",
+                f"unexpected {message.TYPE!r} frame while awaiting "
+                f"turn_done {self.turn}",
+            )
+
+    def _consume(self, driver) -> None:
+        source = self.source
+        if (
+            source.finished
+            and not source.buffered
+            and not driver.interaction_counts
+        ):
+            # Detached without ever interacting: a legitimate no-op
+            # session (same contract as isolated serving) — retire it
+            # cleanly with a zero-query summary.
+            driver.abandon()
+        else:
+            driver.resume()
+
+    async def _absorb(self, message: Message, driver) -> None:
+        source = self.source
+        if isinstance(message, Detach):
+            source.finish()
+            self._consume(driver)
+        elif isinstance(message, SubmitViz):
+            source.feed(CreateViz(message.viz))
+            driver.resume()
+        elif isinstance(message, Interact):
+            source.feed(message.interaction)
+            driver.resume()
+        elif isinstance(message, TurnDone):
+            await self._violate(
+                "turn",
+                f"unsolicited turn_done (no grant outstanding for "
+                f"session {self.slot.session_id!r})",
+            )
+        else:
+            await self._violate(
+                "protocol",
+                f"unexpected {message.TYPE!r} frame in a client-driven "
+                f"shared session",
+            )
+
+    async def _read(self) -> Message:
+        try:
+            return await asyncio.wait_for(
+                read_message_async(self.slot.reader),
+                self.server.turn_timeout,
+            )
+        except asyncio.TimeoutError:
+            await self._violate(
+                "turn",
+                f"session {self.slot.session_id!r} sent no frame within "
+                f"the {self.server.turn_timeout:g}s turn timeout; "
+                f"abandoning it (virtual time was stalled, never "
+                f"corrupted)",
+            )
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self._gone()
+
+    def _gone(self) -> None:
+        self.slot.abandoned = True
+        raise SessionAbandoned(
+            f"session {self.slot.session_id!r} disconnected mid-run"
+        )
+
+    async def _violate(self, code: str, text: str) -> None:
+        self.slot.abandoned = True
+        self.slot.error_code = code
+        await self.server._send_error(self.slot.writer, code, text)
+        raise SessionAbandoned(text)
 
 
 class ServerThread:

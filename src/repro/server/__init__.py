@@ -33,8 +33,10 @@ from repro.server.manager import (
     ArrivalProcess,
     OpenSystemManager,
     RateSchedule,
+    SessionAbandoned,
     SessionArrival,
     SessionManager,
+    SessionTurnHook,
     make_session,
     serial_baseline,
     session_specs,
@@ -65,12 +67,14 @@ __all__ = [
     "AsyncClock",
     "OpenSystemManager",
     "RateSchedule",
+    "SessionAbandoned",
     "SessionArrival",
     "SessionBenchCell",
     "SessionManager",
     "SessionResult",
     "SessionSpec",
     "SessionStream",
+    "SessionTurnHook",
     "make_session",
     "adaptive_bench_csv_text",
     "render_adaptive_bench",

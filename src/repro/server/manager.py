@@ -58,6 +58,54 @@ from repro.workflow.spec import WorkflowType
 _UNKNOWN = object()
 
 
+class SessionAbandoned(Exception):
+    """Control-flow signal: a :class:`SessionTurnHook` retires its session.
+
+    Raised by hook callbacks (remote client disconnected mid-turn, turn
+    acknowledgement timed out, protocol violation) to make the manager
+    abandon exactly that session — in-flight queries cancelled, the
+    scheduler's session group swept on a shared engine — while every
+    other session keeps running. Not a :class:`BenchmarkError`: it is
+    the *expected* path for remote churn, not a failure of the run.
+    """
+
+
+class SessionTurnHook:
+    """Per-session pacing hook for externally driven (remote) sessions.
+
+    The session server's wire-level turn protocol plugs in here: every
+    callback is awaited **while the session holds the global virtual
+    timeline**, so whatever the hook does (send a TURN_GRANT frame,
+    stream records, wait for the client's TURN_DONE) cannot reorder the
+    global event sequence — a slow remote frontend stalls virtual time
+    for everyone, it never corrupts it. A run with no-op hooks is
+    byte-identical to a run without hooks.
+
+    Any callback may raise :class:`SessionAbandoned` to retire the
+    session mid-run (the manager then cancels its in-flight queries and,
+    on a shared engine, sweeps its scheduler group).
+    """
+
+    async def wait_input(self, driver) -> None:
+        """Called while the session's driver ``needs_input`` (an
+        external interaction source answered PENDING). Feed the source
+        and ``driver.resume()``; the manager re-checks ``needs_input``
+        after every call. Sessions without external sources never
+        reach this."""
+        raise BenchmarkError(
+            "session stalled for external input but its turn hook does "
+            "not implement wait_input"
+        )
+
+    async def on_turn(self, event_time: float) -> None:
+        """Called after the session won the timeline, before it steps."""
+
+    async def on_step(self, event_time: float, records) -> None:
+        """Called after the step, with the records it produced; return
+        only when the turn may be released (e.g. the remote client
+        acknowledged)."""
+
+
 class _VirtualTimeline:
     """Grants step turns in global (time, session index) order.
 
@@ -138,6 +186,11 @@ class SessionManager:
         list (``None`` entries run scripted). A session with a policy
         chooses its interactions online from its observed records —
         adaptive users (docs/server.md).
+    turn_hooks:
+        Optional ``{spec index: SessionTurnHook}`` map. Hooked sessions
+        pace their step turns through the hook (the TCP turn protocol);
+        a hook raising :class:`SessionAbandoned` retires just that
+        session. Abandoned session ids accumulate on :attr:`abandoned`.
 
     A manager is single-shot: :meth:`run` (or :meth:`run_async`) may be
     called once; per-session streams are available on :attr:`streams`
@@ -157,6 +210,7 @@ class SessionManager:
         accel: Optional[float] = None,
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
         policies: Optional[Sequence[Optional[InteractionPolicy]]] = None,
+        turn_hooks: Optional[Dict[int, SessionTurnHook]] = None,
     ):
         self._specs = list(specs)
         if not self._specs:
@@ -208,6 +262,14 @@ class SessionManager:
             self.streams[spec.session_id] = stream
         self.trace: List[Tuple[float, str]] = []
         self.wall_seconds: float = 0.0
+        #: Session ids whose turn hook raised :class:`SessionAbandoned`.
+        self.abandoned: List[str] = []
+        self._hooks: Dict[int, SessionTurnHook] = dict(turn_hooks or {})
+        unknown = [i for i in self._hooks if not 0 <= i < len(self._specs)]
+        if unknown:
+            raise BenchmarkError(
+                f"turn hooks reference unknown session indexes {unknown!r}"
+            )
         self._timeline = _VirtualTimeline(
             pacer=AsyncClock(accel) if accel is not None else None
         )
@@ -283,8 +345,18 @@ class SessionManager:
         # session's stream at construction) the moment each deadline is
         # evaluated — step() is the only delivery path.
         spec = self._specs[index]
+        hook = self._hooks.get(index)
         try:
             while True:
+                if hook is not None:
+                    # An externally sourced session may be stalled on the
+                    # think-time grid (PENDING). It holds the timeline
+                    # undeclared — nobody advances — until its frontend
+                    # supplies the interaction: remote think time blocks
+                    # virtual time for everyone, exactly like a large
+                    # think-time gap would, and never reorders events.
+                    while driver.needs_input:
+                        await hook.wait_input(driver)
                 event_time = driver.next_event_time()
                 if event_time is None:
                     break
@@ -292,7 +364,24 @@ class SessionManager:
                 self.trace.append((event_time, spec.session_id))
                 if self.shared:
                     self._shared_engine.scheduler.set_group(spec.session_id)
-                driver.step()
+                if hook is None:
+                    driver.step()
+                else:
+                    await hook.on_turn(event_time)
+                    records = driver.step()
+                    await hook.on_step(event_time, records)
+        except SessionAbandoned:
+            # The remote frontend vanished, timed out, or violated the
+            # turn protocol mid-run. Retire exactly this session: cancel
+            # its in-flight queries (never evaluated — the departed user
+            # never saw them) and, on a shared engine, sweep its whole
+            # scheduler group so ghost load cannot skew the survivors.
+            # Identical to an open-system churn departure at this
+            # session's last event time.
+            driver.abandon()
+            if self.shared:
+                self._shared_engine.scheduler.cancel_group(spec.session_id)
+            self.abandoned.append(spec.session_id)
         finally:
             await self._timeline.retire(index)
 
@@ -321,6 +410,7 @@ class SessionManager:
         normalized: bool = False,
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
         policy: Optional[str] = None,
+        turn_hooks: Optional[Dict[int, SessionTurnHook]] = None,
     ) -> "SessionManager":
         """Build a manager from an :class:`ExperimentContext`.
 
@@ -339,7 +429,7 @@ class SessionManager:
             raise BenchmarkError(
                 f"need at least one session, got {num_sessions!r}"
             )
-        generator = _shared_generator(ctx) if policy is not None else None
+        generator = shared_policy_generator(ctx) if policy is not None else None
         pairs = [
             make_session(
                 ctx,
@@ -362,6 +452,7 @@ class SessionManager:
             return cls(
                 specs, oracle, settings, engine=engine, accel=accel,
                 on_record=on_record, policies=policies,
+                turn_hooks=turn_hooks,
             )
         engines = [
             make_engine(engine_name, dataset, settings, VirtualClock(), speculation)
@@ -369,12 +460,18 @@ class SessionManager:
         ]
         return cls(
             specs, oracle, settings, engines=engines, accel=accel,
-            on_record=on_record, policies=policies,
+            on_record=on_record, policies=policies, turn_hooks=turn_hooks,
         )
 
 
-def _shared_generator(ctx) -> WorkflowGenerator:
-    """One sampling generator over the context's profiles (read-only)."""
+def shared_policy_generator(ctx) -> WorkflowGenerator:
+    """One sampling generator over the context's profiles (read-only).
+
+    Adaptive policies of *every* session in a run share this generator
+    (their randomness comes from per-session rng streams, never from
+    generator state), so building it once per run — in-process manager
+    or TCP shared run alike — keeps construction cost constant.
+    """
     return WorkflowGenerator(
         ctx.profiles(ctx.settings.data_size),
         table=ctx.settings.dataset,
@@ -426,7 +523,7 @@ def make_session(
     built = make_policy(
         policy,
         workflows=workflows or None,
-        generator=generator if generator is not None else _shared_generator(ctx),
+        generator=generator if generator is not None else shared_policy_generator(ctx),
         per_session=per_session,
         workflow_type=workflow_type,
         seed=seed,
@@ -444,7 +541,7 @@ def session_specs(
     """Deterministic per-session workload specs (see :func:`make_session`)."""
     if num_sessions < 1:
         raise BenchmarkError(f"need at least one session, got {num_sessions!r}")
-    generator = _shared_generator(ctx) if policy is not None else None
+    generator = shared_policy_generator(ctx) if policy is not None else None
     return [
         make_session(
             ctx,
@@ -958,7 +1055,7 @@ class OpenSystemManager:
         settings = ctx.settings
         dataset = ctx.dataset(settings.data_size, normalized)
         oracle = ctx.oracle(settings.data_size, normalized)
-        generator = _shared_generator(ctx) if policy is not None else None
+        generator = shared_policy_generator(ctx) if policy is not None else None
 
         def session_factory(index: int):
             return make_session(

@@ -34,6 +34,20 @@ from repro.server.session import SessionResult
 from repro.workflow.policy import interaction_mix
 from repro.workflow.spec import WorkflowType
 
+def _dash(value: float, spec: str) -> str:
+    """Format a possibly-NaN float for a terminal table (NaN → em dash).
+
+    The deterministic CSVs route every float through
+    :func:`~repro.common.fingerprint.fmt_cell`; this is the matching
+    guard for the human-readable renders, so an empty cell (a run with
+    zero records, a cell whose every query violated its TR) prints
+    ``—`` instead of a platform-spelled ``nan``.
+    """
+    if math.isnan(value):
+        return "—"
+    return format(value, spec)
+
+
 #: Columns of the deterministic load-report CSV.
 BENCH_COLUMNS = (
     "engine",
@@ -593,7 +607,7 @@ def render_adaptive_bench(
         lines.append(
             f"{cell.policy:<12} {cell.sessions:>8} {cell.churn:<7} "
             f"{cell.sessions_served:>6} {cell.sessions_departed:>5} "
-            f"{cell.num_queries:>7} {cell.pct_tr_violated:>8.1f}% "
+            f"{cell.num_queries:>7} {_dash(cell.pct_tr_violated, '8.1f'):>8}% "
             f"{100 * cell.mix.get('set_filter', 0.0):>7.1f}% "
             f"{100 * cell.mix.get('select_bins', 0.0):>7.1f}% "
             f"{cell.wall_seconds:>6.2f}s {'yes' if cell.from_cache else 'no':>6}"
@@ -618,8 +632,8 @@ def render_session_bench(
         )
         lines.append(
             f"{cell.engine:<14} {cell.sessions:>8} {cell.mode:<9} "
-            f"{cell.num_queries:>7} {cell.pct_tr_violated:>8.1f}% "
-            f"{latency:>8} {cell.queries_per_virtual_second:>7.2f} "
+            f"{cell.num_queries:>7} {_dash(cell.pct_tr_violated, '8.1f'):>8}% "
+            f"{latency:>8} {_dash(cell.queries_per_virtual_second, '7.2f'):>7} "
             f"{cell.wall_seconds:>6.2f}s {'yes' if cell.from_cache else 'no':>6}"
         )
     return "\n".join(lines)

@@ -82,7 +82,7 @@ class TestServeTcp:
         assert csv_text.startswith("id,interaction")
 
     @pytest.mark.parametrize(
-        "flag", [["--share-engine"], ["--verify"], ["--follow"],
+        "flag", [["--verify"], ["--follow"],
                  ["--arrivals", "0.2"], ["--policy", "markov"],
                  ["--accel", "2"], ["--per-session", "3"],
                  ["--arrival-schedule", "diurnal"], ["--horizon", "10"]]
@@ -94,6 +94,101 @@ class TestServeTcp:
         )
         assert code == 1
         assert "cannot combine with --tcp" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flag", [["--verify"], ["--follow"], ["--accel", "2"],
+                 ["--arrivals", "0.2"], ["--out", "x"]]
+    )
+    def test_shared_mode_still_rejects_run_level_flags(self, capsys, flag):
+        # --share-engine unblocks the workload flags (--per-session,
+        # --workflow-type, --policy) but the run-level ones stay blocked.
+        code = main(
+            ["serve", "--tcp", "127.0.0.1:0", "--sessions", "2",
+             "--share-engine"] + flag + COMMON
+        )
+        assert code == 1
+        assert "cannot combine with --tcp" in capsys.readouterr().err
+
+    def test_shared_mode_serves_one_run_then_exits(self, server_ctx):
+        # End-to-end `repro serve --tcp --share-engine`: two concurrent
+        # clients claim the two slots, the run completes, the server
+        # exits, and both reports match in-process serve --share-engine.
+        import contextlib
+        import io
+        import threading
+
+        from repro.net.client import fetch_scripted_session, records_csv_text
+        from repro.server import SessionManager
+
+        ready = threading.Event()
+        captured = {}
+
+        import repro.net.server as net_server
+
+        original_init = net_server.TcpSessionServer.__init__
+
+        def patched_init(self, *args, **kwargs):
+            inner = kwargs.get("on_ready")
+
+            def on_ready(host, port):
+                captured["port"] = port
+                if inner:
+                    inner(host, port)
+                ready.set()
+
+            kwargs["on_ready"] = on_ready
+            original_init(self, *args, **kwargs)
+
+        def run_cli():
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                captured["code"] = main(
+                    ["serve", "--tcp", "127.0.0.1:0", "--sessions", "2",
+                     "--share-engine", "--per-session", "1",
+                     "--engine", "idea-sim"] + COMMON
+                )
+            captured["out"] = out.getvalue()
+
+        net_server.TcpSessionServer.__init__ = patched_init
+        results = {}
+        try:
+            cli_thread = threading.Thread(target=run_cli, daemon=True)
+            cli_thread.start()
+            assert ready.wait(30), "serve --tcp --share-engine never listened"
+
+            def fetch(index):
+                _, records, _ = fetch_scripted_session(
+                    "127.0.0.1", captured["port"], index, per_session=1
+                )
+                results[index] = records_csv_text(records)
+
+            clients = [
+                threading.Thread(target=fetch, args=(i,), daemon=True)
+                for i in range(2)
+            ]
+            for thread in clients:
+                thread.start()
+            for thread in clients:
+                thread.join(60)
+            cli_thread.join(60)
+        finally:
+            net_server.TcpSessionServer.__init__ = original_init
+        assert captured["code"] == 0
+        assert "served 2 TCP sessions" in captured["out"]
+        assert "ONE shared-engine run of 2 sessions" in captured["out"]
+        reference = SessionManager.for_engine(
+            server_ctx, "idea-sim", 2, per_session=1, share_engine=True
+        ).run()
+        for index, expected in enumerate(reference):
+            assert results[index] == expected.csv_text()
+
+    def test_shared_mode_requires_fixed_session_count(self, capsys):
+        code = main(
+            ["serve", "--tcp", "127.0.0.1:0", "--sessions", "0",
+             "--share-engine"] + COMMON
+        )
+        assert code == 1
+        assert "--sessions" in capsys.readouterr().err
 
     def test_malformed_address_rejected(self, capsys):
         code = main(["serve", "--tcp", "nonsense"] + COMMON)
@@ -186,6 +281,55 @@ class TestRepl:
         assert code == 0
         assert "0 queries" in captured
 
+    def test_ctrl_c_sends_clean_detach(self, tcp_server, server_ctx,
+                                       monkeypatch, capsys):
+        # Regression: Ctrl-C used to tear the socket down without a
+        # DETACH, so the server logged the session as a mid-run
+        # disconnect/abandonment. An interactive quit must produce a
+        # normal zero-or-partial summary — proven by the server's
+        # DETACH answer ("done:") making it back before exit.
+        lines = iter(["status"])
+
+        def fake_input(prompt=""):
+            try:
+                return next(lines)
+            except StopIteration:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        code = main(["connect", tcp_server, "--repl"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "interrupted — detaching" in captured
+        assert "done:" in captured
+        assert "0 queries" in captured
+
+    def test_ctrl_c_detaches_after_partial_session(
+        self, tcp_server, server_ctx, tmp_path, monkeypatch, capsys
+    ):
+        # Ctrl-C mid-session: the interactions already sent still drain
+        # (deadline tail) and the summary reports the partial queries.
+        from repro.server import session_specs
+
+        spec = session_specs(server_ctx, 1, per_session=1)[0]
+        path = tmp_path / "wf.json"
+        spec.workflows[0].to_json(path)
+        lines = iter([f"load {path}", "send 2"])
+
+        def fake_input(prompt=""):
+            try:
+                return next(lines)
+            except StopIteration:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        code = main(["connect", tcp_server, "--repl"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "interrupted — detaching" in captured
+        assert "done:" in captured
+        assert "0 queries" not in captured  # the sent prefix ran
+
 
 class TestBenchNet:
     def test_loopback_equivalence_passes(self, capsys):
@@ -194,12 +338,38 @@ class TestBenchNet:
         )
         captured = capsys.readouterr().out
         assert code == 0
-        # 2 scripted sessions + wire replay + markov repeat + markov
-        # vs in-process: five byte-identity checks, all PASS lines.
-        assert captured.count("byte-identical") == 5
+        # Isolated: 2 scripted sessions + wire replay + markov repeat +
+        # markov vs in-process (5 checks). Shared: 2 scripted sessions +
+        # the wire-replay pass (3 checks). All byte-identity PASS lines.
+        assert captured.count("byte-identical") == 8
+        assert captured.count("shared-TCP") == 2
         assert "FAIL" not in captured
         assert "PASS" in captured
         assert "overhead per query" in captured
+
+    def test_remote_mode_aggregates_deterministically(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "contention.txt"
+        code = main(
+            ["bench-net", "--remote", "--sessions", "3",
+             "--per-session", "1", "--out", str(out)] + COMMON
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "3 `repro connect` client processes" in captured
+        assert "byte-identical across 2 repeated runs" in captured
+        assert "byte-identical to the in-process" in captured
+        report = out.read_bytes().decode("utf-8")
+        assert report.startswith("== session-0 ==\n")
+        assert "== session-2 ==" in report
+
+    def test_remote_mode_rejects_malformed_host(self, capsys):
+        code = main(
+            ["bench-net", "--remote", "--host", "nonsense"] + COMMON
+        )
+        assert code == 1
+        assert "HOST:PORT" in capsys.readouterr().err
 
 
 class TestArrivalSchedule:

@@ -174,3 +174,44 @@ class TestCancelGroup:
         assert scheduler.cancel_group(None) == 1
         assert scheduler.is_cancelled(untagged)
         assert not scheduler.is_cancelled(tagged)
+
+
+class TestGroupLifecycle:
+    """Group hygiene across remote disconnect/reconnect (PR 5)."""
+
+    def test_active_groups_lists_groups_with_live_tasks(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        scheduler.add_task(10.0, group="s1")
+        scheduler.add_task(10.0, group="s0")
+        scheduler.add_task(10.0)  # ungrouped pool
+        assert scheduler.active_groups() == ["s0", "s1", None]
+
+    def test_cancel_group_removes_it_from_active_groups(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        scheduler.add_task(10.0, group="s0")
+        scheduler.add_task(10.0, group="s1")
+        assert scheduler.cancel_group("s0") == 1
+        assert scheduler.active_groups() == ["s1"]
+
+    def test_cancel_group_resets_a_dead_default_group(self):
+        # A session that disconnects while holding the turn leaves the
+        # scheduler's default group pointing at it; cancel_group must
+        # reset the default so no later task lands in the dead group.
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        scheduler.set_group("ghost")
+        scheduler.add_task(10.0)
+        scheduler.cancel_group("ghost")
+        orphan = scheduler.add_task(10.0)
+        assert scheduler.task_group(orphan) is None
+
+    def test_cancel_group_keeps_an_unrelated_default_group(self):
+        clock = VirtualClock()
+        scheduler = ProcessorSharingScheduler(clock, policy=FairSessionPolicy())
+        scheduler.set_group("alive")
+        scheduler.add_task(10.0, group="ghost")
+        scheduler.cancel_group("ghost")
+        survivor = scheduler.add_task(10.0)
+        assert scheduler.task_group(survivor) == "alive"

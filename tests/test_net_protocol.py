@@ -22,7 +22,9 @@ from repro.net.protocol import (
     MAX_FRAME_BYTES,
     MESSAGE_TYPES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     Attach,
+    Barrier,
     Detach,
     ErrorMessage,
     Hello,
@@ -30,6 +32,8 @@ from repro.net.protocol import (
     Progress,
     Record,
     SubmitViz,
+    TurnDone,
+    TurnGrant,
     decode_body,
     decode_message,
     encode_body,
@@ -37,6 +41,7 @@ from repro.net.protocol import (
     record_from_dict,
     record_to_dict,
     split_frame,
+    version_error,
 )
 from repro.query.model import AggFunc, Aggregate, BinDimension, BinKind
 from repro.workflow.spec import (
@@ -138,10 +143,13 @@ def _record(rng: random.Random) -> QueryRecord:
 
 
 def _message(rng: random.Random):
-    roll = rng.randrange(8)
+    roll = rng.randrange(11)
     if roll == 0:
         return Hello(role=rng.choice(["client", "server"]),
-                     engine=rng.choice([None, "idea-sim"]))
+                     engine=rng.choice([None, "idea-sim"]),
+                     capabilities=rng.choice(
+                         [(), ("shared-engine",), ("shared-engine", "x")]
+                     ))
     if roll == 1:
         return Attach(
             mode=rng.choice(["scripted", "client"]),
@@ -167,8 +175,21 @@ def _message(rng: random.Random):
             queries=rng.choice([None, rng.randint(0, 400)]),
             makespan=rng.choice([None, rng.uniform(0, 200)]),
         )
-    return ErrorMessage(code=rng.choice(["protocol", "session"]),
-                        message="x" * rng.randint(0, 40))
+    if roll == 7:
+        return Barrier(sessions=rng.randint(1, 32),
+                       event=rng.choice(["start", "end"]))
+    if roll == 8:
+        return TurnGrant(f"session-{rng.randint(0, 9)}",
+                         rng.randint(0, 4000),
+                         rng.uniform(0, 500))
+    if roll == 9:
+        return TurnDone(turn=rng.randint(0, 4000),
+                        session_id=rng.choice([None, "session-3"]))
+    return ErrorMessage(code=rng.choice(["protocol", "session", "turn"]),
+                        message="x" * rng.randint(0, 40),
+                        data=rng.choice(
+                            [None, {"supported_versions": [1, 2]}]
+                        ))
 
 
 # ----------------------------------------------------------------------
@@ -247,14 +268,43 @@ class TestMalformed:
         with pytest.raises(ProtocolError, match="unknown message type"):
             decode_body(body.encode())
 
-    def test_version_mismatch_rejected(self):
-        body = json.dumps({"v": PROTOCOL_VERSION + 1, "type": "hello"})
+    def test_version_mismatch_rejected_for_session_frames(self):
+        body = json.dumps({"v": PROTOCOL_VERSION + 1, "type": "attach"})
         with pytest.raises(ProtocolError, match="version mismatch"):
             decode_body(body.encode())
 
-    def test_missing_version_rejected(self):
+    def test_missing_version_rejected_for_session_frames(self):
         with pytest.raises(ProtocolError, match="version mismatch"):
-            decode_message({"type": "hello"})
+            decode_message({"type": "attach"})
+
+    def test_hello_decodes_across_versions(self):
+        # The handshake must survive a version mismatch so it can be
+        # answered with a *typed* error, not a decode failure.
+        body = json.dumps({
+            "v": PROTOCOL_VERSION + 7, "type": "hello", "role": "client",
+        })
+        hello = decode_body(body.encode())
+        assert isinstance(hello, Hello)
+        assert hello.version == PROTOCOL_VERSION + 7  # falls back to "v"
+
+    def test_error_decodes_across_versions(self):
+        body = json.dumps({
+            "v": 1, "type": "error", "code": "version",
+            "message": "nope", "data": {"supported_versions": [1]},
+        })
+        error = decode_body(body.encode())
+        assert isinstance(error, ErrorMessage)
+        assert error.data == {"supported_versions": [1]}
+
+    def test_version_error_frame_names_supported_versions(self):
+        frame = version_error(1)
+        assert frame.code == "version"
+        assert frame.data == {
+            "supported_versions": list(SUPPORTED_VERSIONS)
+        }
+        assert "1" in frame.message
+        # ... and it survives its own round trip.
+        assert decode_body(encode_body(frame)) == frame
 
     def test_malformed_record_payload_rejected(self):
         with pytest.raises(ProtocolError, match="malformed record"):
@@ -285,7 +335,8 @@ class TestCatalog:
     def test_catalog_covers_the_issue_vocabulary(self):
         assert set(MESSAGE_TYPES) == {
             "hello", "attach", "submit_viz", "interact",
-            "record", "progress", "detach", "error",
+            "record", "progress", "barrier", "turn_grant", "turn_done",
+            "detach", "error",
         }
 
     def test_canonical_encoding_is_stable(self):

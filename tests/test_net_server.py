@@ -189,6 +189,80 @@ class TestHandshake:
         assert hello.version == PROTOCOL_VERSION
         assert hello.role == "server"
         assert hello.engine == "idea-sim"
+        assert hello.capabilities == ()  # isolated server: no turn mode
+
+    def test_v1_client_gets_typed_version_error(self, server_ctx):
+        # v2-server/v1-client half of the negotiation matrix: the server
+        # answers an old HELLO with a typed `version` ERROR frame that
+        # carries its supported versions — not a generic decode failure.
+        import json
+
+        from repro.net.protocol import SUPPORTED_VERSIONS, split_frame
+
+        with ServerThread(_server(server_ctx)) as (host, port):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                body = json.dumps({
+                    "v": 1, "type": "hello", "version": 1,
+                    "role": "client", "software": "old-client",
+                }).encode("utf-8")
+                sock.sendall(struct.pack(">I", len(body)) + body)
+                buffer = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    buffer += chunk
+                    if split_frame(buffer) is not None:
+                        break
+        frame, _ = split_frame(buffer)
+        answer = json.loads(frame.decode("utf-8"))
+        assert answer["type"] == "error"
+        assert answer["code"] == "version"
+        assert answer["data"]["supported_versions"] == list(
+            SUPPORTED_VERSIONS
+        )
+        assert "1" in answer["message"]
+
+    def test_v2_client_raises_clearly_against_v1_server(self, server_ctx):
+        # v1-server/v2-client half of the matrix: a fake old server
+        # answers HELLO with a v1 frame; the client must surface a clear
+        # ProtocolError naming the versions, not die decoding.
+        import json
+        import threading
+
+        from repro.net.protocol import read_frame_async  # noqa: F401
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def fake_v1_server():
+            conn, _ = listener.accept()
+            with conn:
+                conn.settimeout(10)
+                # Swallow the client's hello (length prefix + body).
+                header = conn.recv(4)
+                (length,) = struct.unpack(">I", header)
+                while length > 0:
+                    length -= len(conn.recv(length))
+                body = json.dumps({
+                    "v": 1, "type": "hello", "version": 1,
+                    "role": "server", "software": "old-server",
+                }).encode("utf-8")
+                conn.sendall(struct.pack(">I", len(body)) + body)
+
+        thread = threading.Thread(target=fake_v1_server, daemon=True)
+        thread.start()
+        try:
+            with NetClient("127.0.0.1", port, timeout=10) as client:
+                with pytest.raises(
+                    ProtocolError, match="server speaks protocol version 1"
+                ):
+                    client.hello()
+        finally:
+            listener.close()
+            thread.join(10)
 
     def test_frame_before_hello_gets_error(self, server_ctx):
         with ServerThread(_server(server_ctx)) as (host, port):

@@ -204,9 +204,9 @@ class TestServedBehavior:
         from repro.workflow.generator import WorkflowGenerator
 
         from repro.server import SessionSpec
-        from repro.server.manager import _shared_generator
+        from repro.server.manager import shared_policy_generator
 
-        generator = _shared_generator(server_ctx)
+        generator = shared_policy_generator(server_ctx)
         policy = LoadAdaptivePolicy(generator, per_session=1, seed=1,
                                     backoff_depth=1)
         spec = SessionSpec(session_id="s0", policy="load-adaptive", seed=1)

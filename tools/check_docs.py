@@ -114,6 +114,8 @@ REQUIRED_SECTIONS = {
     "docs/server.md": [
         "## Adaptive sessions (interaction policies)",
         "## Open-system churn (arrivals and departures)",
+        "### Shared-engine serving over TCP (v2 turn protocol)",
+        "### Remote load generation (`bench-net --remote`)",
         "byte-identical across repeated invocations",
         "cancel_group",
         "tools/regen_golden.py",
@@ -128,9 +130,15 @@ REQUIRED_SECTIONS = {
         "## Wire format",
         "## Message catalog",
         "## Determinism contract",
+        "## Protocol v2: shared-engine turns",
         "length (4 B)",
         "byte-identical",
+        "turn_grant",
+        "turn_done",
+        "barrier",
+        "supported_versions",
         "tests/golden/tcp_session.txt",
+        "tests/golden/tcp_shared.txt",
     ],
     "README.md": [
         "bench-adaptive",
@@ -139,6 +147,8 @@ REQUIRED_SECTIONS = {
         "--arrivals",
         "--arrival-schedule",
         "bench-net",
+        "--remote",
+        "--share-engine",
         "connect",
         "repro report snapshot",
         "repro report diff",

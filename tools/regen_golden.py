@@ -127,6 +127,40 @@ def case_tcp_session(ctx) -> str:
     return "\n".join(frames) + "\n"
 
 
+def case_tcp_shared(ctx) -> str:
+    """Slot 0's frames of a 2-session shared-engine TCP run.
+
+    Pins the v2 turn protocol byte-for-byte: HELLO (with the
+    shared-engine capability), PROGRESS(attached), BARRIER, then the
+    deterministic TURN_GRANT/RECORD interleave of the global virtual
+    timeline, closed by the DETACH summary. TURN_DONE acknowledgements
+    are client→server and therefore not part of the pinned stream.
+    """
+    import threading
+
+    from repro.net.client import NetClient, fetch_scripted_session
+    from repro.net.server import ServerThread, TcpSessionServer
+
+    server = TcpSessionServer(
+        ctx, "idea-sim", share_engine=True, max_sessions=2, per_session=1
+    )
+    with ServerThread(server) as (host, port):
+        peer = threading.Thread(
+            target=fetch_scripted_session,
+            args=(host, port, 1),
+            kwargs={"per_session": 1},
+            daemon=True,
+        )
+        peer.start()
+        with NetClient(host, port, log_frames=True) as client:
+            client.hello()
+            client.attach_scripted(0, per_session=1, workflow_type="mixed")
+            client.collect()
+            frames = list(client.frame_log)
+        peer.join(120)
+    return "\n".join(frames) + "\n"
+
+
 #: File name → builder. Each builder gets a fresh-or-shared context and
 #: returns the complete file content as text.
 GOLDEN_CASES = {
@@ -135,6 +169,7 @@ GOLDEN_CASES = {
     "adaptive_markov.txt": case_adaptive_markov,
     "open_churn.txt": case_open_churn,
     "tcp_session.txt": case_tcp_session,
+    "tcp_shared.txt": case_tcp_shared,
 }
 
 
