@@ -37,6 +37,11 @@ from repro.server import (
 )
 from repro.workflow.policy import interaction_mix, mix_distance
 
+try:  # package import (repo root on sys.path)
+    from benchmarks.benchjson import artifact_identity, write_bench_json
+except ImportError:  # direct invocation: benchmarks/ is sys.path[0]
+    from benchjson import artifact_identity, write_bench_json
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Minimum total-variation distance between an adaptive policy's
@@ -182,6 +187,19 @@ def main(argv=None) -> int:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "adaptive.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "artifact": "adaptive.txt",
+        "ok": ok,
+        "sessions": args.sessions,
+        "churn_sessions": len(first),
+        "churn_departed": departed,
+        "mix_distance": {
+            policy: mix_distance(mixes["replay"], mixes[policy])
+            for policy in ("markov", "uncertainty")
+        },
+    }
+    payload.update(artifact_identity(text))
+    write_bench_json(RESULTS_DIR, "adaptive", payload)
     return 0 if ok else 1
 
 

@@ -49,6 +49,11 @@ from repro.net.bench import (
     run_shared_net_bench,
 )
 
+try:  # package import (repo root on sys.path)
+    from benchmarks.benchjson import artifact_identity, write_bench_json
+except ImportError:  # direct invocation: benchmarks/ is sys.path[0]
+    from benchjson import artifact_identity, write_bench_json
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -103,6 +108,16 @@ def main(argv=None) -> int:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "net.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "artifact": "net.txt",
+        "ok": ok,
+        "sessions": args.sessions,
+        "isolated_ok": result.ok,
+        "shared_ok": shared.ok,
+        "remote_ok": remote.ok,
+    }
+    payload.update(artifact_identity(text))
+    write_bench_json(RESULTS_DIR, "net", payload)
     return 0 if ok else 1
 
 

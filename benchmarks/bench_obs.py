@@ -1,0 +1,189 @@
+"""Acceptance benchmark for the observability layer.
+
+Run directly (not through pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--sessions 4]
+
+Demonstrates the two promises `docs/observability.md` makes:
+
+1. **byte neutrality** — enabling tracing + metrics + stage profiling
+   changes no pinned output: the session-server workload produces
+   byte-identical per-session CSVs traced vs. untraced, and every
+   golden report/transcript in ``tests/golden/`` rebuilds identically
+   under ``observed(enabled=True)``;
+2. **bounded overhead** — the fully-instrumented session-server run
+   costs at most ``OVERHEAD_BOUND`` (5%) more wall time than the
+   uninstrumented run (best-of-``--reps`` on both sides, so scheduler
+   noise does not dominate a few-second workload).
+
+Results land in ``benchmarks/results/obs.txt`` and the measured ratio
+in ``benchmarks/results/BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentContext
+from repro.common.clock import perf_seconds
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.obs import observed
+from repro.server import SessionManager
+
+try:  # package import (repo root on sys.path)
+    from benchmarks.benchjson import artifact_identity, write_bench_json
+except ImportError:  # direct invocation: benchmarks/ is sys.path[0]
+    from benchjson import artifact_identity, write_bench_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+#: Maximum tolerated traced/untraced wall-time ratio.
+OVERHEAD_BOUND = 1.05
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location(
+        "regen_golden_bench_obs", REPO_ROOT / "tools" / "regen_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("regen_golden_bench_obs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _workload(ctx, engine, sessions, per_session):
+    results = SessionManager.for_engine(
+        ctx, engine, sessions, per_session=per_session, share_engine=True
+    ).run()
+    return [result.csv_text() for result in results]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--per-session", type=int, default=2,
+                        dest="per_session")
+    parser.add_argument("--engine", default="idea-sim")
+    parser.add_argument("--scale", type=int, default=2000,
+                        help="virtual-to-actual scale (2000 → 50k rows at S)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--reps", type=int, default=5,
+                        help="timed repetitions per mode (best-of wins)")
+    args = parser.parse_args(argv)
+
+    settings = BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=1.0,
+    )
+    ctx = ExperimentContext(settings)
+    lines = [
+        f"observability benchmark — {args.sessions} shared-engine sessions × "
+        f"{args.per_session} mixed workflows on {args.engine}, "
+        f"{settings.actual_rows:,} actual rows",
+        "",
+    ]
+    ok = True
+
+    # Warm the dataset/workflow caches so neither timed mode pays them.
+    baseline_csvs = _workload(ctx, args.engine, args.sessions, args.per_session)
+
+    # 1a. Byte neutrality on the workload itself.
+    trace_entries = 0
+    with observed(enabled=True) as tracer:
+        traced_csvs = _workload(
+            ctx, args.engine, args.sessions, args.per_session
+        )
+        trace_entries = len(list(tracer.entries()))
+    neutral = traced_csvs == baseline_csvs
+    lines.append(
+        f"traced run byte-identical to untraced run: {neutral} "
+        f"({trace_entries} trace entries recorded)"
+    )
+    if not neutral:
+        lines.append("FAIL: tracing perturbed the session reports")
+        ok = False
+
+    # 1b. Byte neutrality of the full golden corpus under tracing.
+    regen = _load_regen()
+    golden_ctx = regen.build_context()
+    changed = []
+    for name, builder in regen.GOLDEN_CASES.items():
+        if name.startswith("trace_"):
+            continue  # the trace pins themselves; covered by tier-1
+        with observed(enabled=True):
+            rebuilt = builder(golden_ctx).encode("utf-8")
+        if rebuilt != (GOLDEN_DIR / name).read_bytes():
+            changed.append(name)
+    lines.append(
+        f"golden corpus unchanged under tracing: {not changed} "
+        f"({len(regen.GOLDEN_CASES) - 2} files checked)"
+    )
+    if changed:
+        lines.append(f"FAIL: golden bytes changed: {', '.join(changed)}")
+        ok = False
+
+    # 2. Overhead: best-of-N traced vs. untraced wall time.
+    def timed(instrumented: bool) -> float:
+        best = float("inf")
+        for _ in range(max(1, args.reps)):
+            if instrumented:
+                started = perf_seconds()
+                with observed(enabled=True):
+                    _workload(ctx, args.engine, args.sessions, args.per_session)
+                best = min(best, perf_seconds() - started)
+            else:
+                started = perf_seconds()
+                _workload(ctx, args.engine, args.sessions, args.per_session)
+                best = min(best, perf_seconds() - started)
+        return best
+
+    untraced_seconds = timed(False)
+    traced_seconds = timed(True)
+    ratio = traced_seconds / untraced_seconds
+    lines.append("")
+    lines.append(
+        f"wall time (best of {args.reps}): untraced {untraced_seconds:.3f}s, "
+        f"traced {traced_seconds:.3f}s (ratio {ratio:.3f}, "
+        f"bound {OVERHEAD_BOUND:.2f})"
+    )
+    if ratio > OVERHEAD_BOUND:
+        lines.append(
+            f"FAIL: tracing overhead {100 * (ratio - 1):.1f}% exceeds "
+            f"{100 * (OVERHEAD_BOUND - 1):.0f}%"
+        )
+        ok = False
+
+    lines.append("")
+    lines.append("PASS" if ok else "FAIL")
+
+    text = "\n".join(lines)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "artifact": "obs.txt",
+        "ok": ok,
+        "sessions": args.sessions,
+        "reps": args.reps,
+        "untraced_seconds": untraced_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead_ratio": ratio,
+        "overhead_bound": OVERHEAD_BOUND,
+        "byte_neutral_workload": neutral,
+        "golden_unchanged": not changed,
+        "trace_entries": trace_entries,
+    }
+    payload.update(artifact_identity(text))
+    write_bench_json(RESULTS_DIR, "obs", payload)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

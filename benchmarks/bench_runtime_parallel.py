@@ -35,6 +35,11 @@ from repro.bench.experiments import MAIN_ENGINES
 from repro.common.config import BenchmarkSettings, DataSize
 from repro.runtime import ArtifactStore, MatrixExecutor, matrix_csv_text, plan_overall
 
+try:  # package import (repo root on sys.path)
+    from benchmarks.benchjson import artifact_identity, write_bench_json
+except ImportError:  # direct invocation: benchmarks/ is sys.path[0]
+    from benchjson import artifact_identity, write_bench_json
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -138,6 +143,19 @@ def main(argv=None) -> int:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "runtime_parallel.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "artifact": "runtime_parallel.txt",
+        "ok": "PASS" in lines,
+        "jobs": args.jobs,
+        "cells": len(specs),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": speedup,
+        "summary_identical": identical,
+    }
+    payload.update(artifact_identity(text))
+    write_bench_json(RESULTS_DIR, "runtime_parallel", payload)
     return 0 if "PASS" in lines else 1
 
 

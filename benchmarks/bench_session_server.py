@@ -34,6 +34,11 @@ from repro.bench.experiments import ExperimentContext
 from repro.common.config import BenchmarkSettings, DataSize
 from repro.server import SessionManager, serial_baseline, total_records
 
+try:  # package import (repo root on sys.path)
+    from benchmarks.benchjson import artifact_identity, write_bench_json
+except ImportError:  # direct invocation: benchmarks/ is sys.path[0]
+    from benchjson import artifact_identity, write_bench_json
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -178,6 +183,22 @@ def main(argv=None) -> int:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "session_server.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "artifact": "session_server.txt",
+        "ok": ok,
+        "sessions": args.sessions,
+        "per_session": args.per_session,
+        "queries": total_records(results),
+        "isolated_wall_seconds": manager.wall_seconds,
+        "isolated_mean_latency": iso_latency,
+        "shared_mean_latency": shared_latency,
+        "isolated_tr_violations": iso_viol,
+        "shared_tr_violations": shared_viol,
+        "shared_deterministic": identical,
+        "pacing_invariant": pacing_ok,
+    }
+    payload.update(artifact_identity(text))
+    write_bench_json(RESULTS_DIR, "session_server", payload)
     return 0 if ok else 1
 
 

@@ -1,0 +1,44 @@
+"""Machine-readable benchmark artifacts (``BENCH_<name>.json``).
+
+Every benchmark — the pytest-style figure/table regenerators and the
+standalone acceptance scripts alike — drops a small JSON file next to
+its rendered text artifact in ``benchmarks/results/``, so CI (or any
+downstream tooling) can consume pass/fail status and headline numbers
+without parsing human-oriented tables. The shape is deliberately flat:
+
+* ``bench`` — the benchmark name (``BENCH_<bench>.json``);
+* ``artifact`` — the text artifact the numbers were rendered into;
+* ``artifact_sha256`` / ``artifact_bytes`` — identity of that text, so
+  a diff between two CI runs is a one-field comparison;
+* everything else — benchmark-specific measurements (wall seconds,
+  speedups, overhead ratios, ok flags).
+
+Keys are sorted and floats are written as-is, so two identical runs
+produce identical JSON bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+
+def write_bench_json(results_dir: Path, bench: str, payload: dict) -> Path:
+    """Write ``results_dir/BENCH_<bench>.json`` and return its path."""
+    path = Path(results_dir) / f"BENCH_{bench}.json"
+    data = {"bench": bench}
+    data.update(payload)
+    path.write_text(
+        json.dumps(data, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def artifact_identity(text: str) -> dict:
+    """The ``artifact_sha256``/``artifact_bytes`` pair for a rendered text."""
+    raw = text.encode("utf-8")
+    return {
+        "artifact_sha256": hashlib.sha256(raw).hexdigest(),
+        "artifact_bytes": len(raw),
+    }

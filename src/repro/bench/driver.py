@@ -49,6 +49,8 @@ from repro.common.clock import VirtualClock
 from repro.common.config import BenchmarkSettings
 from repro.common.errors import BenchmarkError
 from repro.bench.metrics import QueryMetrics, compute_metrics
+from repro.obs.metrics import DEFAULT_VT_BUCKETS, get_metrics
+from repro.obs.tracer import get_tracer
 from repro.query.filters import conjoin
 from repro.query.groundtruth import GroundTruthOracle
 from repro.workflow.policy import (
@@ -306,12 +308,26 @@ class SessionDriver:
         produced: List[QueryRecord] = []
         pending = self._interactions_pending()
         fire_at = self._fire_time() if pending else None
+        tracer = get_tracer()
         if self._deadlines and (
             fire_at is None or self._deadlines[0].time <= fire_at + _TIE_EPSILON
         ):
             deadline = heapq.heappop(self._deadlines)
             self._advance(deadline.time)
-            record = self._evaluate(deadline)
+            if tracer.enabled:
+                span = tracer.span(
+                    "driver.deadline",
+                    deadline.time,
+                    session=self.session_id,
+                    viz=deadline.viz_name,
+                )
+                with span:
+                    record = self._evaluate(deadline)
+                    span.set("query_id", record.query_id)
+                    span.set("tr_violated", record.tr_violated)
+                self._observe_record(record)
+            else:
+                record = self._evaluate(deadline)
             self.records.append(record)
             produced.append(record)
             if self._policy is not None:
@@ -325,11 +341,29 @@ class SessionDriver:
                     "interaction; check needs_input before step()"
                 )
             self._advance(fire_at)
-            self._fire_interaction(self._next_interaction(), fire_at)
+            interaction = self._next_interaction()
+            if tracer.enabled:
+                tracer.event(
+                    "driver.interaction",
+                    fire_at,
+                    session=self.session_id,
+                    kind=interaction.kind,
+                )
+                get_metrics().counter(
+                    "repro_interactions_total",
+                    labels={"kind": interaction.kind},
+                    help="Interactions fired, by kind.",
+                ).inc()
+            self._fire_interaction(interaction, fire_at)
             self._interaction_index += 1
             if self._policy is not None:
                 self._prefetch()
         self.steps += 1
+        if tracer.enabled:
+            get_metrics().counter(
+                "repro_driver_steps_total",
+                help="SessionDriver events processed (deadlines + interactions).",
+            ).inc()
         self._maybe_finish_workflow()
         return produced
 
@@ -350,6 +384,18 @@ class SessionDriver:
         """
         if self._finished:
             return
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "driver.abandon",
+                self.clock.now(),
+                session=self.session_id,
+                in_flight=len(self._deadlines),
+            )
+            get_metrics().counter(
+                "repro_sessions_abandoned_total",
+                help="Sessions retired mid-run (churn departures, disconnects).",
+            ).inc()
         for deadline in self._deadlines:
             self.engine.cancel(deadline.handle)
         self._deadlines = []
@@ -359,6 +405,24 @@ class SessionDriver:
         if self.lifecycle and self._wf_start is not None:
             self.engine.workflow_end()
         self._finished = True
+
+    def _observe_record(self, record: QueryRecord) -> None:
+        """Record-level metrics (only called while tracing is enabled)."""
+        registry = get_metrics()
+        registry.counter(
+            "repro_records_total",
+            help="Query deadlines evaluated into detailed-report rows.",
+        ).inc()
+        if record.tr_violated:
+            registry.counter(
+                "repro_tr_violations_total",
+                help="Records whose time requirement was violated (§4.7).",
+            ).inc()
+        registry.histogram(
+            "repro_query_latency_vt_seconds",
+            help="Virtual-time query latency (end_time - start_time).",
+            bounds=DEFAULT_VT_BUCKETS,
+        ).observe(record.end_time - record.start_time)
 
     # ------------------------------------------------------------------
     # Internals

@@ -33,14 +33,14 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
 from repro.bench.experiments import ExperimentContext, MAIN_ENGINES, make_engine
 from repro.bench.driver import BenchmarkDriver
 from repro.bench.report import DetailedReport, SummaryReport
-from repro.common.clock import VirtualClock
+from repro.common import log
+from repro.common.clock import VirtualClock, perf_seconds
 from repro.common.errors import BenchmarkError
 from repro.common.config import (
     BenchmarkSettings,
@@ -67,6 +67,22 @@ def _add_settings_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=int, default=1000,
                         help="virtual-to-actual row scale factor")
     parser.add_argument("--seed", type=int, default=42, help="root random seed")
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--trace``/``--metrics-out``: run the command under observability.
+
+    Both expand to :func:`repro.obs.observed` around the whole command
+    (fresh instruments, files written on exit). Tracing never changes
+    any report's bytes — the acceptance property bench_obs.py checks.
+    """
+    parser.add_argument("--trace", default=None, metavar="JSONL",
+                        help="record a structured trace of the run to this "
+                             "JSONL file (digest it with `repro trace`)")
+    parser.add_argument("--metrics-out", default=None, dest="metrics_out",
+                        metavar="PATH",
+                        help="write end-of-run metrics here (Prometheus "
+                             "text; .json = canonical stats snapshot)")
 
 
 def _settings_from_args(args) -> BenchmarkSettings:
@@ -254,9 +270,9 @@ def _cmd_run_matrix(args) -> int:
         f"jobs={args.jobs}"
         + (f", cache={args.cache_dir}" if args.cache_dir else "")
     )
-    started = time.perf_counter()
+    started = perf_seconds()
     results = executor.run(specs)
-    elapsed = time.perf_counter() - started
+    elapsed = perf_seconds() - started
     print()
     print(render_matrix(results, title="run-matrix summary"))
     cached = sum(result.from_cache for result in results)
@@ -528,6 +544,24 @@ def _cmd_serve(args) -> int:
     churn = f" ({departed} departed mid-run)" if departed else ""
     print(f"\n{total_records(results)} queries across {len(results)} "
           f"sessions{churn} in {manager.wall_seconds:.2f}s wall")
+    # Activity footer: printed *after* the report body, so the table and
+    # the per-session CSVs above stay byte-identical to earlier releases.
+    total_steps = sum(r.steps for r in results)
+    total_interactions = sum(
+        sum(r.interaction_counts.values()) for r in results
+    )
+    print(
+        f"driver activity: {total_steps} steps, "
+        f"{total_interactions} interactions, {departed} abandoned"
+    )
+    if args.follow:
+        for result in results:
+            fired = sum(result.interaction_counts.values())
+            flag = " (abandoned)" if result.abandoned else ""
+            print(
+                f"  {result.session_id}: steps={result.steps} "
+                f"interactions={fired}{flag}"
+            )
     if args.out:
         out_dir = Path(args.out)
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -690,6 +724,23 @@ def _cmd_connect(args) -> int:
         )
         return 1
     host, port = address
+    if args.stats:
+        from repro.common.fingerprint import canonical_json
+        from repro.net.client import fetch_server_stats
+
+        try:
+            stats = fetch_server_stats(host, port, timeout=args.timeout)
+        except (BenchmarkError, OSError) as error:
+            print(f"connect failed: {error}", file=sys.stderr)
+            return 1
+        print(f"sessions served: {stats.sessions_served}")
+        if args.out:
+            text = canonical_json(stats.data) + "\n"
+            Path(args.out).write_bytes(text.encode("utf-8"))
+            print(f"wrote stats snapshot to {args.out}")
+        else:
+            print(canonical_json(stats.data))
+        return 0
     if args.repl:
         from repro.net.repl import Repl
 
@@ -831,6 +882,45 @@ def _cmd_bench_net(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args) -> int:
+    """``repro trace summary|export``: digest a ``--trace`` JSONL file.
+
+    Both subcommands read only virtual-time fields, so their output for a
+    fixed-seed run is byte-identical across repeats — the two-axis
+    contract of docs/observability.md.
+    """
+    from repro.obs.sink import (
+        csv_summary,
+        iter_jsonl,
+        render_summary_table,
+        write_jsonl,
+    )
+
+    try:
+        entries = list(iter_jsonl(args.trace_file))
+    except (OSError, BenchmarkError) as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    if args.action == "summary":
+        if args.csv:
+            sys.stdout.write(csv_summary(entries))
+        else:
+            sys.stdout.write(render_summary_table(entries))
+        return 0
+    # export
+    if not args.out:
+        print("trace export needs --out PATH", file=sys.stderr)
+        return 1
+    out = Path(args.out)
+    if out.suffix == ".jsonl":
+        count = write_jsonl(out, entries, virtual_only=True)
+        print(f"wrote {count} virtual-time trace lines to {out}")
+    else:
+        out.write_bytes(csv_summary(entries).encode("utf-8"))
+        print(f"wrote trace summary CSV ({len(entries)} entries) to {out}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     store = ArtifactStore(args.cache_dir)
     if args.action == "stats":
@@ -953,6 +1043,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="idebench-repro",
         description="IDEBench reproduction: benchmark driver CLI",
     )
+    parser.add_argument("--log-level", default=None, dest="log_level",
+                        choices=["debug", "info", "warning", "error", "silent"],
+                        help="structured stderr log threshold (default: "
+                             "$REPRO_LOG or warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_data = sub.add_parser("generate-data", help="generate a scaled flights CSV")
@@ -1121,6 +1215,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "ephemeral; --sessions bounds how many "
                               "connections are served, 0 = forever; "
                               "see docs/protocol.md)")
+    _add_obs_arguments(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_connect = sub.add_parser(
@@ -1158,10 +1253,16 @@ def build_parser() -> argparse.ArgumentParser:
                                 "wall time at this acceleration")
     p_connect.add_argument("--timeout", type=float, default=60.0,
                            help="socket timeout in seconds")
+    p_connect.add_argument("--stats", action="store_true",
+                           help="pull the server's live metrics/profile "
+                                "snapshot (STATS message) instead of "
+                                "attaching a session; --out writes the "
+                                "canonical-JSON payload")
     p_connect.add_argument("--out", default=None,
                            help="detailed report CSV path (reassembled "
                                 "client-side; byte-identical to the "
-                                "server's)")
+                                "server's); with --stats: the stats "
+                                "snapshot JSON")
     p_connect.set_defaults(func=_cmd_connect)
 
     p_bench_net = sub.add_parser(
@@ -1199,6 +1300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_net.add_argument("--out", default=None,
                              help="with --remote: write the aggregated "
                                   "contention report to this file")
+    _add_obs_arguments(p_bench_net)
     p_bench_net.set_defaults(func=_cmd_bench_net)
 
     p_bench = sub.add_parser(
@@ -1234,6 +1336,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="load report CSV path (deterministic bytes)")
     p_bench.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
+    _add_obs_arguments(p_bench)
     p_bench.set_defaults(func=_cmd_bench_sessions)
 
     p_adaptive = sub.add_parser(
@@ -1289,7 +1392,26 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(deterministic bytes)")
     p_adaptive.add_argument("--quiet", action="store_true",
                             help="suppress per-cell progress lines")
+    _add_obs_arguments(p_adaptive)
     p_adaptive.set_defaults(func=_cmd_bench_adaptive)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="summarize or export a structured trace captured with --trace",
+    )
+    p_trace.add_argument("action", choices=["summary", "export"],
+                         help="summary: deterministic per-span digest; "
+                              "export: virtual-time-only JSONL (--out "
+                              "*.jsonl) or summary CSV (--out *.csv)")
+    p_trace.add_argument("trace_file", metavar="TRACE_JSONL",
+                         help="trace file written by a --trace run")
+    p_trace.add_argument("--csv", action="store_true",
+                         help="summary: print the CSV form instead of "
+                              "the table")
+    p_trace.add_argument("--out", default=None,
+                         help="export: output path (.jsonl = virtual-only "
+                              "trace, anything else = summary CSV)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_cache = sub.add_parser(
         "cache",
@@ -1335,6 +1457,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``idebench-repro`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    log.configure(args.log_level)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if trace_path or metrics_path:
+        from repro.obs import observed
+
+        with observed(trace_path=trace_path, metrics_path=metrics_path):
+            code = args.func(args)
+        if trace_path:
+            print(f"wrote trace to {trace_path}")
+        if metrics_path:
+            print(f"wrote metrics to {metrics_path}")
+        return code
     return args.func(args)
 
 

@@ -15,6 +15,13 @@ time through a :class:`Clock`:
 Both expose ``now()`` (seconds, float) and ``advance(dt)``; for the wall
 clock ``advance`` sleeps, mirroring the think-time delays a real user
 introduces between interactions (§4.6).
+
+This module is also the single place the codebase reads *measurement*
+wall time from: :func:`perf_seconds` wraps :func:`time.perf_counter`
+behind a swappable source, so every profiling/elapsed-time stamp
+(CLI timings, executor cell walls, server ``wall_seconds``, network
+bench walls, the :mod:`repro.obs` profiler) is monotonic and mockable
+in tests via :func:`set_perf_source`.
 """
 
 from __future__ import annotations
@@ -22,6 +29,33 @@ from __future__ import annotations
 import time
 
 from repro.common.errors import EngineError
+
+_perf_source = time.perf_counter
+
+
+def perf_seconds() -> float:
+    """Monotonic wall-clock timestamp (seconds) for elapsed-time math.
+
+    Use this instead of calling :func:`time.perf_counter` or
+    :func:`time.time` directly: differences are guaranteed monotonic, and
+    tests can substitute a deterministic source with
+    :func:`set_perf_source`. Absolute values are meaningless; only
+    differences are.
+    """
+    return _perf_source()
+
+
+def set_perf_source(source) -> "object":
+    """Swap the wall-time source behind :func:`perf_seconds`.
+
+    Returns the previous source so tests can restore it. Pass a callable
+    returning float seconds (e.g. an incrementing fake for deterministic
+    profiling tests).
+    """
+    global _perf_source
+    previous = _perf_source
+    _perf_source = source
+    return previous
 
 
 class Clock:

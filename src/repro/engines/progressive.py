@@ -39,6 +39,9 @@ from repro.engines.cost import (
     PROGRESSIVE_PREP,
 )
 from repro.engines.estimators import srs_estimate
+from repro.obs.metrics import get_metrics
+from repro.obs.profile import STAGE_ENGINE_STEP, get_profiler
+from repro.obs.tracer import get_tracer
 from repro.query.groundtruth import compute_grouped_stats
 from repro.query.model import AggQuery, QueryResult
 
@@ -145,11 +148,23 @@ class ProgressiveEngine(Engine):
         return result
 
     def _estimate(self, query: AggQuery, n: int) -> QueryResult:
-        indices = self._sample_indices(query, n)
-        stats = compute_grouped_stats(self.dataset, query, indices)
-        values, margins = srs_estimate(
-            stats, n, self.actual_rows, self.settings.confidence_level
-        )
+        # The engine-step kernel: one sample-prefix estimate. Wall time
+        # lands in the engine_step stage; the trace event carries only
+        # deterministic fields (virtual now + sample size).
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("engine.estimate", self.clock.now(), n=n)
+            get_metrics().counter(
+                "repro_engine_estimates_total",
+                labels={"engine": self.name},
+                help="Progressive estimate kernels executed.",
+            ).inc()
+        with get_profiler().stage(STAGE_ENGINE_STEP):
+            indices = self._sample_indices(query, n)
+            stats = compute_grouped_stats(self.dataset, query, indices)
+            values, margins = srs_estimate(
+                stats, n, self.actual_rows, self.settings.confidence_level
+            )
         return QueryResult(
             query=query,
             values=values,

@@ -40,8 +40,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.clock import Clock
+from repro.common.clock import Clock, perf_seconds
 from repro.common.errors import EngineError
+from repro.obs.metrics import get_metrics
+from repro.obs.profile import STAGE_SCHEDULER, get_profiler
+from repro.obs.tracer import get_tracer
 
 
 @dataclass
@@ -326,6 +329,9 @@ class ProcessorSharingScheduler:
             raise EngineError(
                 f"cannot settle scheduler backwards: {until} < {self._last_advance}"
             )
+        profiler = get_profiler()
+        started = perf_seconds() if profiler.enabled else 0.0
+        policy_queries = 0
         now = self._last_advance
         remaining_dt = until - now
         while remaining_dt > 1e-12:
@@ -333,6 +339,7 @@ class ProcessorSharingScheduler:
             if not active:
                 break
             rates = self._policy.rates(active)
+            policy_queries += 1
             # Time until the earliest finite task finishes at current rates.
             earliest: Optional[float] = None
             for task in active:
@@ -357,6 +364,21 @@ class ProcessorSharingScheduler:
             if task.active:
                 task.record(until)
         self._last_advance = until
+        if profiler.enabled:
+            # Arbitration cost: the settle loop re-queries the policy on
+            # every active-set change — the 100k-session frontier's hot
+            # spot (ROADMAP), so its wall time is attributed explicitly.
+            profiler.add(STAGE_SCHEDULER, perf_seconds() - started)
+            if policy_queries:
+                get_metrics().counter(
+                    "repro_scheduler_policy_queries_total",
+                    help="Policy rate() arbitrations inside settle loops.",
+                ).inc(policy_queries)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "scheduler.settle", until, policy_queries=policy_queries
+                    )
 
     # ------------------------------------------------------------------
     # Queries

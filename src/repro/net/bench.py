@@ -41,12 +41,13 @@ import subprocess
 import sys
 import tempfile
 import threading
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
+from repro.common.clock import perf_seconds
 from repro.common.errors import BenchmarkError
+from repro.common.log import get_logger
 from repro.net.client import (
     fetch_scripted_session,
     records_csv_text,
@@ -54,6 +55,8 @@ from repro.net.client import (
 )
 from repro.net.server import ServerThread, TcpSessionServer
 from repro.workflow.spec import WorkflowType
+
+_log = get_logger("net.bench")
 
 
 @dataclass
@@ -108,17 +111,17 @@ def run_net_bench(
 
     result = NetBenchResult(engine=engine)
 
-    started = time.perf_counter()
+    started = perf_seconds()
     reference = SessionManager.for_engine(
         ctx, engine, sessions,
         per_session=per_session, workflow_type=workflow_type,
     ).run()
-    result.in_process_wall = time.perf_counter() - started
+    result.in_process_wall = perf_seconds() - started
 
     # sessions scripted fetches + markov × 2 + one client-driven replay.
     server = TcpSessionServer(ctx, engine, max_sessions=sessions + 3)
     with ServerThread(server) as (host, port):
-        started = time.perf_counter()
+        started = perf_seconds()
         for index, expected in enumerate(reference):
             _, records, _ = fetch_scripted_session(
                 host, port, index,
@@ -130,7 +133,7 @@ def run_net_bench(
                 records_csv_text(records) == expected.csv_text(),
                 expected.num_queries,
             ))
-        result.tcp_wall = time.perf_counter() - started
+        result.tcp_wall = perf_seconds() - started
 
         workflow = reference[0].spec.workflows[0]
         result.replay_workflow_name = workflow.name
@@ -381,6 +384,10 @@ def _spawn_clients(
                     text=True,
                     env=env,
                 ))
+            _log.debug(
+                "spawned remote load clients",
+                clients=clients, host=host, port=port,
+            )
             failures = []
             for index, proc in enumerate(procs):
                 try:
@@ -388,9 +395,17 @@ def _spawn_clients(
                 except subprocess.TimeoutExpired:
                     proc.kill()
                     output, _ = proc.communicate()
+                    _log.warning(
+                        "remote load client timed out",
+                        client=index, timeout=timeout,
+                    )
                     failures.append(f"client {index} timed out:\n{output}")
                     continue
                 if proc.returncode != 0:
+                    _log.warning(
+                        "remote load client failed",
+                        client=index, returncode=proc.returncode,
+                    )
                     failures.append(
                         f"client {index} exited {proc.returncode}:\n{output}"
                     )

@@ -40,6 +40,8 @@ from repro.net.protocol import (
     Interact,
     Message,
     Record,
+    Stats,
+    StatsRequest,
     SubmitViz,
     TurnDone,
     TurnGrant,
@@ -231,6 +233,20 @@ class NetClient:
         )
         return self.read_message()  # Progress(attached)
 
+    def stats(self) -> Stats:
+        """Pull the server's live metrics / profile snapshot.
+
+        Sent *instead of* an ATTACH after the HELLO exchange — a stats
+        probe never joins the timeline, so it cannot perturb any
+        session's bytes. The server answers with one STATS frame and
+        closes the connection.
+        """
+        self.send(StatsRequest())
+        answer = self.read_message()
+        if not isinstance(answer, Stats):
+            raise ProtocolError(f"expected stats, got {answer.TYPE!r}")
+        return answer
+
     def send_interaction(self, interaction: Interaction) -> None:
         """Client-driven mode: submit one §4.3 interaction."""
         if isinstance(interaction, CreateViz):
@@ -257,6 +273,15 @@ class NetClient:
 # ----------------------------------------------------------------------
 # High-level helpers
 # ----------------------------------------------------------------------
+
+def fetch_server_stats(
+    host: str, port: int, *, timeout: float = DEFAULT_TIMEOUT
+) -> Stats:
+    """One-shot stats probe: connect, HELLO, STATS_REQUEST, disconnect."""
+    with NetClient(host, port, timeout=timeout) as client:
+        client.hello()
+        return client.stats()
+
 
 def fetch_scripted_session(
     host: str,

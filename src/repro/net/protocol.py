@@ -40,6 +40,11 @@ typed catalog (one dataclass per tag) mirrors the session lifecycle:
                 shared timeline for the next globally minimal event
 ``detach``      client → server: end the session (the deadline tail
                 still drains); server → client: final summary
+``stats_request``  client → server (instead of ``attach``): ask for the
+                server's live observability snapshot
+``stats``       server → client: the snapshot — metrics registry
+                (counters/gauges/histograms) plus per-stage wall-time
+                profile, as produced by :func:`repro.obs.stats_payload`
 ``error``       protocol violation or session failure; sender closes.
                 Decodes across protocol versions; a version-mismatch
                 error carries ``data.supported_versions``.
@@ -521,6 +526,61 @@ class Detach(Message):
 
 
 @dataclass(frozen=True)
+class StatsRequest(Message):
+    """Client → server: pull the live observability snapshot.
+
+    Sent after the HELLO exchange *instead of* an ATTACH — a stats
+    probe is not a session: it never joins the timeline, so probing a
+    busy server cannot perturb any running session's bytes. The server
+    answers with one :class:`Stats` frame and the conversation ends.
+    """
+
+    TYPE = "stats_request"
+
+    def to_payload(self) -> dict:
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StatsRequest":
+        return cls()
+
+
+@dataclass(frozen=True)
+class Stats(Message):
+    """Server → client: live metrics + stage profile (``repro connect
+    --stats``).
+
+    ``data`` is :func:`repro.obs.stats_payload` output: the canonical
+    metrics snapshot (``data["metrics"]``, reloadable via
+    :meth:`repro.obs.MetricsRegistry.from_snapshot`) and the wall-time
+    stage attribution (``data["profile"]``). Wall-time values are
+    inherently nondeterministic — STATS frames are therefore never part
+    of the golden transcripts.
+    """
+
+    data: dict
+    sessions_served: int = 0
+
+    TYPE = "stats"
+
+    def to_payload(self) -> dict:
+        return {"data": self.data, "sessions_served": self.sessions_served}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Stats":
+        try:
+            data = payload["data"]
+            if not isinstance(data, dict):
+                raise TypeError(f"stats data must be an object, got {type(data).__name__}")
+            return cls(
+                data=data,
+                sessions_served=int(payload.get("sessions_served", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed stats frame: {error}") from error
+
+
+@dataclass(frozen=True)
 class ErrorMessage(Message):
     """A protocol violation or session failure; the sender closes.
 
@@ -582,6 +642,8 @@ MESSAGE_TYPES: Dict[str, Type[Message]] = {
         TurnGrant,
         TurnDone,
         Detach,
+        StatsRequest,
+        Stats,
         ErrorMessage,
     )
 }

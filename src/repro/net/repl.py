@@ -29,9 +29,12 @@ from typing import Callable, List, Optional
 
 from repro.bench.driver import QueryRecord
 from repro.common.errors import BenchmarkError, ProtocolError
+from repro.common.log import get_logger
 from repro.net.client import NetClient
 from repro.net.protocol import Detach, Progress, Record
 from repro.workflow.spec import Interaction, Workflow
+
+_log = get_logger("net.repl")
 
 #: Longest drain wait after sending interactions (seconds).
 DRAIN_TIMEOUT = 0.25
@@ -90,9 +93,11 @@ class Repl:
                 try:
                     return self._cmd_detach(client, session_id)
                 except (ProtocolError, BenchmarkError, OSError) as error:
+                    _log.warning("detach failed", error=str(error))
                     self._print(f"detach failed: {error}")
                     return 1
             except (ProtocolError, BenchmarkError) as error:
+                _log.warning("session error", error=str(error))
                 self._print(f"error: {error}")
                 return 1
 

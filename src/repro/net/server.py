@@ -59,6 +59,13 @@ from typing import Dict, List, Optional, Set
 
 from repro.bench.driver import SessionDriver
 from repro.common.errors import BenchmarkError, ProtocolError
+from repro.obs import stats_payload
+from repro.obs.metrics import get_metrics
+from repro.obs.profile import (
+    STAGE_FRAME_IO,
+    STAGE_TURN_GRANT,
+    get_profiler,
+)
 from repro.server.clock import AsyncClock
 from repro.server.manager import (
     SessionAbandoned,
@@ -81,6 +88,8 @@ from repro.net.protocol import (
     Message,
     Progress,
     Record,
+    Stats,
+    StatsRequest,
     SubmitViz,
     TurnDone,
     TurnGrant,
@@ -304,7 +313,7 @@ class TcpSessionServer:
     async def _handle(self, reader, writer) -> None:
         attached = False
         try:
-            hello = await read_message_async(reader)
+            hello = await self._recv(reader)
             if not isinstance(hello, Hello):
                 raise ProtocolError(
                     f"expected hello, got {hello.TYPE!r}"
@@ -327,7 +336,20 @@ class TcpSessionServer:
                     ),
                 ),
             )
-            attach = await read_message_async(reader)
+            attach = await self._recv(reader)
+            if isinstance(attach, StatsRequest):
+                # Observability probe: answer with the live metrics /
+                # profile snapshot and hang up. The probe never joins
+                # the timeline (no ATTACH), so it cannot perturb any
+                # session's bytes — and it is not counted as a session.
+                await self._send(
+                    writer,
+                    Stats(
+                        data=stats_payload(),
+                        sessions_served=self.sessions_served,
+                    ),
+                )
+                return
             if not isinstance(attach, Attach):
                 raise ProtocolError(
                     f"expected attach, got {attach.TYPE!r}"
@@ -354,8 +376,35 @@ class TcpSessionServer:
                 self._session_ended()
 
     async def _send(self, writer, message: Message) -> None:
-        writer.write(encode_message(message))
-        await writer.drain()
+        profiler = get_profiler()
+        if profiler.enabled:
+            with profiler.stage(STAGE_FRAME_IO):
+                payload = encode_message(message)
+                writer.write(payload)
+                await writer.drain()
+            metrics = get_metrics()
+            metrics.counter(
+                "repro_frames_sent_total",
+                labels={"type": message.TYPE},
+                help="Wire frames sent by the server.",
+            ).inc()
+            metrics.counter(
+                "repro_frame_bytes_sent_total",
+                help="Wire bytes sent by the server (including prefixes).",
+            ).inc(len(payload))
+        else:
+            writer.write(encode_message(message))
+            await writer.drain()
+
+    async def _recv(self, reader) -> Message:
+        message = await read_message_async(reader)
+        if get_profiler().enabled:
+            get_metrics().counter(
+                "repro_frames_received_total",
+                labels={"type": message.TYPE},
+                help="Wire frames received by the server.",
+            ).inc()
+        return message
 
     async def _send_error(self, writer, code: str, text: str) -> None:
         try:
@@ -499,7 +548,7 @@ class TcpSessionServer:
         try:
             while not driver.finished:
                 while driver.needs_input:
-                    message = await read_message_async(reader)
+                    message = await self._recv(reader)
                     if isinstance(message, Detach):
                         source.finish()
                         if not driver.interaction_counts and not source.buffered:
@@ -871,7 +920,10 @@ class _SharedTurnHook(SessionTurnHook):
                 Record(self.slot.session_id, self.seq, record)
             )
             self.seq += 1
-        await self._await_ack()
+        # The grant→TURN_DONE round trip is where a shared run's wall
+        # time goes when a frontend is slow; profile it as its own stage.
+        with get_profiler().stage(STAGE_TURN_GRANT):
+            await self._await_ack()
         self.turn += 1
 
     # -- internals -----------------------------------------------------
@@ -972,7 +1024,7 @@ class _SharedTurnHook(SessionTurnHook):
     async def _read(self) -> Message:
         try:
             return await asyncio.wait_for(
-                read_message_async(self.slot.reader),
+                self.server._recv(self.slot.reader),
                 self.server.turn_timeout,
             )
         except asyncio.TimeoutError:

@@ -23,6 +23,7 @@ import numpy as np
 from repro.common.errors import QueryError
 from repro.common.fingerprint import stable_digest
 from repro.data.storage import Dataset
+from repro.obs.profile import STAGE_BINNING, STAGE_PREDICATE_EVAL, get_profiler
 from repro.query.binning import GroupedRows, group_rows
 from repro.query.filters import evaluate_filter
 from repro.query.model import AggFunc, AggQuery, BinKey, QueryResult
@@ -89,9 +90,12 @@ def compute_grouped_stats(
     num_rows = (
         len(row_indices) if row_indices is not None else dataset.num_fact_rows
     )
-    mask = evaluate_filter(query.filter, get_column, num_rows)
-    bin_columns = [get_column(dim.field)[mask] for dim in query.bins]
-    grouped: GroupedRows = group_rows(query.bins, bin_columns)
+    profiler = get_profiler()
+    with profiler.stage(STAGE_PREDICATE_EVAL):
+        mask = evaluate_filter(query.filter, get_column, num_rows)
+    with profiler.stage(STAGE_BINNING):
+        bin_columns = [get_column(dim.field)[mask] for dim in query.bins]
+        grouped: GroupedRows = group_rows(query.bins, bin_columns)
 
     counts = (
         np.bincount(grouped.inverse, minlength=grouped.num_groups).astype(np.int64)

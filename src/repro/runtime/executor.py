@@ -26,16 +26,19 @@ keeps the dependency acyclic.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.clock import perf_seconds
 from repro.common.errors import BenchmarkError
+from repro.common.log import get_logger
 from repro.runtime.spec import RunSpec
 from repro.runtime.store import ArtifactStore
 from repro.workflow.graph import VizGraph
 from repro.workflow.spec import Link, WorkflowType
+
+_log = get_logger("runtime.executor")
 
 #: Context-identity key: cells agreeing on these share generated artifacts.
 ContextKey = Tuple[str, int, int]
@@ -238,6 +241,12 @@ class MatrixExecutor:
             else:
                 pending.append(index)
         if pending:
+            _log.debug(
+                "executing matrix cells",
+                pending=len(pending),
+                cached=len(specs) - len(pending),
+                jobs=self.jobs,
+            )
             if self.jobs == 1 or len(pending) == 1:
                 self._run_serial(specs, pending, results)
             else:
@@ -286,9 +295,9 @@ class MatrixExecutor:
     ) -> None:
         for index in pending:
             spec = specs[index]
-            started = time.perf_counter()
+            started = perf_seconds()
             payload = execute_cell(self._context_for(spec), spec)
-            elapsed = time.perf_counter() - started
+            elapsed = perf_seconds() - started
             if self.store is not None:
                 self.store.put(result_key(spec), payload)
             results[index] = CellResult(
@@ -308,7 +317,7 @@ class MatrixExecutor:
         if self.store is not None:
             self._warm_shared_artifacts([specs[index] for index in pending])
         cache_dir = str(self.store.root) if self.store is not None else None
-        started = {index: time.perf_counter() for index in pending}
+        started = {index: perf_seconds() for index in pending}
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
                 pool.submit(
@@ -323,7 +332,7 @@ class MatrixExecutor:
                     index = futures[future]
                     spec = specs[index]
                     payload = future.result()
-                    elapsed = time.perf_counter() - started[index]
+                    elapsed = perf_seconds() - started[index]
                     results[index] = CellResult(
                         spec=spec,
                         records=payload["records"],

@@ -38,16 +38,18 @@ from __future__ import annotations
 
 import asyncio
 import math
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.driver import BenchmarkDriver, QueryRecord, SessionDriver
-from repro.common.clock import VirtualClock
+from repro.common.clock import VirtualClock, perf_seconds
 from repro.common.config import BenchmarkSettings
 from repro.common.errors import BenchmarkError
 from repro.common.rng import derive_rng, derive_session_seed
 from repro.engines.scheduler import FairSessionPolicy, WeightedSharingPolicy
+from repro.obs.metrics import get_metrics
+from repro.obs.profile import STAGE_PENDING_STALL, get_profiler
+from repro.obs.tracer import get_tracer
 from repro.server.clock import AsyncClock
 from repro.server.session import SessionResult, SessionSpec, SessionStream
 from repro.workflow.generator import WorkflowGenerator
@@ -316,14 +318,14 @@ class SessionManager:
             # The shared engine lives for the whole serving run (Listing
             # 1's lifecycle, once per service session, not per workflow).
             self._shared_engine.workflow_start()
-        started = time.perf_counter()
+        started = perf_seconds()
         await asyncio.gather(
             *(
                 self._run_session(index, driver)
                 for index, driver in enumerate(drivers)
             )
         )
-        self.wall_seconds = time.perf_counter() - started
+        self.wall_seconds = perf_seconds() - started
         if self.shared:
             self._shared_engine.workflow_end()
             # Confine the serving run's mutation of the caller's engine:
@@ -335,6 +337,7 @@ class SessionManager:
                 spec,
                 self.streams[spec.session_id].records,
                 interaction_counts=dict(driver.interaction_counts),
+                steps=driver.steps,
             )
             for spec, driver in zip(self._specs, drivers)
         ]
@@ -356,12 +359,20 @@ class SessionManager:
                     # virtual time for everyone, exactly like a large
                     # think-time gap would, and never reorders events.
                     while driver.needs_input:
-                        await hook.wait_input(driver)
+                        with get_profiler().stage(STAGE_PENDING_STALL):
+                            await hook.wait_input(driver)
                 event_time = driver.next_event_time()
                 if event_time is None:
                     break
                 await self._timeline.acquire(index, event_time)
                 self.trace.append((event_time, spec.session_id))
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event("manager.turn", event_time, session=spec.session_id)
+                    get_metrics().counter(
+                        "repro_turns_total",
+                        help="Step turns granted by the global virtual timeline.",
+                    ).inc()
                 if self.shared:
                     self._shared_engine.scheduler.set_group(spec.session_id)
                 if hook is None:
@@ -938,13 +949,13 @@ class OpenSystemManager:
             if not self._shared_engine.is_prepared:
                 self._shared_engine.prepare()
             self._shared_engine.workflow_start()
-        started = time.perf_counter()
+        started = perf_seconds()
         tasks: List[asyncio.Task] = []
         self._timeline.register(_SPAWNER)
         await self._spawner(tasks)
         if tasks:
             await asyncio.gather(*tasks)
-        self.wall_seconds = time.perf_counter() - started
+        self.wall_seconds = perf_seconds() - started
         if self.shared:
             self._shared_engine.workflow_end()
             self._shared_engine.scheduler.set_group(None)
@@ -957,6 +968,17 @@ class OpenSystemManager:
                 await self._timeline.acquire(_SPAWNER, arrival.arrival_time)
                 self.trace.append((arrival.arrival_time, "arrival"))
                 driver, spec = self._spawn(arrival)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "manager.arrival",
+                        arrival.arrival_time,
+                        session=spec.session_id,
+                    )
+                    get_metrics().counter(
+                        "repro_sessions_spawned_total",
+                        help="Open-system sessions spawned mid-run.",
+                    ).inc()
                 self._timeline.register(arrival.index)
                 tasks.append(
                     asyncio.ensure_future(
@@ -1010,11 +1032,25 @@ class OpenSystemManager:
                     break
                 await self._timeline.acquire(arrival.index, event_time)
                 self.trace.append((event_time, spec.session_id))
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event("manager.turn", event_time, session=spec.session_id)
+                    get_metrics().counter(
+                        "repro_turns_total",
+                        help="Step turns granted by the global virtual timeline.",
+                    ).inc()
                 if self.shared:
                     self._shared_engine.scheduler.set_group(spec.session_id)
                 driver.step()
         finally:
             if departed:
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "manager.depart",
+                        arrival.departure_time,
+                        session=spec.session_id,
+                    )
                 driver.abandon()
                 if self.shared:
                     self._shared_engine.scheduler.cancel_group(spec.session_id)
@@ -1023,6 +1059,7 @@ class OpenSystemManager:
                 self.streams[spec.session_id].records,
                 interaction_counts=dict(driver.interaction_counts),
                 departed_at=arrival.departure_time if departed else None,
+                steps=driver.steps,
             )
             await self._timeline.retire(arrival.index)
 

@@ -97,6 +97,14 @@ class SessionResult:
     #: Virtual time the session left mid-run (open-system churn), or None
     #: when it ran to completion.
     departed_at: Optional[float] = None
+    #: Driver step() invocations the session consumed (deadline + grid
+    #: events) — the activity counter ``repro serve``'s footer reports.
+    steps: int = 0
+
+    @property
+    def abandoned(self) -> bool:
+        """True when the session departed mid-run (in-flight work dropped)."""
+        return self.departed_at is not None
 
     @property
     def session_id(self) -> str:

@@ -336,7 +336,7 @@ class TestCatalog:
         assert set(MESSAGE_TYPES) == {
             "hello", "attach", "submit_viz", "interact",
             "record", "progress", "barrier", "turn_grant", "turn_done",
-            "detach", "error",
+            "detach", "stats_request", "stats", "error",
         }
 
     def test_canonical_encoding_is_stable(self):

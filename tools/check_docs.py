@@ -139,6 +139,20 @@ REQUIRED_SECTIONS = {
         "supported_versions",
         "tests/golden/tcp_session.txt",
         "tests/golden/tcp_shared.txt",
+        "stats_request",
+        "### Stats probes",
+    ],
+    "docs/observability.md": [
+        "## The two-axis contract",
+        "## Span and event taxonomy",
+        "## The STATS wire message",
+        "## Stage profiling",
+        "virtual_view",
+        "tests/golden/trace_serial.jsonl",
+        "tests/golden/trace_tcp_shared.jsonl",
+        "repro trace summary",
+        "BENCH_obs.json",
+        "--metrics-out",
     ],
     "README.md": [
         "bench-adaptive",
@@ -152,6 +166,11 @@ REQUIRED_SECTIONS = {
         "connect",
         "repro report snapshot",
         "repro report diff",
+        "--trace",
+        "--metrics-out",
+        "--log-level",
+        "repro trace summary",
+        "docs/observability.md",
     ],
 }
 

@@ -161,6 +161,63 @@ def case_tcp_shared(ctx) -> str:
     return "\n".join(frames) + "\n"
 
 
+def case_trace_serial(ctx) -> str:
+    """Virtual-time trace of the serial run (two-axis contract pin).
+
+    Only the deterministic projection of each entry is pinned
+    (``virtual_view``): span/event kinds, names, sequence numbers,
+    sessions, attrs and virtual timestamps. Wall-time measurements live
+    under the segregated ``"wall"`` key and are stripped, so this file's
+    bytes are machine-independent (docs/observability.md).
+    """
+    from repro.obs import observed
+    from repro.obs.sink import entry_line
+    from repro.workflow.spec import WorkflowType
+
+    with observed(enabled=True) as tracer:
+        ctx.run("idea-sim", ctx.workflows(WorkflowType.MIXED, 2))
+        lines = [
+            entry_line(entry, virtual_only=True)
+            for entry in tracer.entries()
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def case_trace_tcp_shared(ctx) -> str:
+    """Virtual-time trace of a 2-session shared-engine TCP run.
+
+    The server-side instruments observe the same deterministic timeline
+    the wire transcript (``tcp_shared.txt``) pins, so the virtual-only
+    trace is reproducible even though every frame crosses a real socket.
+    """
+    from repro.net.client import fetch_scripted_session
+    from repro.net.server import ServerThread, TcpSessionServer
+    from repro.obs import observed
+    from repro.obs.sink import entry_line
+
+    with observed(enabled=True) as tracer:
+        server = TcpSessionServer(
+            ctx, "idea-sim", share_engine=True, max_sessions=2, per_session=1
+        )
+        with ServerThread(server) as (host, port):
+            import threading
+
+            peer = threading.Thread(
+                target=fetch_scripted_session,
+                args=(host, port, 1),
+                kwargs={"per_session": 1},
+                daemon=True,
+            )
+            peer.start()
+            fetch_scripted_session(host, port, 0, per_session=1)
+            peer.join(120)
+        lines = [
+            entry_line(entry, virtual_only=True)
+            for entry in tracer.entries()
+        ]
+    return "\n".join(lines) + "\n"
+
+
 #: File name → builder. Each builder gets a fresh-or-shared context and
 #: returns the complete file content as text.
 GOLDEN_CASES = {
@@ -170,6 +227,8 @@ GOLDEN_CASES = {
     "open_churn.txt": case_open_churn,
     "tcp_session.txt": case_tcp_session,
     "tcp_shared.txt": case_tcp_shared,
+    "trace_serial.jsonl": case_trace_serial,
+    "trace_tcp_shared.jsonl": case_trace_tcp_shared,
 }
 
 
