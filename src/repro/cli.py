@@ -1047,6 +1047,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["debug", "info", "warning", "error", "silent"],
                         help="structured stderr log threshold (default: "
                              "$REPRO_LOG or warning)")
+    parser.add_argument("--no-kernels", action="store_true", dest="no_kernels",
+                        help="disable the compiled-query kernel cache and run "
+                             "the uncompiled aggregation path (answers are "
+                             "bitwise-identical, just slower; also "
+                             "$REPRO_KERNELS=off)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_data = sub.add_parser("generate-data", help="generate a scaled flights CSV")
@@ -1458,6 +1463,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     log.configure(args.log_level)
+    if getattr(args, "no_kernels", False):
+        from repro.engines.kernel_cache import set_kernels_enabled
+
+        set_kernels_enabled(False)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics_out", None)
     if trace_path or metrics_path:

@@ -76,6 +76,7 @@ class Table:
                 )
             self._columns[column_name] = array
         self._num_rows = int(length or 0)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -119,13 +120,17 @@ class Table:
         Two tables with identical columns fingerprint identically in every
         process — the persistent ground-truth cache keys on this so answer
         artifacts computed by one worker are valid for all others.
+        Memoized (columns are immutable-by-convention): the compiled-kernel
+        cache consults dataset fingerprints on every query submission.
         """
-        hasher = hashlib.sha256()
-        for column_name, array in self._columns.items():
-            hasher.update(column_name.encode("utf-8"))
-            hasher.update(str(array.dtype.kind).encode("utf-8"))
-            hasher.update(np.ascontiguousarray(array).tobytes())
-        return hasher.hexdigest()[:32]
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            for column_name, array in self._columns.items():
+                hasher.update(column_name.encode("utf-8"))
+                hasher.update(str(array.dtype.kind).encode("utf-8"))
+                hasher.update(np.ascontiguousarray(array).tobytes())
+            self._fingerprint = hasher.hexdigest()[:32]
+        return self._fingerprint
 
     def __repr__(self) -> str:
         return (
@@ -346,6 +351,7 @@ class Dataset:
         self.tables = dict(tables)
         self.fact_table = fact_table
         self.foreign_keys = tuple(foreign_keys)
+        self._fingerprint: Optional[str] = None
 
     @property
     def fact(self) -> Table:
@@ -417,15 +423,23 @@ class Dataset:
         return names
 
     def fingerprint(self) -> str:
-        """Stable content digest over all tables plus the FK metadata."""
-        hasher = hashlib.sha256()
-        hasher.update(self.fact_table.encode("utf-8"))
-        for name in sorted(self.tables):
-            hasher.update(name.encode("utf-8"))
-            hasher.update(self.tables[name].fingerprint().encode("utf-8"))
-        for fk in self.foreign_keys:
-            hasher.update(repr(fk).encode("utf-8"))
-        return hasher.hexdigest()[:32]
+        """Stable content digest over all tables plus the FK metadata.
+
+        Memoized: tables are immutable-by-convention, and the compiled-
+        kernel cache keys every lookup on this digest, so hashing the
+        column bytes more than once per dataset would dwarf the lookups
+        it is meant to make cheap.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            hasher.update(self.fact_table.encode("utf-8"))
+            for name in sorted(self.tables):
+                hasher.update(name.encode("utf-8"))
+                hasher.update(self.tables[name].fingerprint().encode("utf-8"))
+            for fk in self.foreign_keys:
+                hasher.update(repr(fk).encode("utf-8"))
+            self._fingerprint = hasher.hexdigest()[:32]
+        return self._fingerprint
 
     def __repr__(self) -> str:
         kind = "star" if self.is_normalized else "denormalized"

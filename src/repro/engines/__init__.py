@@ -31,6 +31,15 @@ from repro.engines.base import Engine, EngineCapabilities, PreparationReport
 from repro.engines.columnstore import ColumnStoreEngine
 from repro.engines.cost import EngineCostModel, PreparationModel
 from repro.engines.frontend import FrontendEngine
+from repro.engines.kernel_cache import (
+    KernelCache,
+    clear_kernel_cache,
+    configure_kernel_cache,
+    get_kernel,
+    kernel_cache,
+    kernels_enabled,
+    set_kernels_enabled,
+)
 from repro.engines.onlineagg import OnlineAggEngine
 from repro.engines.progressive import ProgressiveEngine
 from repro.engines.sampling import StratifiedSamplingEngine
@@ -51,10 +60,17 @@ __all__ = [
     "EngineCapabilities",
     "EngineCostModel",
     "FrontendEngine",
+    "KernelCache",
     "OnlineAggEngine",
     "PreparationModel",
     "PreparationReport",
     "ProcessorSharingScheduler",
     "ProgressiveEngine",
     "StratifiedSamplingEngine",
+    "clear_kernel_cache",
+    "configure_kernel_cache",
+    "get_kernel",
+    "kernel_cache",
+    "kernels_enabled",
+    "set_kernels_enabled",
 ]

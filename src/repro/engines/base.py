@@ -231,15 +231,23 @@ class Engine:
         """Fraction of rows satisfying the query's filter (cost input).
 
         Cached per filter tree: dashboards re-evaluate the same effective
-        predicate across many linked queries.
+        predicate across many linked queries. With compiled kernels
+        enabled the fraction comes from the kernel's full-table mask, so
+        the predicate is never evaluated a second time for cost modeling.
         """
         cached = self._fraction_cache.get(query.filter)
         if cached is not None:
             return cached
-        mask = evaluate_filter(
-            query.filter, self.dataset.gather_column, self.actual_rows
-        )
-        fraction = float(mask.mean()) if len(mask) else 0.0
+        from repro.engines.kernel_cache import get_kernel  # deferred: cycle
+
+        kernel = get_kernel(self.dataset, query)
+        if kernel is not None:
+            fraction = kernel.qualifying_fraction
+        else:
+            mask = evaluate_filter(
+                query.filter, self.dataset.gather_column, self.actual_rows
+            )
+            fraction = float(mask.mean()) if len(mask) else 0.0
         self._fraction_cache[query.filter] = fraction
         return fraction
 

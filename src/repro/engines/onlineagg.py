@@ -27,7 +27,7 @@ This simulator reproduces those semantics:
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,7 +41,9 @@ from repro.engines.cost import (
     PreparationModel,
 )
 from repro.engines.estimators import srs_estimate
+from repro.engines.kernel_cache import get_kernel
 from repro.query.groundtruth import compute_grouped_stats, evaluate_exact
+from repro.query.kernels import PrefixKernelRun
 from repro.query.model import AggFunc, AggQuery, QueryResult
 
 
@@ -56,6 +58,8 @@ class OnlineAggEngine(Engine):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._permutation: Optional[np.ndarray] = None
+        #: query → incremental prefix aggregation (compiled-kernel path).
+        self._kernel_runs: Dict[AggQuery, PrefixKernelRun] = {}
 
     def _default_cost(self) -> EngineCostModel:
         return ONLINEAGG_COST
@@ -133,18 +137,31 @@ class OnlineAggEngine(Engine):
         state.extra["result_cache"] = (n, result)
         return result
 
+    def workflow_start(self) -> None:
+        """New workflow: drop incremental state (queries will not repeat)."""
+        self._kernel_runs.clear()
+
     def _estimate(self, query: AggQuery, n: int) -> QueryResult:
         if self._permutation is None:
             raise EngineError("engine not prepared")
         offset = derive_seed(self.settings.seed, self.name, "rotation", query) % self.actual_rows
-        end = offset + n
-        if end <= self.actual_rows:
-            indices = self._permutation[offset:end]
+        run = self._kernel_runs.get(query)
+        if run is None:
+            kernel = get_kernel(self.dataset, query)
+            if kernel is not None:
+                run = PrefixKernelRun(kernel, self._permutation, offset)
+                self._kernel_runs[query] = run
+        if run is not None:
+            stats = run.poll(n)
         else:
-            indices = np.concatenate(
-                [self._permutation[offset:], self._permutation[: end - self.actual_rows]]
-            )
-        stats = compute_grouped_stats(self.dataset, query, indices)
+            end = offset + n
+            if end <= self.actual_rows:
+                indices = self._permutation[offset:end]
+            else:
+                indices = np.concatenate(
+                    [self._permutation[offset:], self._permutation[: end - self.actual_rows]]
+                )
+            stats = compute_grouped_stats(self.dataset, query, indices)
         values, margins = srs_estimate(
             stats, n, self.actual_rows, self.settings.confidence_level
         )

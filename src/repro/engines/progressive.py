@@ -39,10 +39,12 @@ from repro.engines.cost import (
     PROGRESSIVE_PREP,
 )
 from repro.engines.estimators import srs_estimate
+from repro.engines.kernel_cache import get_kernel
 from repro.obs.metrics import get_metrics
 from repro.obs.profile import STAGE_ENGINE_STEP, get_profiler
 from repro.obs.tracer import get_tracer
 from repro.query.groundtruth import compute_grouped_stats
+from repro.query.kernels import PrefixKernelRun
 from repro.query.model import AggQuery, QueryResult
 
 #: Relative scheduler weight of speculative background tasks while the
@@ -73,6 +75,10 @@ class ProgressiveEngine(Engine):
         self._permutation: Optional[np.ndarray] = None
         #: query → tuples already processed in some earlier execution.
         self._reuse: Dict[AggQuery, int] = {}
+        #: query → incremental prefix aggregation (compiled-kernel path).
+        self._kernel_runs: Dict[AggQuery, PrefixKernelRun] = {}
+        #: query → rotation offset memo (derive_seed hashes per call).
+        self._offsets: Dict[AggQuery, int] = {}
         #: query → (task_id, rate) of a running speculative execution.
         self._speculative: Dict[AggQuery, Tuple[int, float]] = {}
         #: handles of foreground queries that have not been cancelled yet;
@@ -160,8 +166,14 @@ class ProgressiveEngine(Engine):
                 help="Progressive estimate kernels executed.",
             ).inc()
         with get_profiler().stage(STAGE_ENGINE_STEP):
-            indices = self._sample_indices(query, n)
-            stats = compute_grouped_stats(self.dataset, query, indices)
+            run = self._kernel_run(query)
+            if run is not None:
+                # Incremental path: fold in only the delta rows since the
+                # last poll of this query (bitwise-equal to from-scratch).
+                stats = run.poll(n)
+            else:
+                indices = self._sample_indices(query, n)
+                stats = compute_grouped_stats(self.dataset, query, indices)
             values, margins = srs_estimate(
                 stats, n, self.actual_rows, self.settings.confidence_level
             )
@@ -174,6 +186,32 @@ class ProgressiveEngine(Engine):
             exact=(n >= self.actual_rows),
         )
 
+    def _rotation_offset(self, query: AggQuery) -> int:
+        """The query's deterministic rotation offset (memoized per query)."""
+        offset = self._offsets.get(query)
+        if offset is None:
+            offset = (
+                derive_seed(self.settings.seed, self.name, "rotation", query)
+                % self.actual_rows
+            )
+            self._offsets[query] = offset
+        return offset
+
+    def _kernel_run(self, query: AggQuery) -> Optional[PrefixKernelRun]:
+        """The query's incremental run (None when kernels are disabled)."""
+        if self._permutation is None:
+            raise EngineError("engine not prepared")
+        run = self._kernel_runs.get(query)
+        if run is None:
+            kernel = get_kernel(self.dataset, query)
+            if kernel is None:
+                return None
+            run = PrefixKernelRun(
+                kernel, self._permutation, self._rotation_offset(query)
+            )
+            self._kernel_runs[query] = run
+        return run
+
     def _sample_indices(self, query: AggQuery, n: int) -> np.ndarray:
         """First ``n`` rows of the query's rotated permutation.
 
@@ -184,7 +222,7 @@ class ProgressiveEngine(Engine):
         """
         if self._permutation is None:
             raise EngineError("engine not prepared")
-        offset = derive_seed(self.settings.seed, self.name, "rotation", query) % self.actual_rows
+        offset = self._rotation_offset(query)
         end = offset + n
         if end <= self.actual_rows:
             return self._permutation[offset:end]
@@ -248,6 +286,7 @@ class ProgressiveEngine(Engine):
         """Free per-query state of discarded visualizations (Listing 1)."""
         for query in queries:
             self._reuse.pop(query, None)
+            self._kernel_runs.pop(query, None)
             speculative = self._speculative.pop(query, None)
             if speculative is not None:
                 self.scheduler.cancel(speculative[0])
@@ -275,6 +314,9 @@ class ProgressiveEngine(Engine):
             self.scheduler.cancel(task_id)
         self._speculative.clear()
         self._reuse.clear()
+        # Incremental accumulators restart with the reuse cache: the next
+        # workflow's polls rebuild from scratch (bitwise-equivalent).
+        self._kernel_runs.clear()
 
     def workflow_end(self) -> None:
         for task_id, _rate in self._speculative.values():

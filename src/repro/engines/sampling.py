@@ -41,6 +41,7 @@ from repro.engines.cost import (
     SAMPLING_PREP,
 )
 from repro.engines.estimators import StratumStats, stratified_estimate
+from repro.engines.kernel_cache import get_kernel
 from repro.query.groundtruth import compute_grouped_stats
 from repro.query.model import QueryResult
 
@@ -172,9 +173,15 @@ class StratifiedSamplingEngine(Engine):
         return state.extra["result"]
 
     def _estimate(self, state: _HandleState) -> QueryResult:
+        # One compiled kernel serves every stratum: the filter mask, bin
+        # codes and column casts are shared across the per-stratum passes.
+        kernel = get_kernel(self.dataset, state.query)
         strata_stats = []
         for indices, weight in self._strata:
-            stats = compute_grouped_stats(self.dataset, state.query, indices)
+            if kernel is not None:
+                stats = kernel.evaluate(indices)
+            else:
+                stats = compute_grouped_stats(self.dataset, state.query, indices)
             if stats.num_groups == 0:
                 continue
             strata_stats.append(

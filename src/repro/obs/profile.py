@@ -29,6 +29,7 @@ from repro.common.clock import perf_seconds
 STAGE_ENGINE_STEP = "engine_step"            # progressive-engine estimate kernels
 STAGE_PREDICATE_EVAL = "predicate_eval"      # filter/predicate mask evaluation
 STAGE_BINNING = "binning"                    # group-by bin assignment
+STAGE_COMPILE = "compile"                    # query-kernel compilation (docs/kernels.md)
 STAGE_SCHEDULER = "scheduler_arbitration"    # processor-sharing settle loops
 STAGE_TURN_GRANT = "turn_grant"              # shared-TCP grant→TURN_DONE round-trips
 STAGE_PENDING_STALL = "pending_stall"        # waiting on external client input
@@ -38,6 +39,7 @@ KNOWN_STAGES = (
     STAGE_ENGINE_STEP,
     STAGE_PREDICATE_EVAL,
     STAGE_BINNING,
+    STAGE_COMPILE,
     STAGE_SCHEDULER,
     STAGE_TURN_GRANT,
     STAGE_PENDING_STALL,

@@ -34,6 +34,7 @@ from repro.query.model import (
     QueryResult,
 )
 from repro.query.groundtruth import GroundTruthOracle, compute_grouped_stats, evaluate_exact
+from repro.query.kernels import CompiledQueryKernel, KernelAccumulator, PrefixKernelRun
 from repro.query.sql import query_to_sql
 from repro.query.sql_parser import parse_sql
 
@@ -45,9 +46,12 @@ __all__ = [
     "BinDimension",
     "BinKind",
     "Comparison",
+    "CompiledQueryKernel",
     "Filter",
     "GroundTruthOracle",
+    "KernelAccumulator",
     "Or",
+    "PrefixKernelRun",
     "QueryResult",
     "RangePredicate",
     "SetPredicate",

@@ -81,10 +81,19 @@ def compute_grouped_stats(
             "query has unresolved bin dimensions; call resolve_query first"
         )
 
+    # One gather per distinct column, not per use: a field that appears
+    # as both bin and aggregate (or in several predicates) used to pay
+    # the full gather — an FK dereference on normalized schemas — twice
+    # per poll.
+    resolved: Dict[str, np.ndarray] = {}
+
     def get_column(name: str) -> np.ndarray:
-        column = dataset.gather_column(name)
-        if row_indices is not None:
-            return column[row_indices]
+        column = resolved.get(name)
+        if column is None:
+            column = dataset.gather_column(name)
+            if row_indices is not None:
+                column = column[row_indices]
+            resolved[name] = column
         return column
 
     num_rows = (
@@ -164,8 +173,19 @@ def stats_to_exact_values(stats: GroupedStats) -> Dict[BinKey, Tuple[float, ...]
 
 
 def evaluate_exact(dataset: Dataset, query: AggQuery) -> QueryResult:
-    """Exact (blocking-engine / ground-truth) evaluation of a query."""
-    stats = compute_grouped_stats(dataset, query)
+    """Exact (blocking-engine / ground-truth) evaluation of a query.
+
+    Routed through the compiled-kernel cache when kernels are enabled:
+    the full-table stats are memoized on the kernel, so every oracle and
+    blocking engine in the process shares one evaluation per query.
+    """
+    from repro.engines.kernel_cache import get_kernel  # deferred: layering
+
+    kernel = get_kernel(dataset, query)
+    if kernel is not None:
+        stats = kernel.exact_stats()
+    else:
+        stats = compute_grouped_stats(dataset, query)
     return QueryResult(
         query=query,
         values=stats_to_exact_values(stats),

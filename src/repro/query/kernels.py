@@ -1,0 +1,342 @@
+"""Compiled query kernels: plan once, aggregate many prefixes cheaply.
+
+Progressive engines (§5's IDEA/XDB stand-ins) poll estimates "at any
+point in time", and every poll used to re-run the full
+predicate→bin→moments pipeline of
+:func:`repro.query.groundtruth.compute_grouped_stats` over the whole
+sample prefix, so a progressively polled query cost O(n²) row-touches per
+session. Compiling an :class:`~repro.query.model.AggQuery` against a
+dataset hoists everything that does not depend on the polled row subset
+out of the poll loop:
+
+* every referenced logical column is gathered **once** (FK dereference on
+  normalized schemas included);
+* the filter mask is evaluated once over the full table — predicates are
+  pointwise, so the mask of any row subset is a gather of the full mask;
+* bin codes and the group structure are built once over all filter-passing
+  rows, yielding a per-row *global group id* and the decoded keys in
+  canonical order (sorted codes / lexicographic for 2-D), of which every
+  subset's naive grouping is a restriction;
+* aggregate columns are pre-cast to ``float64`` once.
+
+A poll then reduces to one gather of group ids plus ``np.add.at`` /
+``np.minimum.at`` scatters — and :class:`PrefixKernelRun` makes polls over
+growing sample prefixes **incremental**: only the delta rows since the
+last poll are aggregated, turning per-session cost into O(n).
+
+Determinism contract (pinned by ``tests/test_kernels_differential.py``):
+compiled results are **bitwise identical** to the uncompiled path. The
+accumulators use unbuffered ``ufunc.at`` scatters, which apply updates
+sequentially in row order — exactly the fold ``np.bincount(weights=...)``
+performs — so continuing a running sum over delta rows reproduces the
+from-scratch IEEE-754 operation sequence bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.query.binning import compute_codes
+from repro.query.filters import evaluate_filter
+from repro.query.groundtruth import GroupedStats, compute_grouped_stats
+from repro.query.model import AggFunc, AggQuery, BinKey
+
+#: Mixed-radix packing of 2-D bin codes must stay inside int64; spans
+#: beyond this bound (degenerate bin widths, NaN-poisoned codes) compile
+#: in fallback mode, which delegates to the uncompiled path verbatim.
+_PACK_LIMIT = 2 ** 62
+
+
+class _PackingOverflow(Exception):
+    """2-D code packing would overflow int64; compile falls back."""
+
+
+class CompiledQueryKernel:
+    """One query compiled against one dataset.
+
+    Holds the resolved column arrays, the full-table filter mask, the
+    per-row global group id (``-1`` for rows failing the filter) and the
+    decoded bin keys in canonical order. ``evaluate`` aggregates any row
+    subset from scratch; ``new_accumulator`` starts an incremental
+    running aggregation over a growing row stream.
+    """
+
+    def __init__(self, dataset, query: AggQuery):
+        if not query.is_resolved:
+            raise QueryError(
+                "query has unresolved bin dimensions; call resolve_query first"
+            )
+        self.query = query
+        self._dataset = dataset
+        self.num_rows = dataset.num_fact_rows
+        self._columns: Dict[str, np.ndarray] = {
+            name: dataset.gather_column(name)
+            for name in query.referenced_columns()
+        }
+        self._mask = evaluate_filter(
+            query.filter, self._columns.__getitem__, self.num_rows
+        )
+        self.qualifying_fraction = (
+            float(self._mask.mean()) if len(self._mask) else 0.0
+        )
+
+        self._keys: List[BinKey] = []
+        self._row_gid = np.full(self.num_rows, -1, dtype=np.int64)
+        self._fallback = False
+        rows = np.flatnonzero(self._mask)
+        if rows.size:
+            try:
+                self._keys, gid = self._build_groups(rows)
+            except _PackingOverflow:
+                self._fallback = True
+            else:
+                self._row_gid[rows] = gid
+
+        #: aggregate index -> full-table float64 value array (shared when
+        #: several aggregates target the same column).
+        self._agg_values: Dict[int, np.ndarray] = {}
+        if not self._fallback:
+            cast: Dict[str, np.ndarray] = {}
+            for j, agg in enumerate(query.aggregates):
+                if agg.func is AggFunc.COUNT:
+                    continue
+                arr = cast.get(agg.field)
+                if arr is None:
+                    cast[agg.field] = arr = self._columns[agg.field].astype(
+                        np.float64
+                    )
+                self._agg_values[j] = arr
+        self._exact_stats: Optional[GroupedStats] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self._keys)
+
+    @property
+    def supports_incremental(self) -> bool:
+        """Whether running accumulators are available (False in fallback)."""
+        return not self._fallback
+
+    @property
+    def full_mask(self) -> np.ndarray:
+        """The full-table boolean filter mask (do not mutate)."""
+        return self._mask
+
+    def _build_groups(
+        self, rows: np.ndarray
+    ) -> Tuple[List[BinKey], np.ndarray]:
+        """Global group structure over all filter-passing ``rows``.
+
+        Mirrors :func:`repro.query.binning.group_rows` exactly, except the
+        grouping is computed once over every candidate row instead of per
+        subset: sorted unique codes for 1-D, mixed-radix packing (monotone
+        lexicographic, so subset orderings are restrictions) for 2-D.
+        """
+        dims = self.query.bins
+        per_dim = [
+            compute_codes(dim, self._columns[dim.field][rows]) for dim in dims
+        ]
+        if len(per_dim) == 1:
+            unique_codes, gid = np.unique(per_dim[0].codes, return_inverse=True)
+            keys = [(per_dim[0].decode(code),) for code in unique_codes]
+            return keys, gid.astype(np.int64)
+        first, second = per_dim
+        first_min = int(first.codes.min())
+        first_max = int(first.codes.max())
+        second_min = int(second.codes.min())
+        second_span = int(second.codes.max()) - second_min + 1
+        if (first_max - first_min) * second_span + (second_span - 1) > _PACK_LIMIT:
+            raise _PackingOverflow
+        packed = (first.codes - first_min) * second_span + (
+            second.codes - second_min
+        )
+        unique_packed, gid = np.unique(packed, return_inverse=True)
+        keys: List[BinKey] = []
+        for value in unique_packed:
+            first_code, second_code = divmod(int(value), second_span)
+            keys.append(
+                (
+                    first.decode(first_code + first_min),
+                    second.decode(second_code + second_min),
+                )
+            )
+        return keys, gid.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def new_accumulator(self) -> "KernelAccumulator":
+        """A fresh running aggregation (raises in fallback mode)."""
+        if self._fallback:
+            raise QueryError(
+                "kernel compiled in fallback mode has no incremental path"
+            )
+        return KernelAccumulator(self)
+
+    def evaluate(self, row_indices: Optional[np.ndarray] = None) -> GroupedStats:
+        """Aggregate ``row_indices`` (or everything) from scratch.
+
+        Bitwise identical to ``compute_grouped_stats(dataset, query,
+        row_indices)`` — the differential suite pins this.
+        """
+        if self._fallback:
+            return compute_grouped_stats(self._dataset, self.query, row_indices)
+        accumulator = self.new_accumulator()
+        accumulator.update(row_indices)
+        return accumulator.stats()
+
+    def exact_stats(self) -> GroupedStats:
+        """Full-table stats, computed once and memoized on the kernel."""
+        if self._exact_stats is None:
+            self._exact_stats = self.evaluate(None)
+        return self._exact_stats
+
+
+class KernelAccumulator:
+    """Running :class:`GroupedStats` over an append-only row stream.
+
+    ``update`` folds new rows into per-group counts and moment arrays
+    spanning *all* global groups; ``stats`` snapshots the groups seen so
+    far, in canonical key order. Because ``ufunc.at`` applies its updates
+    sequentially in row order, feeding rows in one call or split across
+    many calls produces bitwise-identical accumulator state — the property
+    that makes incremental prefix polling byte-equivalent to from-scratch
+    evaluation.
+    """
+
+    def __init__(self, kernel: CompiledQueryKernel):
+        self._kernel = kernel
+        num_groups = kernel.num_groups
+        self._counts = np.zeros(num_groups, dtype=np.int64)
+        self._sums: Dict[int, np.ndarray] = {}
+        self._sumsqs: Dict[int, np.ndarray] = {}
+        self._mins: Dict[int, np.ndarray] = {}
+        self._maxs: Dict[int, np.ndarray] = {}
+        for j in kernel._agg_values:
+            self._sums[j] = np.zeros(num_groups)
+            self._sumsqs[j] = np.zeros(num_groups)
+            self._mins[j] = np.full(num_groups, np.inf)
+            self._maxs[j] = np.full(num_groups, -np.inf)
+        self.rows_aggregated = 0
+        self.rows_scanned = 0
+
+    def update(self, row_indices: Optional[np.ndarray]) -> None:
+        """Fold more rows in (``None`` = the whole table, once)."""
+        kernel = self._kernel
+        if row_indices is None:
+            gid_rows = kernel._row_gid
+            self.rows_scanned += kernel.num_rows
+        else:
+            gid_rows = kernel._row_gid[row_indices]
+            self.rows_scanned += len(row_indices)
+        valid = gid_rows >= 0
+        gids = gid_rows[valid]
+        # Rows with a group id are exactly the filter-passing rows
+        # (AggQuery guarantees >= 1 bin dimension, so every masked row
+        # grouped at compile time).
+        self.rows_aggregated += len(gids)
+        if not len(gids):
+            return
+        np.add.at(self._counts, gids, 1)
+        for j, full_values in kernel._agg_values.items():
+            if row_indices is None:
+                values = full_values[valid]
+            else:
+                values = full_values[row_indices][valid]
+            np.add.at(self._sums[j], gids, values)
+            np.add.at(self._sumsqs[j], gids, values * values)
+            np.minimum.at(self._mins[j], gids, values)
+            np.maximum.at(self._maxs[j], gids, values)
+
+    def stats(self) -> GroupedStats:
+        """Snapshot the groups seen so far as a :class:`GroupedStats`."""
+        present = np.flatnonzero(self._counts > 0)
+        keys = [self._kernel._keys[g] for g in present]
+        sums: Dict[int, np.ndarray] = {}
+        sumsqs: Dict[int, np.ndarray] = {}
+        mins: Dict[int, np.ndarray] = {}
+        maxs: Dict[int, np.ndarray] = {}
+        for j in self._sums:
+            sums[j] = self._sums[j][present]
+            sumsqs[j] = self._sumsqs[j][present]
+            mins[j] = self._mins[j][present]
+            maxs[j] = self._maxs[j][present]
+        return GroupedStats(
+            query=self._kernel.query,
+            keys=keys,
+            counts=self._counts[present],
+            sums=sums,
+            sumsqs=sumsqs,
+            mins=mins,
+            maxs=maxs,
+            rows_aggregated=self.rows_aggregated,
+            rows_scanned=self.rows_scanned,
+        )
+
+
+class PrefixKernelRun:
+    """Incremental aggregation of one query over a rotated sample prefix.
+
+    Progressive engines poll growing prefixes of a rotation
+    ``permutation[offset:offset+n]`` (wrapping around). A run keeps the
+    accumulator for the largest prefix polled so far and, on the next
+    poll, folds in only the delta rows. Scratch rebuilds happen when the
+    prefix shrinks (cancel/reissue races) and the first time the prefix
+    wraps past the end of the permutation; both fallbacks are
+    bitwise-equivalent to the incremental path, just slower.
+    """
+
+    def __init__(
+        self, kernel: CompiledQueryKernel, permutation: np.ndarray, offset: int
+    ):
+        self._kernel = kernel
+        self._permutation = permutation
+        self._rows = len(permutation)
+        self._offset = int(offset) % max(1, self._rows)
+        self._accumulator: Optional[KernelAccumulator] = None
+        self._n = 0
+        self.rebuilds = 0
+
+    @property
+    def polled_n(self) -> int:
+        """The prefix length of the last poll."""
+        return self._n
+
+    def poll(self, n: int) -> GroupedStats:
+        """Stats of the first ``n`` prefix rows (``0 <= n <= rows``)."""
+        n = min(n, self._rows)
+        if not self._kernel.supports_incremental:
+            self._n = n
+            return self._kernel.evaluate(self._slice(0, n))
+        if (
+            self._accumulator is None
+            or n < self._n
+            or self._delta_wraps(self._n, n)
+        ):
+            self._accumulator = self._kernel.new_accumulator()
+            self._accumulator.update(self._slice(0, n))
+            if self._n:
+                self.rebuilds += 1
+        elif n > self._n:
+            self._accumulator.update(self._slice(self._n, n))
+        self._n = n
+        return self._accumulator.stats()
+
+    def _delta_wraps(self, last_n: int, n: int) -> bool:
+        """Whether the delta segment crosses the permutation boundary."""
+        return self._offset + last_n < self._rows < self._offset + n
+
+    def _slice(self, start_n: int, end_n: int) -> np.ndarray:
+        """Prefix positions ``[start_n, end_n)`` of the rotation, in order."""
+        start = self._offset + start_n
+        end = self._offset + end_n
+        if start >= self._rows:
+            start -= self._rows
+            end -= self._rows
+        if end <= self._rows:
+            return self._permutation[start:end]
+        return np.concatenate(
+            [self._permutation[start:], self._permutation[: end - self._rows]]
+        )

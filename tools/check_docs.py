@@ -142,6 +142,21 @@ REQUIRED_SECTIONS = {
         "stats_request",
         "### Stats probes",
     ],
+    "docs/kernels.md": [
+        "## The compile pipeline",
+        "## Cache keying",
+        "## The incremental contract",
+        "## The determinism guarantee",
+        "## Escape hatches",
+        "dataset.fingerprint()",
+        "query_cache_key",
+        "repro_kernel_cache_",
+        "REPRO_KERNELS",
+        "REPRO_KERNEL_CACHE_SIZE",
+        "--no-kernels",
+        "BENCH_kernels.json",
+        "bitwise equality",
+    ],
     "docs/observability.md": [
         "## The two-axis contract",
         "## Span and event taxonomy",
@@ -171,6 +186,9 @@ REQUIRED_SECTIONS = {
         "--log-level",
         "repro trace summary",
         "docs/observability.md",
+        "--no-kernels",
+        "REPRO_KERNELS=off",
+        "docs/kernels.md",
     ],
 }
 
