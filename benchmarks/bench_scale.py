@@ -1,0 +1,303 @@
+"""Acceptance benchmark for population-scale serving (ISSUE 8).
+
+Run directly (not through pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--curve 2000,20000]
+
+Demonstrates the event-calendar scheduler's scale criteria:
+
+1. **scale curve** — open-system spooled runs complete N total sessions
+   in one process (N sweeping the ``--curve`` counts) under a wall cap,
+   with every session served and all per-session state freed at retire;
+2. **constant memory** — tracemalloc peak at N total sessions vs 2N
+   total sessions (same arrival rate and residence, so the same steady
+   active population) stays within ``MEMORY_RATIO_CAP``: memory is
+   O(active sessions), not O(total sessions served);
+3. **saturation curve** — ramping the arrival rate on a shared engine
+   grows the active population and the %TR-violated climbs with it
+   (sessions vs TR violations vs wall time — the load-shedding signal a
+   deployment would alarm on);
+4. **determinism** — a repeated spooled run reproduces the spill file
+   byte-for-byte and every aggregate counter exactly.
+
+Results land in ``benchmarks/results/scale.txt`` (and
+``BENCH_scale.json``). The 10⁵-session acceptance configuration is
+``--curve 100000 --wall-cap 900``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentContext
+from repro.common.config import BenchmarkSettings, DataSize
+from repro.server import ArrivalProcess, OpenSystemManager, RecordSpool
+
+try:  # package import (repo root on sys.path)
+    from benchmarks.benchjson import artifact_identity, write_bench_json
+except ImportError:  # direct invocation: benchmarks/ is sys.path[0]
+    from benchjson import artifact_identity, write_bench_json
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Peak-memory growth allowed when the *total* session count doubles at
+#: a constant active population. 1.0 would be perfectly constant; the
+#: slack absorbs allocator noise and the spool's OS write buffering.
+MEMORY_RATIO_CAP = 1.35
+
+#: %TR-violated floor the saturated (highest-rate) shared-engine point
+#: must exceed — the curve has to actually bend.
+SATURATION_TR_FLOOR = 5.0
+
+
+def _arrivals(total, rate, residence, seed):
+    # Horizon padded 50% past the expected fill time so the Poisson
+    # draw always reaches the session cap: every run serves exactly
+    # ``total`` sessions, which the curve checks count on.
+    return ArrivalProcess(
+        rate, 1.5 * total / rate, seed=seed,
+        mean_residence=residence, max_sessions=total,
+    )
+
+
+def _serve(ctx, args, arrivals, *, share_engine=False, spill=None):
+    manager = OpenSystemManager.for_engine(
+        ctx, args.engine, arrivals,
+        per_session=args.per_session,
+        share_engine=share_engine,
+        spool=RecordSpool(spill),
+    )
+    start = time.perf_counter()
+    manager.run()
+    wall = time.perf_counter() - start
+    manager.spool.close()
+    return manager, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--curve", default="2000,20000",
+                        help="comma-separated total session counts for "
+                             "the scale curve")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="arrival rate (sessions per virtual second)")
+    parser.add_argument("--residence", type=float, default=2.0,
+                        help="mean session residence (virtual seconds); "
+                             "rate × residence ≈ steady active population")
+    parser.add_argument("--memory-sessions", type=int, default=800,
+                        dest="memory_sessions",
+                        help="N for the constant-memory check (peak at "
+                             "N vs 2N total sessions)")
+    parser.add_argument("--saturation-rates", default="5,15,40",
+                        dest="saturation_rates",
+                        help="comma-separated arrival rates for the "
+                             "shared-engine saturation sweep")
+    parser.add_argument("--wall-cap", type=float, default=300.0,
+                        dest="wall_cap",
+                        help="wall-second cap per scale-curve point")
+    parser.add_argument("--per-session", type=int, default=1,
+                        dest="per_session")
+    parser.add_argument("--engine", default="idea-sim")
+    parser.add_argument("--scale", type=int, default=1_000_000,
+                        help="virtual-to-actual scale (1M → 100 rows at "
+                             "S: tiny queries, the scheduler is the "
+                             "system under test)")
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    curve = [int(n) for n in args.curve.split(",") if n]
+    rates = [float(r) for r in args.saturation_rates.split(",") if r]
+    settings = BenchmarkSettings(
+        data_size=DataSize.S,
+        scale=args.scale,
+        seed=args.seed,
+        time_requirement=1.0,
+    )
+    ctx = ExperimentContext(settings)
+    # Warm the shared immutable state (dataset, oracle) so neither the
+    # wall caps nor the tracemalloc peaks measure one-time setup.
+    ctx.dataset(settings.data_size)
+    ctx.oracle(settings.data_size)
+
+    lines = [
+        f"population-scale serving benchmark — {args.engine}, "
+        f"{settings.actual_rows:,} actual rows, "
+        f"arrivals {args.rate:g}/s × residence {args.residence:g}s "
+        f"(steady active ≈ {args.rate * args.residence:.0f})",
+        "",
+    ]
+    ok = True
+
+    def check(condition, message):
+        nonlocal ok
+        lines.append(("PASS: " if condition else "FAIL: ") + message)
+        ok = ok and bool(condition)
+
+    # 1. Scale curve: N total sessions, one process, spooled.
+    lines.append("scale curve (isolated engines, spooled):")
+    lines.append(
+        f"  {'total':>8} {'served':>8} {'peak act':>8} {'queries':>8} "
+        f"{'%TR viol':>8} {'wall':>8} {'sess/s':>8}"
+    )
+    curve_rows = []
+    for total in curve:
+        manager, wall = _serve(
+            ctx, args, _arrivals(total, args.rate, args.residence, args.seed)
+        )
+        agg = manager.aggregate
+        pct = (
+            100.0 * agg.tr_violations / agg.num_queries
+            if agg.num_queries else 0.0
+        )
+        lines.append(
+            f"  {total:>8} {agg.sessions_served:>8} {agg.peak_active:>8} "
+            f"{agg.num_queries:>8} {pct:>7.1f}% {wall:>7.1f}s "
+            f"{agg.sessions_served / wall:>8.0f}"
+        )
+        curve_rows.append({
+            "total_sessions": total,
+            "sessions_served": agg.sessions_served,
+            "peak_active": agg.peak_active,
+            "num_queries": agg.num_queries,
+            "pct_tr_violated": pct,
+            "wall_seconds": wall,
+        })
+        check(
+            agg.sessions_served == total,
+            f"{total} sessions: every arrival served",
+        )
+        check(
+            wall < args.wall_cap,
+            f"{total} sessions: wall {wall:.1f}s under cap "
+            f"{args.wall_cap:g}s",
+        )
+        check(
+            manager.streams == {},
+            f"{total} sessions: per-session streams freed at retire",
+        )
+    lines.append("")
+
+    # 2. Constant memory: peak at N vs 2N total sessions.
+    def traced_peak(total):
+        gc.collect()
+        tracemalloc.start()
+        manager, _ = _serve(
+            ctx, args, _arrivals(total, args.rate, args.residence, args.seed)
+        )
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        return peak, manager.aggregate
+
+    base_n = args.memory_sessions
+    peak_small, agg_small = traced_peak(base_n)
+    peak_large, agg_large = traced_peak(2 * base_n)
+    ratio = peak_large / peak_small
+    lines.append(
+        f"constant memory: peak {peak_small / 1e6:.2f} MB @ {base_n} "
+        f"total → {peak_large / 1e6:.2f} MB @ {2 * base_n} total "
+        f"(ratio {ratio:.2f}, active {agg_small.peak_active} → "
+        f"{agg_large.peak_active})"
+    )
+    check(
+        agg_large.sessions_served == 2 * agg_small.sessions_served,
+        "memory check doubled the total population",
+    )
+    check(
+        ratio <= MEMORY_RATIO_CAP,
+        f"peak memory O(active): 2× total sessions grew peak "
+        f"{ratio:.2f}× (cap {MEMORY_RATIO_CAP})",
+    )
+    lines.append("")
+
+    # 3. Saturation curve: shared engine, ramping arrival rate.
+    lines.append("saturation curve (ONE shared engine, horizon 40s):")
+    saturation_rows = []
+    for rate in rates:
+        arrivals = ArrivalProcess(
+            rate, 40.0, seed=args.seed,
+            mean_residence=args.residence, max_sessions=10 ** 6,
+        )
+        manager, wall = _serve(ctx, args, arrivals, share_engine=True)
+        agg = manager.aggregate
+        pct = (
+            100.0 * agg.tr_violations / agg.num_queries
+            if agg.num_queries else 0.0
+        )
+        lines.append(
+            f"  rate {rate:>5.1f}/s: active ≤{agg.peak_active:>4}, "
+            f"{agg.num_queries:>6} queries, {pct:>5.1f}% TR violated, "
+            f"{wall:.1f}s wall"
+        )
+        saturation_rows.append({
+            "arrival_rate": rate,
+            "peak_active": agg.peak_active,
+            "num_queries": agg.num_queries,
+            "pct_tr_violated": pct,
+            "wall_seconds": wall,
+        })
+    pcts = [row["pct_tr_violated"] for row in saturation_rows]
+    check(
+        all(a <= b for a, b in zip(pcts, pcts[1:])),
+        "TR violations nondecreasing as arrival rate ramps",
+    )
+    check(
+        pcts[-1] > SATURATION_TR_FLOOR > pcts[0],
+        f"curve bends: {pcts[0]:.1f}% at {rates[0]:g}/s → "
+        f"{pcts[-1]:.1f}% at {rates[-1]:g}/s "
+        f"(floor {SATURATION_TR_FLOOR:g}%)",
+    )
+    lines.append("")
+
+    # 4. Determinism: spill bytes and aggregates reproduce exactly.
+    with tempfile.TemporaryDirectory() as tmp:
+        def spooled(path):
+            manager, _ = _serve(
+                ctx, args,
+                _arrivals(curve[0], args.rate, args.residence, args.seed),
+                spill=path,
+            )
+            agg = manager.aggregate
+            return Path(path).read_bytes(), (
+                agg.num_queries, agg.tr_violations, agg.sessions_served,
+                agg.sessions_departed, agg.total_steps, agg.peak_active,
+                agg.virtual_makespan,
+            )
+
+        bytes_a, agg_a = spooled(str(Path(tmp) / "a.jsonl"))
+        bytes_b, agg_b = spooled(str(Path(tmp) / "b.jsonl"))
+    check(bytes_a == bytes_b, "spill file byte-identical across runs")
+    check(agg_a == agg_b, "aggregate counters identical across runs")
+
+    lines.append("")
+    lines.append("PASS" if ok else "FAIL")
+
+    text = "\n".join(lines)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scale.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "artifact": "scale.txt",
+        "ok": ok,
+        "curve": curve_rows,
+        "memory": {
+            "total_sessions": base_n,
+            "peak_bytes_small": peak_small,
+            "peak_bytes_large": peak_large,
+            "ratio": ratio,
+            "ratio_cap": MEMORY_RATIO_CAP,
+        },
+        "saturation": saturation_rows,
+    }
+    payload.update(artifact_identity(text))
+    write_bench_json(RESULTS_DIR, "scale", payload)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

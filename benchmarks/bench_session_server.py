@@ -77,7 +77,9 @@ def main(argv=None) -> int:
     ok = True
 
     # 1. Serial equivalence (isolated mode).
-    manager, results = _run(ctx, args.engine, args.sessions, args.per_session)
+    manager, results = _run(
+        ctx, args.engine, args.sessions, args.per_session, trace_capture=True
+    )
     baseline = serial_baseline(ctx, args.engine, manager.specs)
     mismatched = [
         result.session_id

@@ -55,8 +55,9 @@ def main() -> None:
         "idea-sim",
         num_sessions=3,
         per_session=1,
-        share_engine=True,  # all three contend on one engine, fairly
-        on_record=live,     # the per-session metric stream
+        share_engine=True,   # all three contend on one engine, fairly
+        on_record=live,      # the per-session metric stream
+        trace_capture=True,  # keep the (time, session) step marks below
     )
     results = manager.run()
 

@@ -160,9 +160,12 @@ def compute_metrics(
                 denom > 0, np.abs(est_d - tru_d) / np.where(denom > 0, denom, 1.0), 0.0
             )
             smapes.append(float(smape_terms.mean()))
-            truth_sum = float(np.abs(tru_d).sum())
-            if truth_sum > 0:
-                biases.append(float(est_d.sum()) / float(tru_d.sum()))
+            # Guard on the *signed* sum — the actual denominator. A
+            # signed mix like (+5, -5) passes an abs-sum check yet
+            # divides by zero (bias is undefined when truths cancel).
+            truth_sum = float(tru_d.sum())
+            if truth_sum != 0.0:
+                biases.append(float(est_d.sum()) / truth_sum)
         # Relative margins and out-of-margin checks over delivered bins.
         for i, key in enumerate(ground_truth.values):
             if not delivered_mask[i]:

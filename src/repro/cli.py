@@ -337,6 +337,7 @@ def _cmd_serve_tcp(args, settings) -> int:
         (args.follow, "--follow"),
         (args.out is not None, "--out"),
         (args.accel is not None, "--accel"),
+        (args.spill is not None, "--spill"),
     ]
     if not args.share_engine:
         # Isolated serving: the workload is configured per connection at
@@ -413,10 +414,14 @@ def _cmd_serve_tcp(args, settings) -> int:
 def _cmd_serve(args) -> int:
     from repro.server import (
         ArrivalProcess,
+        FollowPrinter,
         OpenSystemManager,
         RateSchedule,
+        RecordSpool,
         SessionManager,
+        render_aggregate_report,
         render_session_table,
+        resolve_scheduler,
         serial_baseline,
         total_records,
     )
@@ -461,19 +466,51 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.spill is not None:
+        blocked = [
+            flag
+            for used, flag in [
+                (args.verify, "--verify"),
+                (args.out is not None, "--out"),
+            ]
+            if used
+        ]
+        if blocked:
+            print(
+                f"{', '.join(blocked)} cannot combine with --spill: "
+                "spooled serving streams records to disk instead of "
+                "retaining them, so per-session reports are not "
+                "available after the run (read the spill file back "
+                "with repro.server.iter_spool)",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            if resolve_scheduler(args.scheduler) != "calendar":
+                print(
+                    "--spill requires the calendar scheduler (drop "
+                    "--scheduler tasks / REPRO_SCHEDULER=tasks): the "
+                    "legacy task-per-session path retains records by "
+                    "construction",
+                    file=sys.stderr,
+                )
+                return 1
+        except BenchmarkError as error:
+            print(str(error), file=sys.stderr)
+            return 1
     ctx = ExperimentContext(settings)
     workflow_type = WorkflowType(args.workflow_type)
     on_record = None
+    follow = None
     if args.follow:
-        def on_record(session_id, record):
-            status = "VIOLATED" if record.tr_violated else "ok"
-            print(
-                f"  [{record.end_time:8.2f}s] {session_id} "
-                f"q{record.query_id} {record.viz_name}: {status}"
-            )
+        # Per-query lines for small populations; periodic aggregate
+        # lines at scale (repro.server.report.FOLLOW_AGGREGATE_THRESHOLD).
+        follow = FollowPrinter(args.sessions)
+        on_record = follow
     mode = "shared engine" if args.share_engine else "isolated engines"
     pacing = f", paced at {args.accel:g}x" if args.accel else ""
     users = args.policy or "scripted"
+    spool = RecordSpool(args.spill) if args.spill is not None else None
     if args.arrivals is not None:
         horizon = args.horizon if args.horizon is not None else 120.0
         try:
@@ -504,6 +541,8 @@ def _cmd_serve(args) -> int:
             accel=args.accel,
             speculation=args.speculation,
             on_record=on_record,
+            scheduler=args.scheduler,
+            spool=spool,
         )
         shape = (
             f"{args.arrival_schedule} schedule @ base {args.arrivals:g}/s"
@@ -527,6 +566,8 @@ def _cmd_serve(args) -> int:
             speculation=args.speculation,
             on_record=on_record,
             policy=args.policy,
+            scheduler=args.scheduler,
+            spool=spool,
         )
         print(
             f"serving {args.sessions} sessions × {args.per_session} "
@@ -534,6 +575,22 @@ def _cmd_serve(args) -> int:
             f"{args.engine} ({mode}{pacing})"
         )
     results = manager.run()
+    if follow is not None:
+        follow.close()
+    if spool is not None:
+        spool.close()
+        print()
+        print(render_aggregate_report(
+            manager.aggregate,
+            title=f"{args.engine} @ TR={settings.time_requirement}s "
+                  f"({mode}, spooled)",
+            spill_path=args.spill,
+        ))
+        print(
+            f"\n{spool.count} records spooled in "
+            f"{manager.wall_seconds:.2f}s wall"
+        )
+        return 0
     print()
     print(render_session_table(
         results,
@@ -628,6 +685,7 @@ def _cmd_bench_sessions(args) -> int:
             per_session=args.per_session,
             workflow_type=WorkflowType(args.workflow_type),
             modes=modes,
+            incremental=args.incremental,
             store=store,
             progress=None if args.quiet else print,
         )
@@ -693,6 +751,7 @@ def _cmd_bench_adaptive(args) -> int:
             horizon=args.horizon,
             residence=args.residence,
             share_engine=args.share_engine,
+            incremental=args.incremental,
             store=store,
             progress=None if args.quiet else print,
         )
@@ -1214,6 +1273,18 @@ def build_parser() -> argparse.ArgumentParser:
                               "per-session reports are byte-identical")
     p_serve.add_argument("--out", default=None,
                          help="directory for per-session detailed CSVs")
+    p_serve.add_argument("--spill", default=None, metavar="PATH",
+                         help="constant-memory serving: stream every "
+                              "record to a JSONL spill file instead of "
+                              "retaining it, and report run-level "
+                              "aggregates (how 100k+ sessions fit in "
+                              "one process; docs/server.md)")
+    p_serve.add_argument("--scheduler", default=None,
+                         choices=["calendar", "tasks"],
+                         help="session scheduler: the event-calendar "
+                              "heap (default) or the legacy "
+                              "task-per-session path; REPRO_SCHEDULER "
+                              "sets the default")
     p_serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
                          help="expose the server over a TCP socket "
                               "instead of serving in-process (port 0 = "
@@ -1339,6 +1410,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "unlimited; default 2 GiB)")
     p_bench.add_argument("--out", default=None,
                          help="load report CSV path (deterministic bytes)")
+    p_bench.add_argument("--incremental", action="store_true",
+                         help="fold each cell incrementally instead of "
+                              "retaining every record (constant memory "
+                              "per cell; skips the cell cache)")
     p_bench.add_argument("--quiet", action="store_true",
                          help="suppress per-cell progress lines")
     _add_obs_arguments(p_bench)
@@ -1392,6 +1467,10 @@ def build_parser() -> argparse.ArgumentParser:
                             default=DEFAULT_CACHE_BUDGET_BYTES,
                             help="store byte budget (LRU eviction; 0 = "
                                  "unlimited; default 2 GiB)")
+    p_adaptive.add_argument("--incremental", action="store_true",
+                            help="fold each cell incrementally instead "
+                                 "of retaining every record (constant "
+                                 "memory per cell; skips the cell cache)")
     p_adaptive.add_argument("--out", default=None,
                             help="adaptive report CSV path "
                                  "(deterministic bytes)")

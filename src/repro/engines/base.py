@@ -226,6 +226,49 @@ class Engine:
         state.
         """
 
+    # -- memory reclamation (population-scale serving) -------------------
+    def _retained_task_ids(self) -> set:
+        """Scheduler task ids a subclass still needs after settlement.
+
+        Engines that read *completed* tasks' service histories later —
+        the progressive engine's result-reuse map — return those ids so
+        :meth:`release_settled` keeps them. Default: nothing is retained.
+        """
+        return set()
+
+    def release_settled(self) -> int:
+        """Drop book-keeping of queries that can never be observed again.
+
+        A long-lived shared engine otherwise accumulates one handle state
+        and one scheduler task (with its full service history) per query
+        ever submitted — memory proportional to *total* load, not current
+        load. The session server calls this when a session retires from a
+        constant-memory serving run: every handle whose task is settled
+        (finished or cancelled) and not retained by the engine subclass
+        is forgotten, in both the engine and its scheduler. Returns the
+        number of handles released. The caller promises not to query the
+        released handles again; in the serving stack that holds because a
+        retired session's records are already final.
+        """
+        retained = self._retained_task_ids()
+        released = 0
+        for handle, state in list(self._handles.items()):
+            if state.task_id in retained:
+                continue
+            settled = self.scheduler.finished_at(
+                state.task_id
+            ) is not None or self.scheduler.is_cancelled(state.task_id)
+            if not settled:
+                continue
+            del self._handles[handle]
+            self.scheduler.release_task(state.task_id)
+            self._released(state)
+            released += 1
+        return released
+
+    def _released(self, state: _HandleState) -> None:
+        """Subclass hook: a handle was just released (drop cross-refs)."""
+
     # -- shared helpers ----------------------------------------------------
     def qualifying_fraction(self, query: AggQuery) -> float:
         """Fraction of rows satisfying the query's filter (cost input).

@@ -86,6 +86,20 @@ class ProgressiveEngine(Engine):
         self._foreground: set = set()
         self._first_query_pending = True
 
+    def _retained_task_ids(self) -> set:
+        # Parked speculative executions are read back (work_done) when the
+        # speculated query is finally submitted — their tasks must survive
+        # release_settled() even if a group sweep already cancelled them.
+        return {task_id for task_id, _ in self._speculative.values()}
+
+    def _released(self, state) -> None:
+        # A handle cancelled by a scheduler group sweep (departed session)
+        # never went through _before_cancel; un-count it as foreground so
+        # a churned-out user cannot keep speculation paused forever.
+        self._foreground.discard(state.handle)
+        if not self._foreground:
+            self._set_speculation_paused(False)
+
     def _default_cost(self) -> EngineCostModel:
         return PROGRESSIVE_COST
 

@@ -170,6 +170,13 @@ class ProcessorSharingScheduler:
     def __init__(self, clock: Clock, policy: Optional[SchedulingPolicy] = None):
         self._clock = clock
         self._tasks: Dict[int, _Task] = {}
+        # Active-set index: the settle loop, group sweeps, and policy
+        # arbitration touch only tasks still consuming capacity, so one
+        # step costs O(active tasks) no matter how many tasks the engine
+        # has completed over its lifetime (the 100k-session frontier).
+        # Insertion order equals task-id order, exactly like filtering
+        # ``_tasks`` did, so arbitration sees tasks in the same order.
+        self._active: Dict[int, _Task] = {}
         self._next_id = 0
         self._last_advance = clock.now()
         self._policy = policy if policy is not None else WeightedSharingPolicy()
@@ -225,10 +232,11 @@ class ProcessorSharingScheduler:
         now = self._clock.now()
         self._settle(now)
         cancelled = 0
-        for task in self._tasks.values():
-            if task.active and task.group == group:
+        for task in list(self._active.values()):
+            if task.group == group:
                 task.cancelled = True
                 task.record(now)
+                del self._active[task.task_id]
                 cancelled += 1
         if group is not None and self._current_group == group:
             self._current_group = None
@@ -242,7 +250,7 @@ class ProcessorSharingScheduler:
         clean; it is also a useful live diagnostic of who is consuming
         capacity on a shared engine.
         """
-        groups = {task.group for task in self._tasks.values() if task.active}
+        groups = {task.group for task in self._active.values()}
         return sorted(groups, key=lambda g: (g is None, g or ""))
 
     # ------------------------------------------------------------------
@@ -276,6 +284,8 @@ class ProcessorSharingScheduler:
         if work_total == 0.0:
             task.finished_at = now
         self._tasks[task.task_id] = task
+        if task.active:
+            self._active[task.task_id] = task
         self._next_id += 1
         return task.task_id
 
@@ -287,6 +297,7 @@ class ProcessorSharingScheduler:
         if task.active:
             task.cancelled = True
             task.record(now)
+            del self._active[task.task_id]
 
     def set_weight(self, task_id: int, weight: float) -> None:
         """Change a task's weight (e.g. promote a speculative task)."""
@@ -311,6 +322,7 @@ class ProcessorSharingScheduler:
         task.work_done = min(task.work_total, task.work_done + amount)
         if task.remaining <= 1e-12:
             task.finished_at = now
+            self._active.pop(task_id, None)
         task.record(now)
 
     # ------------------------------------------------------------------
@@ -335,7 +347,7 @@ class ProcessorSharingScheduler:
         now = self._last_advance
         remaining_dt = until - now
         while remaining_dt > 1e-12:
-            active = [t for t in self._tasks.values() if t.active]
+            active = list(self._active.values())
             if not active:
                 break
             rates = self._policy.rates(active)
@@ -360,9 +372,9 @@ class ProcessorSharingScheduler:
                 if not math.isinf(task.work_total) and task.remaining <= 1e-9:
                     task.finished_at = now
                     task.record(now)
-        for task in self._tasks.values():
-            if task.active:
-                task.record(until)
+                    del self._active[task.task_id]
+        for task in self._active.values():
+            task.record(until)
         self._last_advance = until
         if profiler.enabled:
             # Arbitration cost: the settle loop re-queries the policy on
@@ -411,7 +423,27 @@ class ProcessorSharingScheduler:
 
     def active_tasks(self) -> List[int]:
         """Ids of tasks still consuming capacity."""
-        return [t.task_id for t in self._tasks.values() if t.active]
+        return list(self._active)
+
+    def release_task(self, task_id: int) -> None:
+        """Forget a *settled* (finished or cancelled) task entirely.
+
+        Long-lived shared engines accumulate one :class:`_Task` — service
+        history included — per query ever submitted; a population-scale
+        serving run must shed them or memory grows with *total* sessions,
+        not active ones. Releasing is the caller's promise that nobody
+        will query this task again (``work_at``, ``finished_at``); the
+        session server makes that promise only when the owning session
+        has fully retired. Releasing an unknown id is a no-op (the task
+        may have been released already); releasing an active task is an
+        error — its service history is still being written.
+        """
+        task = self._tasks.get(task_id)
+        if task is None:
+            return
+        if task.active:
+            raise EngineError(f"cannot release active task {task_id}")
+        del self._tasks[task_id]
 
     def _get(self, task_id: int) -> _Task:
         try:

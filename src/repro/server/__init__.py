@@ -38,11 +38,20 @@ from repro.server.manager import (
     SessionManager,
     SessionTurnHook,
     make_session,
+    resolve_scheduler,
     serial_baseline,
     session_specs,
 )
+from repro.server.spool import (
+    RecordSpool,
+    ServingAggregate,
+    iter_spool,
+    render_aggregate_report,
+)
 from repro.server.report import (
+    FOLLOW_AGGREGATE_THRESHOLD,
     AdaptiveBenchCell,
+    FollowPrinter,
     SessionBenchCell,
     adaptive_bench_csv_text,
     render_adaptive_bench,
@@ -65,8 +74,12 @@ __all__ = [
     "AdaptiveBenchCell",
     "ArrivalProcess",
     "AsyncClock",
+    "FOLLOW_AGGREGATE_THRESHOLD",
+    "FollowPrinter",
     "OpenSystemManager",
     "RateSchedule",
+    "RecordSpool",
+    "ServingAggregate",
     "SessionAbandoned",
     "SessionArrival",
     "SessionBenchCell",
@@ -75,7 +88,10 @@ __all__ = [
     "SessionSpec",
     "SessionStream",
     "SessionTurnHook",
+    "iter_spool",
     "make_session",
+    "render_aggregate_report",
+    "resolve_scheduler",
     "adaptive_bench_csv_text",
     "render_adaptive_bench",
     "render_session_bench",

@@ -37,9 +37,12 @@ paced runs are byte-identical to unpaced ones (docs/server.md).
 from __future__ import annotations
 
 import asyncio
+import heapq
+import itertools
 import math
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.bench.driver import BenchmarkDriver, QueryRecord, SessionDriver
 from repro.common.clock import VirtualClock, perf_seconds
@@ -49,15 +52,58 @@ from repro.common.rng import derive_rng, derive_session_seed
 from repro.engines.scheduler import FairSessionPolicy, WeightedSharingPolicy
 from repro.obs.metrics import get_metrics
 from repro.obs.profile import STAGE_PENDING_STALL, get_profiler
+from repro.obs.sink import RingBuffer
 from repro.obs.tracer import get_tracer
 from repro.server.clock import AsyncClock
 from repro.server.session import SessionResult, SessionSpec, SessionStream
+from repro.server.spool import RecordSpool, ServingAggregate
 from repro.workflow.generator import WorkflowGenerator
 from repro.workflow.policy import InteractionPolicy, make_policy
 from repro.workflow.spec import WorkflowType
 
 #: Sentinel: session is mid-step or has not declared its next event yet.
 _UNKNOWN = object()
+
+#: Environment variable selecting the step scheduler implementation.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+#: The event-calendar scheduler: one loop, a heap of (time, index)
+#: entries, O(log N) per grant. The default.
+SCHEDULER_CALENDAR = "calendar"
+#: The legacy task-per-session scheduler, kept for A/B equivalence runs.
+SCHEDULER_TASKS = "tasks"
+
+#: Entries a trace ring keeps when ``trace_capture=True`` (satellite of
+#: the event-calendar work: an always-growing trace list at 10⁵ sessions
+#: is a memory leak, so capture is opt-in and bounded).
+DEFAULT_TRACE_CAPACITY = 65536
+
+
+def resolve_scheduler(choice: Optional[str] = None) -> str:
+    """Resolve the scheduler implementation to use.
+
+    Explicit ``choice`` wins; otherwise the ``REPRO_SCHEDULER``
+    environment variable; otherwise the calendar. Both managers run
+    either implementation and produce byte-identical output (pinned by
+    tests/test_scheduler_equivalence.py against the golden corpus).
+    """
+    value = choice if choice is not None else os.environ.get(
+        SCHEDULER_ENV, SCHEDULER_CALENDAR
+    )
+    if value not in (SCHEDULER_CALENDAR, SCHEDULER_TASKS):
+        raise BenchmarkError(
+            f"unknown scheduler {value!r} "
+            f"(choose {SCHEDULER_CALENDAR!r} or {SCHEDULER_TASKS!r})"
+        )
+    return value
+
+
+def _make_trace_ring(trace_capture: Union[bool, int]) -> Optional[RingBuffer]:
+    """Build the opt-in bounded step-trace ring (None = capture off)."""
+    if trace_capture is False or trace_capture is None:
+        return None
+    if trace_capture is True:
+        return RingBuffer(DEFAULT_TRACE_CAPACITY)
+    return RingBuffer(int(trace_capture))
 
 
 class SessionAbandoned(Exception):
@@ -117,12 +163,23 @@ class _VirtualTimeline:
     mid-step (or about to re-declare) holds the timeline, because its
     next event might precede everyone else's. Exactly one session steps
     at a time, and the grant order is deterministic.
+
+    Wakeups are *targeted*: a grant sets only the winning session's
+    event (one wakeup per grant, counted on :attr:`wakeups`), never a
+    herd-waking ``notify_all`` that schedules every waiter just so N−1
+    of them can re-scan and sleep again. Grant evaluation happens only
+    when the declared set actually changes — a declare completing it, or
+    a retire shrinking it — and all state mutation is synchronous within
+    one event-loop step, so no lock is needed.
     """
 
     def __init__(self, pacer: Optional[AsyncClock] = None):
-        self._cond = asyncio.Condition()
         self._declared: Dict[int, object] = {}
+        self._events: Dict[int, asyncio.Event] = {}
         self._pacer = pacer
+        #: Waiter wakeups signalled so far — exactly one per grant. The
+        #: regression test pins this to the grant count (O(1) per step).
+        self.wakeups = 0
 
     def register(self, index: int) -> None:
         """Pre-register a session so no grants happen before it declares."""
@@ -130,35 +187,77 @@ class _VirtualTimeline:
 
     async def acquire(self, index: int, event_time: float) -> None:
         """Declare the session's next event and wait for its turn."""
-        async with self._cond:
-            self._declared[index] = event_time
-            self._cond.notify_all()
-            while not self._granted(index):
-                await self._cond.wait()
-            # Hold the timeline while stepping: nobody else may be granted
-            # until this session declares its *next* event (or retires),
-            # since that event could be earlier than any other pending one.
-            self._declared[index] = _UNKNOWN
+        self._declared[index] = event_time
+        event = self._events.get(index)
+        if event is None:
+            event = self._events[index] = asyncio.Event()
+        event.clear()
+        self._maybe_grant()
+        await event.wait()
+        # Hold the timeline while stepping: nobody else may be granted
+        # until this session declares its *next* event (or retires),
+        # since that event could be earlier than any other pending one.
+        self._declared[index] = _UNKNOWN
         if self._pacer is not None:
             await self._pacer.sleep_until(event_time)
 
-    def _granted(self, index: int) -> bool:
+    def _maybe_grant(self) -> None:
         best: Optional[Tuple[float, int]] = None
         for key, value in self._declared.items():
             if value is _UNKNOWN:
-                return False
+                return
             if best is None or (value, key) < best:
                 best = (value, key)
-        return best is not None and best[1] == index
+        if best is not None:
+            self.wakeups += 1
+            self._events[best[1]].set()
 
     async def retire(self, index: int) -> None:
         """Remove a finished session from the timeline."""
-        async with self._cond:
-            self._declared.pop(index, None)
-            self._cond.notify_all()
+        self._declared.pop(index, None)
+        self._events.pop(index, None)
+        self._maybe_grant()
 
 
-class SessionManager:
+class _ManagerCore:
+    """Plumbing shared by the closed- and open-system managers.
+
+    Holds the opt-in bounded step trace and the per-grant side-effect
+    sequence, which must be byte-identical under both schedulers and
+    both managers (the golden corpus pins the tracer event order).
+    """
+
+    shared: bool
+    _shared_engine = None
+    _trace_ring: Optional[RingBuffer]
+
+    @property
+    def trace(self) -> List[Tuple[float, str]]:
+        """Captured ``(virtual time, session id)`` step marks (see
+        ``trace_capture``); empty when capture is off."""
+        if self._trace_ring is None:
+            return []
+        return list(self._trace_ring)
+
+    def _trace_mark(self, time: float, label: str) -> None:
+        if self._trace_ring is not None:
+            self._trace_ring.append((time, label))
+
+    def _turn_granted(self, event_time: float, session_id: str) -> None:
+        """Per-grant side effects, identical under both schedulers."""
+        self._trace_mark(event_time, session_id)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("manager.turn", event_time, session=session_id)
+            get_metrics().counter(
+                "repro_turns_total",
+                help="Step turns granted by the global virtual timeline.",
+            ).inc()
+        if self.shared:
+            self._shared_engine.scheduler.set_group(session_id)
+
+
+class SessionManager(_ManagerCore):
     """Multiplexes N simulated IDE sessions over shared engine state.
 
     Parameters
@@ -193,12 +292,31 @@ class SessionManager:
         pace their step turns through the hook (the TCP turn protocol);
         a hook raising :class:`SessionAbandoned` retires just that
         session. Abandoned session ids accumulate on :attr:`abandoned`.
+    scheduler:
+        ``"calendar"`` (default, O(log N) heap loop) or ``"tasks"`` (the
+        legacy task-per-session model); ``None`` reads the
+        ``REPRO_SCHEDULER`` environment variable. Both produce the same
+        bytes — see :func:`resolve_scheduler`.
+    trace_capture:
+        Opt-in step tracing. ``False`` (default) records nothing; ``True``
+        keeps the newest :data:`DEFAULT_TRACE_CAPACITY` entries in a
+        bounded ring; an integer sets the ring capacity. :attr:`trace`
+        then yields ``(virtual time, session id)`` marks.
+    spool:
+        Optional :class:`~repro.server.spool.RecordSpool` switching the
+        run to constant-memory mode: records are spilled/aggregated the
+        moment they are produced instead of retained, :attr:`aggregate`
+        carries the incremental run totals, and :meth:`run_async`
+        returns ``[]`` (there are no per-session record lists to build
+        results from). Requires the calendar scheduler; incompatible
+        with ``turn_hooks`` (the TCP layer needs retained records).
 
     A manager is single-shot: :meth:`run` (or :meth:`run_async`) may be
     called once; per-session streams are available on :attr:`streams`
     while it runs, results come back as :class:`SessionResult` in spec
     order. :attr:`trace` records the global step order ``(virtual time,
-    session id)`` for interleaving diagnostics.
+    session id)`` for interleaving diagnostics when ``trace_capture`` is
+    enabled.
     """
 
     def __init__(
@@ -213,6 +331,9 @@ class SessionManager:
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
         policies: Optional[Sequence[Optional[InteractionPolicy]]] = None,
         turn_hooks: Optional[Dict[int, SessionTurnHook]] = None,
+        scheduler: Optional[str] = None,
+        trace_capture: Union[bool, int] = False,
+        spool: Optional[RecordSpool] = None,
     ):
         self._specs = list(specs)
         if not self._specs:
@@ -256,13 +377,31 @@ class SessionManager:
             self._engines = engines
             self._shared_engine = None
         self.accel = accel
+        self._scheduler = resolve_scheduler(scheduler)
+        self.spool = spool
+        self.aggregate: Optional[ServingAggregate] = (
+            ServingAggregate() if spool is not None else None
+        )
+        if spool is not None and self._scheduler == SCHEDULER_TASKS:
+            raise BenchmarkError(
+                "record spooling requires the calendar scheduler "
+                f"({SCHEDULER_ENV}={SCHEDULER_TASKS} cannot spool)"
+            )
+        if spool is not None and turn_hooks:
+            raise BenchmarkError(
+                "record spooling is incompatible with turn hooks: the "
+                "wire protocol replays retained per-session records"
+            )
         self.streams: Dict[str, SessionStream] = {}
         for spec in self._specs:
-            stream = SessionStream(spec.session_id)
+            stream = SessionStream(spec.session_id, retain=spool is None)
             if on_record is not None:
                 stream.subscribe(on_record)
+            if spool is not None:
+                stream.subscribe(spool.append)
+                stream.subscribe(self.aggregate.observe_record)
             self.streams[spec.session_id] = stream
-        self.trace: List[Tuple[float, str]] = []
+        self._trace_ring = _make_trace_ring(trace_capture)
         self.wall_seconds: float = 0.0
         #: Session ids whose turn hook raised :class:`SessionAbandoned`.
         self.abandoned: List[str] = []
@@ -272,9 +411,8 @@ class SessionManager:
             raise BenchmarkError(
                 f"turn hooks reference unknown session indexes {unknown!r}"
             )
-        self._timeline = _VirtualTimeline(
-            pacer=AsyncClock(accel) if accel is not None else None
-        )
+        self._pacer = AsyncClock(accel) if accel is not None else None
+        self._timeline = _VirtualTimeline(pacer=self._pacer)
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -312,19 +450,22 @@ class SessionManager:
             )
             for index, spec in enumerate(self._specs)
         ]
-        for index in range(len(self._specs)):
-            self._timeline.register(index)
         if self.shared:
             # The shared engine lives for the whole serving run (Listing
             # 1's lifecycle, once per service session, not per workflow).
             self._shared_engine.workflow_start()
         started = perf_seconds()
-        await asyncio.gather(
-            *(
-                self._run_session(index, driver)
-                for index, driver in enumerate(drivers)
+        if self._scheduler == SCHEDULER_TASKS:
+            for index in range(len(self._specs)):
+                self._timeline.register(index)
+            await asyncio.gather(
+                *(
+                    self._run_session(index, driver)
+                    for index, driver in enumerate(drivers)
+                )
             )
-        )
+        else:
+            await self._run_calendar(drivers)
         self.wall_seconds = perf_seconds() - started
         if self.shared:
             self._shared_engine.workflow_end()
@@ -332,6 +473,10 @@ class SessionManager:
             # without this, later tasks submitted outside the server would
             # silently inherit the last-stepped session's group.
             self._shared_engine.scheduler.set_group(None)
+        if self.spool is not None:
+            # Constant-memory mode: everything observable already went
+            # through the spool/aggregate; no record lists exist.
+            return []
         return [
             SessionResult(
                 spec,
@@ -341,6 +486,91 @@ class SessionManager:
             )
             for spec, driver in zip(self._specs, drivers)
         ]
+
+    # ------------------------------------------------------------------
+    # Event-calendar scheduler (the default)
+    # ------------------------------------------------------------------
+    async def _run_calendar(self, drivers: List[SessionDriver]) -> None:
+        """One loop, a heap of ``(event_time, index)`` — no per-session task.
+
+        Equivalence with the task scheduler is structural: the legacy
+        timeline fully serializes stepping (a grant happens only when
+        every live session has declared, and exactly the minimal
+        ``(time, index)`` steps), so replaying the same
+        declare → grant → side-effect sequence inline reproduces the
+        identical global order — including hooked (TCP) sessions, whose
+        callbacks are awaited while the calendar holds the turn, exactly
+        as the timeline held it. Granting is the heap pop, O(log N).
+        """
+        heap: List[Tuple[float, int]] = []
+        if self.aggregate is not None:
+            for _ in drivers:
+                self.aggregate.session_started()
+        # Admission in index order — the same serialized declare order
+        # the task path produces (no grant can precede full declaration).
+        for index, driver in enumerate(drivers):
+            await self._calendar_admit(index, driver, heap)
+        while heap:
+            event_time, index = heapq.heappop(heap)
+            driver = drivers[index]
+            spec = self._specs[index]
+            hook = self._hooks.get(index)
+            if self._pacer is not None:
+                await self._pacer.sleep_until(event_time)
+            self._turn_granted(event_time, spec.session_id)
+            try:
+                if hook is None:
+                    driver.step()
+                else:
+                    await hook.on_turn(event_time)
+                    records = driver.step()
+                    await hook.on_step(event_time, records)
+            except SessionAbandoned:
+                self._calendar_abandon(index, driver)
+                continue
+            await self._calendar_admit(index, driver, heap)
+
+    async def _calendar_admit(
+        self, index: int, driver: SessionDriver, heap: List[Tuple[float, int]]
+    ) -> None:
+        """Resolve input stalls, then declare the session's next event."""
+        hook = self._hooks.get(index)
+        try:
+            if hook is not None:
+                # An externally sourced session may be stalled on the
+                # think-time grid (PENDING). It holds the calendar —
+                # nobody advances — until its frontend supplies the
+                # interaction: remote think time blocks virtual time for
+                # everyone, exactly like a large think-time gap would,
+                # and never reorders events.
+                while driver.needs_input:
+                    with get_profiler().stage(STAGE_PENDING_STALL):
+                        await hook.wait_input(driver)
+        except SessionAbandoned:
+            self._calendar_abandon(index, driver)
+            return
+        event_time = driver.next_event_time()
+        if event_time is None:
+            self._calendar_finish(index, driver)
+        else:
+            heapq.heappush(heap, (event_time, index))
+
+    def _calendar_abandon(self, index: int, driver: SessionDriver) -> None:
+        # Mirror of the task path's SessionAbandoned handler: cancel the
+        # session's in-flight queries and sweep its scheduler group.
+        spec = self._specs[index]
+        driver.abandon()
+        if self.shared:
+            self._shared_engine.scheduler.cancel_group(spec.session_id)
+        self.abandoned.append(spec.session_id)
+        self._calendar_finish(index, driver)
+
+    def _calendar_finish(self, index: int, driver: SessionDriver) -> None:
+        if self.aggregate is None:
+            return
+        self.aggregate.session_finished(
+            driver.steps, dict(driver.interaction_counts)
+        )
 
     # ------------------------------------------------------------------
     async def _run_session(self, index: int, driver: SessionDriver) -> None:
@@ -365,16 +595,7 @@ class SessionManager:
                 if event_time is None:
                     break
                 await self._timeline.acquire(index, event_time)
-                self.trace.append((event_time, spec.session_id))
-                tracer = get_tracer()
-                if tracer.enabled:
-                    tracer.event("manager.turn", event_time, session=spec.session_id)
-                    get_metrics().counter(
-                        "repro_turns_total",
-                        help="Step turns granted by the global virtual timeline.",
-                    ).inc()
-                if self.shared:
-                    self._shared_engine.scheduler.set_group(spec.session_id)
+                self._turn_granted(event_time, spec.session_id)
                 if hook is None:
                     driver.step()
                 else:
@@ -422,6 +643,9 @@ class SessionManager:
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
         policy: Optional[str] = None,
         turn_hooks: Optional[Dict[int, SessionTurnHook]] = None,
+        scheduler: Optional[str] = None,
+        trace_capture: Union[bool, int] = False,
+        spool: Optional[RecordSpool] = None,
     ) -> "SessionManager":
         """Build a manager from an :class:`ExperimentContext`.
 
@@ -463,7 +687,8 @@ class SessionManager:
             return cls(
                 specs, oracle, settings, engine=engine, accel=accel,
                 on_record=on_record, policies=policies,
-                turn_hooks=turn_hooks,
+                turn_hooks=turn_hooks, scheduler=scheduler,
+                trace_capture=trace_capture, spool=spool,
             )
         engines = [
             make_engine(engine_name, dataset, settings, VirtualClock(), speculation)
@@ -472,6 +697,7 @@ class SessionManager:
         return cls(
             specs, oracle, settings, engines=engines, accel=accel,
             on_record=on_record, policies=policies, turn_hooks=turn_hooks,
+            scheduler=scheduler, trace_capture=trace_capture, spool=spool,
         )
 
 
@@ -829,15 +1055,25 @@ class ArrivalProcess:
 
     def schedule(self) -> List[SessionArrival]:
         """The deterministic arrival/departure schedule of this process."""
+        return list(self.iter_schedule())
+
+    def iter_schedule(self) -> Iterator[SessionArrival]:
+        """Stream the schedule one arrival at a time (same draw order).
+
+        The RNG stream is consumed sequentially, so this yields exactly
+        the arrivals :meth:`schedule` materializes — but a 10⁵-session
+        serving run can consume them without ever holding the whole
+        schedule in memory (the manager's constant-memory mode does).
+        """
         rng = derive_rng(self.seed, "open-system-arrivals")
         envelope = (
             self.rate_schedule.max_rate
             if self.rate_schedule is not None
             else self.rate
         )
-        arrivals: List[SessionArrival] = []
+        produced = 0
         now = 0.0
-        while self.max_sessions is None or len(arrivals) < self.max_sessions:
+        while self.max_sessions is None or produced < self.max_sessions:
             now += float(rng.exponential(1.0 / envelope))
             if now >= self.horizon:
                 break
@@ -852,14 +1088,12 @@ class ArrivalProcess:
             departure = math.inf
             if self.mean_residence is not None:
                 departure = now + float(rng.exponential(self.mean_residence))
-            arrivals.append(
-                SessionArrival(
-                    index=len(arrivals),
-                    arrival_time=now,
-                    departure_time=departure,
-                )
+            yield SessionArrival(
+                index=produced,
+                arrival_time=now,
+                departure_time=departure,
             )
-        return arrivals
+            produced += 1
 
 
 #: Timeline slot of the arrival spawner — below every session index, so
@@ -867,7 +1101,7 @@ class ArrivalProcess:
 _SPAWNER = -1
 
 
-class OpenSystemManager:
+class OpenSystemManager(_ManagerCore):
     """Serves an *open system*: sessions arrive and depart mid-run.
 
     Where :class:`SessionManager` steps a fixed population to
@@ -904,6 +1138,9 @@ class OpenSystemManager:
         engine=None,
         accel: Optional[float] = None,
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+        scheduler: Optional[str] = None,
+        trace_capture: Union[bool, int] = False,
+        spool: Optional[RecordSpool] = None,
     ):
         if (engine_factory is None) == (engine is None):
             raise BenchmarkError(
@@ -913,7 +1150,6 @@ class OpenSystemManager:
         self.oracle = oracle
         self.settings = settings
         self.arrivals = arrivals
-        self.schedule = arrivals.schedule()
         self.shared = engine is not None
         self._engine_factory = engine_factory
         self._shared_engine = engine
@@ -923,15 +1159,35 @@ class OpenSystemManager:
             engine.scheduler.set_policy(FairSessionPolicy())
         self._session_factory = session_factory
         self.accel = accel
+        self._scheduler = resolve_scheduler(scheduler)
+        self.spool = spool
+        self.aggregate: Optional[ServingAggregate] = (
+            ServingAggregate() if spool is not None else None
+        )
+        if spool is not None and self._scheduler == SCHEDULER_TASKS:
+            raise BenchmarkError(
+                "record spooling requires the calendar scheduler "
+                f"({SCHEDULER_ENV}={SCHEDULER_TASKS} cannot spool)"
+            )
         self._on_record = on_record
         self.streams: Dict[str, SessionStream] = {}
-        self.trace: List[Tuple[float, str]] = []
+        self._trace_ring = _make_trace_ring(trace_capture)
         self.wall_seconds: float = 0.0
-        self._timeline = _VirtualTimeline(
-            pacer=AsyncClock(accel) if accel is not None else None
-        )
+        self._pacer = AsyncClock(accel) if accel is not None else None
+        self._timeline = _VirtualTimeline(pacer=self._pacer)
         self._results: Dict[int, SessionResult] = {}
+        #: Materialized only on demand — a constant-memory run never
+        #: holds the full arrival schedule (it streams iter_schedule()).
+        self._schedule_cache: Optional[List[SessionArrival]] = None
         self._ran = False
+
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self) -> List[SessionArrival]:
+        """The full (materialized) arrival schedule of this run."""
+        if self._schedule_cache is None:
+            self._schedule_cache = self.arrivals.schedule()
+        return self._schedule_cache
 
     # ------------------------------------------------------------------
     def run(self) -> List[SessionResult]:
@@ -943,30 +1199,156 @@ class OpenSystemManager:
         if self._ran:
             raise BenchmarkError("an OpenSystemManager can only run once")
         self._ran = True
-        if not self.schedule:
+        if self.spool is not None:
+            # Constant-memory mode streams the schedule; everything else
+            # materializes it once (results come back in arrival order).
+            arrival_iter: Iterator[SessionArrival] = (
+                self.arrivals.iter_schedule()
+            )
+        else:
+            arrival_iter = iter(self.schedule)
+        first = next(arrival_iter, None)
+        if first is None:
             return []
+        arrival_iter = itertools.chain([first], arrival_iter)
         if self.shared:
             if not self._shared_engine.is_prepared:
                 self._shared_engine.prepare()
             self._shared_engine.workflow_start()
         started = perf_seconds()
-        tasks: List[asyncio.Task] = []
-        self._timeline.register(_SPAWNER)
-        await self._spawner(tasks)
-        if tasks:
-            await asyncio.gather(*tasks)
+        if self._scheduler == SCHEDULER_TASKS:
+            tasks: List[asyncio.Task] = []
+            self._timeline.register(_SPAWNER)
+            await self._spawner(tasks)
+            if tasks:
+                await asyncio.gather(*tasks)
+        else:
+            await self._run_calendar(arrival_iter)
         self.wall_seconds = perf_seconds() - started
         if self.shared:
             self._shared_engine.workflow_end()
             self._shared_engine.scheduler.set_group(None)
+        if self.spool is not None:
+            return []
         return [self._results[arrival.index] for arrival in self.schedule]
+
+    # ------------------------------------------------------------------
+    # Event-calendar scheduler (the default)
+    # ------------------------------------------------------------------
+    async def _run_calendar(
+        self, arrival_iter: Iterator[SessionArrival]
+    ) -> None:
+        """Heap-driven merge of the arrival stream and live sessions.
+
+        The spawner is one calendar entry at slot :data:`_SPAWNER` (below
+        every session index, so an arrival at an equal instant processes
+        first — the task path's tie-break). Sessions are flyweights:
+        ``(driver, spec, arrival)`` in a dict keyed by index, no
+        coroutine each. A session whose next event would land past its
+        departure time retires immediately, at the exact global order
+        point the task path retires it.
+        """
+        heap: List[Tuple[float, int]] = []
+        live: Dict[int, Tuple[SessionDriver, SessionSpec, SessionArrival]] = {}
+        pending = next(arrival_iter, None)
+        if pending is not None:
+            heapq.heappush(heap, (pending.arrival_time, _SPAWNER))
+        while heap:
+            event_time, index = heapq.heappop(heap)
+            if self._pacer is not None:
+                await self._pacer.sleep_until(event_time)
+            if index == _SPAWNER:
+                arrival = pending
+                self._trace_mark(arrival.arrival_time, "arrival")
+                driver, spec = self._spawn(arrival)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "manager.arrival",
+                        arrival.arrival_time,
+                        session=spec.session_id,
+                    )
+                    get_metrics().counter(
+                        "repro_sessions_spawned_total",
+                        help="Open-system sessions spawned mid-run.",
+                    ).inc()
+                if self.aggregate is not None:
+                    self.aggregate.session_started()
+                self._calendar_declare(arrival, driver, spec, heap, live)
+                pending = next(arrival_iter, None)
+                if pending is not None:
+                    heapq.heappush(heap, (pending.arrival_time, _SPAWNER))
+            else:
+                driver, spec, arrival = live[index]
+                self._turn_granted(event_time, spec.session_id)
+                driver.step()
+                self._calendar_declare(arrival, driver, spec, heap, live)
+
+    def _calendar_declare(
+        self,
+        arrival: SessionArrival,
+        driver: SessionDriver,
+        spec: SessionSpec,
+        heap: List[Tuple[float, int]],
+        live: Dict[int, Tuple[SessionDriver, SessionSpec, SessionArrival]],
+    ) -> None:
+        """Declare a session's next event, or retire it (done/departed)."""
+        event_time = driver.next_event_time()
+        if event_time is not None and event_time < arrival.departure_time:
+            live[arrival.index] = (driver, spec, arrival)
+            heapq.heappush(heap, (event_time, arrival.index))
+            return
+        live.pop(arrival.index, None)
+        # A remaining event at/past the departure instant means the user
+        # walked away mid-workload (the task path's departure branch).
+        self._retire_session(arrival, driver, spec, departed=event_time is not None)
+
+    def _retire_session(
+        self,
+        arrival: SessionArrival,
+        driver: SessionDriver,
+        spec: SessionSpec,
+        departed: bool,
+    ) -> None:
+        if departed:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "manager.depart",
+                    arrival.departure_time,
+                    session=spec.session_id,
+                )
+            driver.abandon()
+            if self.shared:
+                self._shared_engine.scheduler.cancel_group(spec.session_id)
+        if self.spool is None:
+            self._results[arrival.index] = SessionResult(
+                spec,
+                self.streams[spec.session_id].records,
+                interaction_counts=dict(driver.interaction_counts),
+                departed_at=arrival.departure_time if departed else None,
+                steps=driver.steps,
+            )
+            return
+        # Constant-memory mode: fold the session's footprint into the
+        # aggregate, then free everything it owned — stream, driver and
+        # (isolated mode) its whole engine go with it; a shared engine
+        # sheds the session's settled scheduler tasks and handles.
+        self.aggregate.session_finished(
+            driver.steps,
+            dict(driver.interaction_counts),
+            departed=departed,
+        )
+        self.streams.pop(spec.session_id, None)
+        if self.shared:
+            self._shared_engine.release_settled()
 
     # ------------------------------------------------------------------
     async def _spawner(self, tasks: List[asyncio.Task]) -> None:
         try:
             for arrival in self.schedule:
                 await self._timeline.acquire(_SPAWNER, arrival.arrival_time)
-                self.trace.append((arrival.arrival_time, "arrival"))
+                self._trace_mark(arrival.arrival_time, "arrival")
                 driver, spec = self._spawn(arrival)
                 tracer = get_tracer()
                 if tracer.enabled:
@@ -990,9 +1372,12 @@ class OpenSystemManager:
 
     def _spawn(self, arrival: SessionArrival):
         spec, policy = self._session_factory(arrival.index)
-        stream = SessionStream(spec.session_id)
+        stream = SessionStream(spec.session_id, retain=self.spool is None)
         if self._on_record is not None:
             stream.subscribe(self._on_record)
+        if self.spool is not None:
+            stream.subscribe(self.spool.append)
+            stream.subscribe(self.aggregate.observe_record)
         self.streams[spec.session_id] = stream
         if self.shared:
             engine = self._shared_engine
@@ -1031,36 +1416,10 @@ class OpenSystemManager:
                     departed = True
                     break
                 await self._timeline.acquire(arrival.index, event_time)
-                self.trace.append((event_time, spec.session_id))
-                tracer = get_tracer()
-                if tracer.enabled:
-                    tracer.event("manager.turn", event_time, session=spec.session_id)
-                    get_metrics().counter(
-                        "repro_turns_total",
-                        help="Step turns granted by the global virtual timeline.",
-                    ).inc()
-                if self.shared:
-                    self._shared_engine.scheduler.set_group(spec.session_id)
+                self._turn_granted(event_time, spec.session_id)
                 driver.step()
         finally:
-            if departed:
-                tracer = get_tracer()
-                if tracer.enabled:
-                    tracer.event(
-                        "manager.depart",
-                        arrival.departure_time,
-                        session=spec.session_id,
-                    )
-                driver.abandon()
-                if self.shared:
-                    self._shared_engine.scheduler.cancel_group(spec.session_id)
-            self._results[arrival.index] = SessionResult(
-                spec,
-                self.streams[spec.session_id].records,
-                interaction_counts=dict(driver.interaction_counts),
-                departed_at=arrival.departure_time if departed else None,
-                steps=driver.steps,
-            )
+            self._retire_session(arrival, driver, spec, departed=departed)
             await self._timeline.retire(arrival.index)
 
     # ------------------------------------------------------------------
@@ -1079,6 +1438,9 @@ class OpenSystemManager:
         speculation: bool = False,
         normalized: bool = False,
         on_record: Optional[Callable[[str, QueryRecord], None]] = None,
+        scheduler: Optional[str] = None,
+        trace_capture: Union[bool, int] = False,
+        spool: Optional[RecordSpool] = None,
     ) -> "OpenSystemManager":
         """Build an open-system manager from an :class:`ExperimentContext`.
 
@@ -1111,13 +1473,16 @@ class OpenSystemManager:
             return cls(
                 oracle, settings, arrivals, session_factory,
                 engine=engine, accel=accel, on_record=on_record,
+                scheduler=scheduler, trace_capture=trace_capture,
+                spool=spool,
             )
         return cls(
             oracle, settings, arrivals, session_factory,
             engine_factory=lambda: make_engine(
                 engine_name, dataset, settings, VirtualClock(), speculation
             ),
-            accel=accel, on_record=on_record,
+            accel=accel, on_record=on_record, scheduler=scheduler,
+            trace_capture=trace_capture, spool=spool,
         )
 
 

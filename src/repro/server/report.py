@@ -23,6 +23,7 @@ from __future__ import annotations
 import csv
 import io
 import math
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
@@ -31,6 +32,7 @@ from repro.common.fingerprint import CACHE_SCHEMA_VERSION
 from repro.common.fingerprint import fmt_cell as _fmt
 from repro.server.manager import ArrivalProcess, OpenSystemManager, SessionManager
 from repro.server.session import SessionResult
+from repro.server.spool import RecordSpool, ServingAggregate
 from repro.workflow.policy import interaction_mix
 from repro.workflow.spec import WorkflowType
 
@@ -101,6 +103,87 @@ def render_session_table(
             f"{session_makespan(result):>8.1f}s"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Live --follow output (repro serve)
+# ----------------------------------------------------------------------
+
+#: Session count at or above which ``--follow`` switches from a line per
+#: evaluated query to periodic aggregate lines. A population-scale run
+#: (10⁵ sessions) evaluates millions of deadlines; per-query output
+#: would dominate the run's wall time and scroll the terminal useless.
+FOLLOW_AGGREGATE_THRESHOLD = 1000
+
+
+class FollowPrinter:
+    """Rate-limited live output for ``repro serve --follow``.
+
+    Below :data:`FOLLOW_AGGREGATE_THRESHOLD` expected sessions this
+    prints the familiar per-query line for every record, unchanged. At
+    or above it, the printer switches to *aggregate mode*: at most one
+    summary line per ``interval`` wall seconds (records seen, TR
+    violations, latest virtual time), plus a final line on
+    :meth:`close` so short runs still show their totals.
+
+    ``clock`` and ``out`` are injectable for tests; the default clock is
+    :func:`time.perf_counter` — rate limiting is a wall-clock courtesy
+    to the terminal and never touches virtual time or report bytes.
+    """
+
+    def __init__(
+        self,
+        expected_sessions: int,
+        *,
+        threshold: int = FOLLOW_AGGREGATE_THRESHOLD,
+        interval: float = 1.0,
+        out=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.aggregate_mode = expected_sessions >= threshold
+        self.interval = interval
+        self.records_seen = 0
+        self.tr_violations = 0
+        self.lines_emitted = 0
+        self._latest_time = 0.0
+        self._last_emit: Optional[float] = None
+        self._out = out
+        self._clock = clock
+
+    def __call__(self, session_id: str, record) -> None:
+        """The ``on_record`` subscriber: one call per evaluated deadline."""
+        self.records_seen += 1
+        if record.tr_violated:
+            self.tr_violations += 1
+        if record.end_time > self._latest_time:
+            self._latest_time = record.end_time
+        if not self.aggregate_mode:
+            status = "VIOLATED" if record.tr_violated else "ok"
+            self._emit(
+                f"  [{record.end_time:8.2f}s] {session_id} "
+                f"q{record.query_id} {record.viz_name}: {status}"
+            )
+            return
+        now = self._clock()
+        if self._last_emit is None or now - self._last_emit >= self.interval:
+            self._last_emit = now
+            self._emit(self._aggregate_line())
+
+    def close(self) -> None:
+        """Emit the final aggregate line (aggregate mode only)."""
+        if self.aggregate_mode and self.records_seen:
+            self._emit(self._aggregate_line())
+
+    def _aggregate_line(self) -> str:
+        return (
+            f"  [follow] {self.records_seen} queries "
+            f"({self.tr_violations} TR violated) "
+            f"through t={self._latest_time:.1f}s virtual"
+        )
+
+    def _emit(self, line: str) -> None:
+        self.lines_emitted += 1
+        print(line, file=self._out)
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +298,36 @@ def _cell_from_results(
     )
 
 
+def _cell_from_aggregate(
+    engine: str,
+    sessions: int,
+    mode: str,
+    per_session: int,
+    aggregate: ServingAggregate,
+    wall_seconds: float,
+) -> SessionBenchCell:
+    """Build a load-report cell from an incremental aggregate.
+
+    Counts and maxima match :func:`_cell_from_results` exactly; the
+    float means fold in record-arrival order instead of grouped-by-
+    session order, so they can differ from the retained path in the
+    last ulp. Incremental cells therefore never enter the artifact
+    store (the cache stays byte-pure).
+    """
+    return SessionBenchCell(
+        engine=engine,
+        sessions=sessions,
+        mode=mode,
+        workflows_per_session=per_session,
+        num_queries=aggregate.num_queries,
+        pct_tr_violated=aggregate.pct_tr_violated,
+        mean_missing_bins=aggregate.mean_missing_bins,
+        mean_latency_answered=aggregate.mean_latency_answered,
+        virtual_makespan=aggregate.virtual_makespan,
+        wall_seconds=wall_seconds,
+    )
+
+
 def run_session_bench(
     ctx,
     engines: Sequence[str],
@@ -223,11 +336,20 @@ def run_session_bench(
     per_session: int = 2,
     workflow_type: WorkflowType = WorkflowType.MIXED,
     modes: Sequence[str] = ("isolated", "shared"),
+    incremental: bool = False,
     store=None,
     reuse_results: bool = True,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[SessionBenchCell]:
-    """Run the sessions × engine sweep; cells restore from ``store``."""
+    """Run the sessions × engine sweep; cells restore from ``store``.
+
+    ``incremental=True`` folds each cell through a
+    :class:`~repro.server.spool.ServingAggregate` instead of retaining
+    every record — memory stays O(active sessions) per cell, which is
+    what makes population-scale sweeps feasible. Integer columns match
+    the retained path exactly; float means can differ in the last ulp
+    (fold order), so incremental cells bypass the artifact store.
+    """
     unknown_modes = [mode for mode in modes if mode not in ("isolated", "shared")]
     if unknown_modes:
         # Fail before any cell runs: a typo must not cost a sweep.
@@ -243,7 +365,7 @@ def run_session_bench(
                     ctx.settings, engine_name, sessions, mode, per_session,
                     workflow_type,
                 )
-                if store is not None and reuse_results:
+                if store is not None and reuse_results and not incremental:
                     payload = store.get(key)
                     if payload is not None:
                         cells.append(
@@ -261,13 +383,20 @@ def run_session_bench(
                     per_session=per_session,
                     workflow_type=workflow_type,
                     share_engine=(mode == "shared"),
+                    spool=RecordSpool() if incremental else None,
                 )
                 results = manager.run()
-                cell = _cell_from_results(
-                    engine_name, sessions, mode, per_session, results,
-                    manager.wall_seconds,
-                )
-                if store is not None:
+                if incremental:
+                    cell = _cell_from_aggregate(
+                        engine_name, sessions, mode, per_session,
+                        manager.aggregate, manager.wall_seconds,
+                    )
+                else:
+                    cell = _cell_from_results(
+                        engine_name, sessions, mode, per_session, results,
+                        manager.wall_seconds,
+                    )
+                if store is not None and not incremental:
                     store.put(key, cell.payload())
                 cells.append(cell)
                 if progress:
@@ -455,6 +584,38 @@ def _adaptive_cell(
     )
 
 
+def _adaptive_cell_from_aggregate(
+    engine: str,
+    policy: str,
+    sessions: int,
+    churn: str,
+    per_session: int,
+    aggregate: ServingAggregate,
+    wall_seconds: float,
+) -> AdaptiveBenchCell:
+    """Build an adaptive-report cell from an incremental aggregate.
+
+    Same contract as :func:`_cell_from_aggregate`: integer columns and
+    the interaction mix match :func:`_adaptive_cell` exactly, float
+    means fold in record-arrival order.
+    """
+    return AdaptiveBenchCell(
+        engine=engine,
+        policy=policy,
+        sessions=sessions,
+        churn=churn,
+        workflows_per_session=per_session,
+        sessions_served=aggregate.sessions_served,
+        sessions_departed=aggregate.sessions_departed,
+        num_queries=aggregate.num_queries,
+        pct_tr_violated=aggregate.pct_tr_violated,
+        mean_latency_answered=aggregate.mean_latency_answered,
+        virtual_makespan=aggregate.virtual_makespan,
+        mix=interaction_mix(aggregate.interaction_counts),
+        wall_seconds=wall_seconds,
+    )
+
+
 def run_adaptive_bench(
     ctx,
     engine: str,
@@ -468,6 +629,7 @@ def run_adaptive_bench(
     horizon: float = 60.0,
     residence: Optional[float] = 30.0,
     share_engine: bool = False,
+    incremental: bool = False,
     store=None,
     reuse_results: bool = True,
     progress: Optional[Callable[[str], None]] = None,
@@ -479,6 +641,9 @@ def run_adaptive_bench(
     arrival schedule (``arrival_rate``/``horizon``/``residence``, capped
     at ``sessions``) and let users churn mid-run. Every cell's CSV row is
     deterministic, so cached restores are byte-identical to fresh runs.
+
+    ``incremental=True`` aggregates each cell without retaining records
+    (see :func:`run_session_bench`); such cells bypass the store.
     """
     unknown = [mode for mode in churn_modes if mode not in ("closed", "open")]
     if unknown:
@@ -501,7 +666,7 @@ def run_adaptive_bench(
                     per_session, workflow_type, arrival_rate, horizon,
                     residence, share_engine,
                 )
-                if store is not None and reuse_results:
+                if store is not None and reuse_results and not incremental:
                     payload = store.get(key)
                     if payload is not None:
                         cells.append(
@@ -510,6 +675,7 @@ def run_adaptive_bench(
                         if progress:
                             progress(f"[cache] {policy} ×{sessions} {churn}")
                         continue
+                spool = RecordSpool() if incremental else None
                 if churn == "closed":
                     manager = SessionManager.for_engine(
                         ctx, engine, sessions,
@@ -517,9 +683,8 @@ def run_adaptive_bench(
                         workflow_type=workflow_type,
                         share_engine=share_engine,
                         policy=None if policy == "scripted" else policy,
+                        spool=spool,
                     )
-                    results = manager.run()
-                    wall = manager.wall_seconds
                 else:
                     arrivals = ArrivalProcess(
                         arrival_rate, horizon,
@@ -527,19 +692,27 @@ def run_adaptive_bench(
                         mean_residence=residence,
                         max_sessions=sessions,
                     )
-                    open_manager = OpenSystemManager.for_engine(
+                    manager = OpenSystemManager.for_engine(
                         ctx, engine, arrivals,
                         policy=None if policy == "scripted" else policy,
                         per_session=per_session,
                         workflow_type=workflow_type,
                         share_engine=share_engine,
+                        spool=spool,
                     )
-                    results = open_manager.run()
-                    wall = open_manager.wall_seconds
-                cell = _adaptive_cell(
-                    engine, policy, sessions, churn, per_session, results, wall
-                )
-                if store is not None:
+                results = manager.run()
+                wall = manager.wall_seconds
+                if incremental:
+                    cell = _adaptive_cell_from_aggregate(
+                        engine, policy, sessions, churn, per_session,
+                        manager.aggregate, wall,
+                    )
+                else:
+                    cell = _adaptive_cell(
+                        engine, policy, sessions, churn, per_session,
+                        results, wall,
+                    )
+                if store is not None and not incremental:
                     store.put(key, cell.payload())
                 cells.append(cell)
                 if progress:

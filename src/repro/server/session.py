@@ -63,11 +63,16 @@ class SessionStream:
     The driver pushes each :class:`QueryRecord` the instant its deadline
     is evaluated; subscribers (live dashboards, progress printers, the
     CLI's ``--follow`` output) see it immediately while the session keeps
-    running. ``records`` accumulates everything for end-of-run reporting.
+    running. ``records`` accumulates everything for end-of-run reporting
+    — unless the stream is built with ``retain=False``, the server's
+    constant-memory (spool) mode: records then exist only for the
+    duration of the subscriber callbacks (which spill them to disk
+    and/or fold them into an incremental aggregate) and are dropped.
     """
 
-    def __init__(self, session_id: str):
+    def __init__(self, session_id: str, retain: bool = True):
         self.session_id = session_id
+        self.retain = retain
         self.records: List[QueryRecord] = []
         self._subscribers: List[Callable[[str, QueryRecord], None]] = []
 
@@ -76,7 +81,8 @@ class SessionStream:
         self._subscribers.append(callback)
 
     def push(self, record: QueryRecord) -> None:
-        self.records.append(record)
+        if self.retain:
+            self.records.append(record)
         for callback in self._subscribers:
             callback(self.session_id, record)
 

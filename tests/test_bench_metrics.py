@@ -184,6 +184,25 @@ class TestBias:
         metrics = compute_metrics(result, truth)
         assert metrics.bias == pytest.approx(1.0)
 
+    def test_cancelling_truths_leave_bias_undefined(self):
+        """Signed truths summing to zero must not divide by zero.
+
+        AVG aggregates can go negative (arrival delays), so a delivered
+        bin set like (+5, -5) has |truth| sum > 0 but signed sum == 0 —
+        the bias denominator. Regression for a crash surfaced ~40k
+        sessions into a population-scale serving run.
+        """
+        truth = _ground_truth({("a",): (5.0,), ("b",): (-5.0,)})
+        result = _approx({("a",): (4.0,), ("b",): (-3.0,)})
+        metrics = compute_metrics(result, truth)
+        assert math.isnan(metrics.bias)
+
+    def test_negative_truths_with_nonzero_sum_keep_bias(self):
+        truth = _ground_truth({("a",): (5.0,), ("b",): (-3.0,)})
+        result = _approx({("a",): (5.0,), ("b",): (-3.0,)})
+        metrics = compute_metrics(result, truth)
+        assert metrics.bias == pytest.approx(1.0)
+
 
 @hyp_settings(max_examples=60, deadline=None)
 @given(

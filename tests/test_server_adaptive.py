@@ -185,7 +185,9 @@ class TestOpenSystem:
             )
 
     def test_sessions_arrive_mid_run(self, server_ctx):
-        manager, results = self._run(server_ctx, policy="markov")
+        manager, results = self._run(
+            server_ctx, policy="markov", trace_capture=True
+        )
         arrival_marks = [t for t, sid in manager.trace if sid == "arrival"]
         step_marks = [t for t, sid in manager.trace if sid != "arrival"]
         assert len(arrival_marks) == len(results)

@@ -173,7 +173,7 @@ class TestPacingAndStreams:
 
     def test_trace_interleaves_sessions(self, server_ctx):
         manager = SessionManager.for_engine(
-            server_ctx, "idea-sim", 3, per_session=1
+            server_ctx, "idea-sim", 3, per_session=1, trace_capture=True
         )
         manager.run()
         switches = sum(

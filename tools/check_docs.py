@@ -116,9 +116,15 @@ REQUIRED_SECTIONS = {
         "## Open-system churn (arrivals and departures)",
         "### Shared-engine serving over TCP (v2 turn protocol)",
         "### Remote load generation (`bench-net --remote`)",
+        "## Population scale (constant memory)",
         "byte-identical across repeated invocations",
         "cancel_group",
         "tools/regen_golden.py",
+        "REPRO_SCHEDULER",
+        "src/repro/server/spool.py",
+        "iter_spool",
+        "O(active sessions)",
+        "benchmarks/bench_scale.py",
     ],
     "docs/paper-mapping.md": [
         "src/repro/workflow/policy.py",
