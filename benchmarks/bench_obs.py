@@ -14,10 +14,15 @@ Demonstrates the two promises `docs/observability.md` makes:
 2. **bounded overhead** — the fully-instrumented session-server run
    costs at most ``OVERHEAD_BOUND`` (5%) more wall time than the
    uninstrumented run (best-of-``--reps`` on both sides, so scheduler
-   noise does not dominate a few-second workload).
+   noise does not dominate a few-second workload);
+3. **cheap streaming** — a shared-engine TCP run with a subscribed
+   STATS_PUSH probe attached produces byte-identical workload frames
+   and stays within the same overhead bound versus the identical run
+   with streaming off.
 
-Results land in ``benchmarks/results/obs.txt`` and the measured ratio
-in ``benchmarks/results/BENCH_obs.json``.
+Results land in ``benchmarks/results/obs.txt`` and the measured ratios
+in ``benchmarks/results/BENCH_obs.json`` /
+``benchmarks/results/BENCH_obs_stream.json``.
 """
 
 from __future__ import annotations
@@ -61,6 +66,60 @@ def _workload(ctx, engine, sessions, per_session):
         ctx, engine, sessions, per_session=per_session, share_engine=True
     ).run()
     return [result.csv_text() for result in results]
+
+
+def _tcp_run(ctx, engine, sessions, per_session, *, stats_window=None):
+    """One shared-engine TCP run; returns (slot-0 frames, windows, wall s).
+
+    With ``stats_window`` set, a subscriber probe rides along on its own
+    connection and drains the full pushed window stream — the
+    streaming-on configuration whose cost and byte-neutrality the
+    benchmark measures against the identical run with streaming off.
+    """
+    import threading
+
+    from repro.net.client import (
+        NetClient, fetch_scripted_session, stream_server_stats,
+    )
+    from repro.net.server import ServerThread, TcpSessionServer
+
+    server = TcpSessionServer(
+        ctx, engine, share_engine=True, max_sessions=sessions,
+        per_session=per_session, stats_window=stats_window,
+    )
+    pushes = []
+    started = perf_seconds()
+    with ServerThread(server) as (host, port):
+        probe = None
+        if stats_window is not None:
+            probe = threading.Thread(
+                target=lambda: pushes.extend(stream_server_stats(host, port)),
+                daemon=True,
+            )
+            probe.start()
+        peers = [
+            threading.Thread(
+                target=fetch_scripted_session,
+                args=(host, port, slot),
+                kwargs={"per_session": per_session},
+                daemon=True,
+            )
+            for slot in range(1, sessions)
+        ]
+        for peer in peers:
+            peer.start()
+        with NetClient(host, port, log_frames=True) as client:
+            client.hello()
+            client.attach_scripted(
+                0, per_session=per_session, workflow_type="mixed"
+            )
+            client.collect()
+            frames = list(client.frame_log)
+        for peer in peers:
+            peer.join(120)
+        if probe is not None:
+            probe.join(120)
+    return frames, pushes, perf_seconds() - started
 
 
 def main(argv=None) -> int:
@@ -160,6 +219,50 @@ def main(argv=None) -> int:
         )
         ok = False
 
+    # 3. Streaming telemetry: a subscribed probe must neither perturb the
+    #    workload's wire bytes nor cost more than the overhead bound.
+    stream_window = 5.0
+
+    def timed_tcp(stats_window):
+        best_seconds = float("inf")
+        best_frames, best_pushes = None, []
+        for _ in range(max(1, args.reps)):
+            frames, pushes, seconds = _tcp_run(
+                ctx, args.engine, args.sessions, args.per_session,
+                stats_window=stats_window,
+            )
+            if seconds < best_seconds:
+                best_seconds = seconds
+                best_frames, best_pushes = frames, pushes
+        return best_frames, best_pushes, best_seconds
+
+    plain_frames, _, plain_seconds = timed_tcp(None)
+    stream_frames, pushes, stream_seconds = timed_tcp(stream_window)
+    stream_neutral = stream_frames == plain_frames
+    stream_ratio = stream_seconds / plain_seconds
+    lines.append("")
+    lines.append(
+        f"streaming: {len(pushes)} windows pushed to the probe "
+        f"(window {stream_window:g} virtual s)"
+    )
+    lines.append(
+        f"workload wire bytes identical with streaming on: {stream_neutral}"
+    )
+    if not stream_neutral:
+        lines.append("FAIL: streaming perturbed the session frames")
+        ok = False
+    lines.append(
+        f"TCP wall time (best of {args.reps}): streaming off "
+        f"{plain_seconds:.3f}s, on {stream_seconds:.3f}s "
+        f"(ratio {stream_ratio:.3f}, bound {OVERHEAD_BOUND:.2f})"
+    )
+    if stream_ratio > OVERHEAD_BOUND:
+        lines.append(
+            f"FAIL: streaming overhead {100 * (stream_ratio - 1):.1f}% "
+            f"exceeds {100 * (OVERHEAD_BOUND - 1):.0f}%"
+        )
+        ok = False
+
     lines.append("")
     lines.append("PASS" if ok else "FAIL")
 
@@ -182,6 +285,21 @@ def main(argv=None) -> int:
     }
     payload.update(artifact_identity(text))
     write_bench_json(RESULTS_DIR, "obs", payload)
+    stream_payload = {
+        "artifact": "obs.txt",
+        "ok": stream_neutral and stream_ratio <= OVERHEAD_BOUND,
+        "sessions": args.sessions,
+        "reps": args.reps,
+        "stats_window": stream_window,
+        "windows_pushed": len(pushes),
+        "plain_seconds": plain_seconds,
+        "streaming_seconds": stream_seconds,
+        "overhead_ratio": stream_ratio,
+        "overhead_bound": OVERHEAD_BOUND,
+        "workload_bytes_unchanged": stream_neutral,
+    }
+    stream_payload.update(artifact_identity(text))
+    write_bench_json(RESULTS_DIR, "obs_stream", stream_payload)
     return 0 if ok else 1
 
 

@@ -342,10 +342,14 @@ def _cmd_serve_tcp(args, settings) -> int:
     if not args.share_engine:
         # Isolated serving: the workload is configured per connection at
         # ATTACH, so server-side workload flags would be silently dead.
+        # Streaming telemetry folds the ONE shared run's global timeline,
+        # so it is shared-engine-only too.
         blocked += [
             (args.policy is not None, "--policy"),
             (args.per_session != 2, "--per-session"),
             (args.workflow_type != "mixed", "--workflow-type"),
+            (args.stats_window is not None, "--stats-window"),
+            (bool(args.slo), "--slo"),
         ]
     offending = [flag for used, flag in blocked if used]
     if offending:
@@ -376,8 +380,37 @@ def _cmd_serve_tcp(args, settings) -> int:
         )
         return 1
     host, port = address
+    if args.slo:
+        from repro.obs.slo import parse_rule
+
+        try:
+            for rule_text in args.slo:
+                parse_rule(rule_text)
+        except BenchmarkError as error:
+            print(str(error), file=sys.stderr)
+            return 1
     ctx = ExperimentContext(settings)
     max_sessions = args.sessions if args.sessions > 0 else None
+    # Correlation: a deterministic run id is stamped into spans and
+    # propagated to clients in HELLO — but only when telemetry is
+    # actually on, so plain serves keep byte-identical transcripts.
+    run_id = ""
+    if args.trace or args.stats_window is not None:
+        from repro.common.fingerprint import stable_digest
+
+        run_id = stable_digest({
+            "kind": "serve-tcp",
+            "engine": args.engine,
+            "sessions": args.sessions,
+            "per_session": args.per_session,
+            "workflow_type": args.workflow_type,
+            "seed": settings.seed,
+        })
+        from repro.obs.tracer import get_tracer
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.set_context(run=run_id, host="server")
     server = TcpSessionServer(
         ctx,
         args.engine,
@@ -389,6 +422,9 @@ def _cmd_serve_tcp(args, settings) -> int:
         per_session=args.per_session,
         workflow_type=WorkflowType(args.workflow_type),
         policy=args.policy,
+        stats_window=args.stats_window,
+        slo_rules=tuple(args.slo or ()),
+        run_id=run_id,
         on_ready=lambda h, p: print(
             f"listening on {h}:{p} ({args.engine}, "
             + (
@@ -783,6 +819,13 @@ def _cmd_connect(args) -> int:
         )
         return 1
     host, port = address
+    # Correlation: stamp this client's spans with its identity; the
+    # server's run id joins the context at HELLO (NetClient.hello).
+    from repro.obs.tracer import get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.set_context(host=f"client-{args.session}")
     if args.stats:
         from repro.common.fingerprint import canonical_json
         from repro.net.client import fetch_server_stats
@@ -900,6 +943,7 @@ def _cmd_bench_net(args) -> int:
                 workflow_type=workflow_type,
                 host=host,
                 port=port,
+                trace_dir=Path(args.trace_dir) if args.trace_dir else None,
             )
         except BenchmarkError as error:
             print(str(error), file=sys.stderr)
@@ -942,24 +986,59 @@ def _cmd_bench_net(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    """``repro trace summary|export``: digest a ``--trace`` JSONL file.
+    """``repro trace summary|export|merge``: digest ``--trace`` JSONL files.
 
-    Both subcommands read only virtual-time fields, so their output for a
+    All subcommands read only virtual-time fields, so their output for a
     fixed-seed run is byte-identical across repeats — the two-axis
-    contract of docs/observability.md.
+    contract of docs/observability.md. ``merge`` stitches per-host trace
+    files (server + N clients of one correlated run) into one stream
+    globally ordered by virtual time, tie-broken by host then seq.
+    ``--session``/``--kind`` narrow any action to matching entries.
     """
     from repro.obs.sink import (
         csv_summary,
+        entry_line,
+        filter_entries,
         iter_jsonl,
+        merge_traces,
         render_summary_table,
         write_jsonl,
     )
 
+    if args.action == "merge":
+        try:
+            merged = merge_traces(args.trace_file)
+        except (OSError, BenchmarkError) as error:
+            print(f"cannot read trace: {error}", file=sys.stderr)
+            return 1
+        merged = list(
+            filter_entries(merged, session=args.session, kind=args.kind)
+        )
+        if args.out:
+            count = write_jsonl(args.out, merged)
+            print(
+                f"merged {len(args.trace_file)} trace files "
+                f"({count} entries) to {args.out}"
+            )
+        else:
+            for entry in merged:
+                sys.stdout.write(entry_line(entry) + "\n")
+        return 0
+    if len(args.trace_file) != 1:
+        print(
+            f"trace {args.action} takes exactly one trace file "
+            "(use `repro trace merge` to stitch several first)",
+            file=sys.stderr,
+        )
+        return 1
     try:
-        entries = list(iter_jsonl(args.trace_file))
+        entries = list(iter_jsonl(args.trace_file[0]))
     except (OSError, BenchmarkError) as error:
         print(f"cannot read trace: {error}", file=sys.stderr)
         return 1
+    entries = list(
+        filter_entries(entries, session=args.session, kind=args.kind)
+    )
     if args.action == "summary":
         if args.csv:
             sys.stdout.write(csv_summary(entries))
@@ -977,6 +1056,28 @@ def _cmd_trace(args) -> int:
     else:
         out.write_bytes(csv_summary(entries).encode("utf-8"))
         print(f"wrote trace summary CSV ({len(entries)} entries) to {out}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """``repro top``: live dashboard over a streaming STATS subscription.
+
+    Connects as a probe (never joins the timeline), subscribes, and
+    renders each pushed virtual-time window as one line — rate-limited
+    on the wall clock, while the payloads stay byte-deterministic.
+    """
+    from repro.net.top import run_top
+
+    address = _parse_address(args.address)
+    if address is None or address[1] == 0:
+        print(f"top expects HOST:PORT, got {args.address!r}", file=sys.stderr)
+        return 1
+    host, port = address
+    try:
+        run_top(host, port, interval=args.interval, timeout=args.timeout)
+    except (BenchmarkError, OSError) as error:
+        print(f"top failed: {error}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1291,6 +1392,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "ephemeral; --sessions bounds how many "
                               "connections are served, 0 = forever; "
                               "see docs/protocol.md)")
+    p_serve.add_argument("--stats-window", type=float, default=None,
+                         dest="stats_window", metavar="SECONDS",
+                         help="with --tcp --share-engine: fold live "
+                              "telemetry into virtual-time windows of "
+                              "this width and push each flushed window "
+                              "to STATS_SUBSCRIBE probes (`repro top`)")
+    p_serve.add_argument("--slo", action="append", default=None,
+                         metavar="RULE",
+                         help="with --stats-window: SLO watchdog rule "
+                              "METRIC>X or METRIC<X over window fields "
+                              "(e.g. pct_tr_violated>25, "
+                              "mean_latency>2.5); repeatable; alerts "
+                              "ride the pushed windows and the trace")
     _add_obs_arguments(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -1339,7 +1453,24 @@ def build_parser() -> argparse.ArgumentParser:
                                 "client-side; byte-identical to the "
                                 "server's); with --stats: the stats "
                                 "snapshot JSON")
+    _add_obs_arguments(p_connect)
     p_connect.set_defaults(func=_cmd_connect)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard over a server's streaming telemetry "
+             "(STATS_SUBSCRIBE probe; shared-engine --stats-window runs)",
+    )
+    p_top.add_argument("address", metavar="HOST:PORT",
+                       help="address of a running `repro serve --tcp "
+                            "--share-engine --stats-window W` server")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="minimum wall seconds between rendered "
+                            "frames (alert and final frames always "
+                            "render; payloads stay deterministic)")
+    p_top.add_argument("--timeout", type=float, default=60.0,
+                       help="socket timeout in seconds")
+    p_top.set_defaults(func=_cmd_top)
 
     p_bench_net = sub.add_parser(
         "bench-net",
@@ -1376,6 +1507,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench_net.add_argument("--out", default=None,
                              help="with --remote: write the aggregated "
                                   "contention report to this file")
+    p_bench_net.add_argument("--trace-dir", default=None, dest="trace_dir",
+                             metavar="DIR",
+                             help="with --remote: each client process "
+                                  "writes its correlated trace to "
+                                  "DIR/client-N.jsonl (stitch with "
+                                  "`repro trace merge`)")
     _add_obs_arguments(p_bench_net)
     p_bench_net.set_defaults(func=_cmd_bench_net)
 
@@ -1483,18 +1620,30 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="summarize or export a structured trace captured with --trace",
     )
-    p_trace.add_argument("action", choices=["summary", "export"],
+    p_trace.add_argument("action", choices=["summary", "export", "merge"],
                          help="summary: deterministic per-span digest; "
                               "export: virtual-time-only JSONL (--out "
-                              "*.jsonl) or summary CSV (--out *.csv)")
-    p_trace.add_argument("trace_file", metavar="TRACE_JSONL",
-                         help="trace file written by a --trace run")
+                              "*.jsonl) or summary CSV (--out *.csv); "
+                              "merge: stitch per-host trace files into "
+                              "one stream globally ordered by virtual "
+                              "time (vt, then host, then seq)")
+    p_trace.add_argument("trace_file", metavar="TRACE_JSONL", nargs="+",
+                         help="trace file(s) written by --trace runs "
+                              "(summary/export take one; merge takes "
+                              "many)")
     p_trace.add_argument("--csv", action="store_true",
                          help="summary: print the CSV form instead of "
                               "the table")
+    p_trace.add_argument("--session", default=None, metavar="NAME",
+                         help="keep only entries of this session")
+    p_trace.add_argument("--kind", default=None, metavar="KIND",
+                         help="keep only entries of this kind (e.g. "
+                              "span, event)")
     p_trace.add_argument("--out", default=None,
                          help="export: output path (.jsonl = virtual-only "
-                              "trace, anything else = summary CSV)")
+                              "trace, anything else = summary CSV); "
+                              "merge: merged JSONL path (stdout if "
+                              "omitted)")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_cache = sub.add_parser(

@@ -361,6 +361,7 @@ def _spawn_clients(
     per_session: int,
     workflow_type: WorkflowType,
     timeout: float,
+    trace_dir: Optional[Path] = None,
 ) -> str:
     """Run N real ``repro connect`` processes; aggregate their CSVs."""
     env = _client_env()
@@ -369,16 +370,25 @@ def _spawn_clients(
         procs = []
         try:
             for index, out in enumerate(outs):
+                argv = [
+                    sys.executable, "-m", "repro.cli", "connect",
+                    f"{host}:{port}",
+                    "--session", str(index),
+                    "--per-session", str(per_session),
+                    "--workflow-type", workflow_type.value,
+                    "--timeout", str(timeout),
+                    "--out", str(out),
+                ]
+                if trace_dir is not None:
+                    # One trace JSONL per client process, stamped with
+                    # the run/host context from the server's HELLO —
+                    # the inputs of `repro trace merge`.
+                    argv += [
+                        "--trace",
+                        str(trace_dir / f"client-{index}.jsonl"),
+                    ]
                 procs.append(subprocess.Popen(
-                    [
-                        sys.executable, "-m", "repro.cli", "connect",
-                        f"{host}:{port}",
-                        "--session", str(index),
-                        "--per-session", str(per_session),
-                        "--workflow-type", workflow_type.value,
-                        "--timeout", str(timeout),
-                        "--out", str(out),
-                    ],
+                    argv,
                     stdout=subprocess.PIPE,
                     stderr=subprocess.STDOUT,
                     text=True,
@@ -426,6 +436,30 @@ def _spawn_clients(
         ])
 
 
+def remote_run_id(
+    engine: str,
+    clients: int,
+    per_session: int,
+    workflow_type: WorkflowType,
+) -> str:
+    """Deterministic correlation id of a remote load-generation run.
+
+    A stable digest of the run configuration, so every process of the
+    run (server + N clients) stamps the *same* id — and a repeat of the
+    same configuration stamps it again, keeping merged traces
+    byte-deterministic.
+    """
+    from repro.common.fingerprint import stable_digest
+
+    return stable_digest({
+        "kind": "remote-bench",
+        "engine": engine,
+        "clients": clients,
+        "per_session": per_session,
+        "workflow_type": workflow_type.value,
+    })
+
+
 def run_remote_bench(
     ctx,
     engine: str = "idea-sim",
@@ -437,6 +471,7 @@ def run_remote_bench(
     port: Optional[int] = None,
     runs: int = 2,
     timeout: float = 300.0,
+    trace_dir: Optional[Path] = None,
 ) -> RemoteNetBenchResult:
     """Remote load generation: N client processes, one shared engine.
 
@@ -446,14 +481,24 @@ def run_remote_bench(
     is started per run, the whole thing repeats ``runs`` times, and the
     aggregated report is checked for byte-determinism across runs and
     byte-equality with the in-process ``serve --share-engine`` report.
+
+    ``trace_dir`` makes every client process write its own trace JSONL
+    (``client-N.jsonl``) there, stamped with the shared run id — the
+    per-host inputs ``repro trace merge`` stitches into one timeline.
+    Repeated loopback runs overwrite the same files; the traces are
+    virtual-axis data, so the bytes are identical run to run anyway.
     """
     if clients < 1:
         raise BenchmarkError(f"need at least one client, got {clients!r}")
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     if host is not None:
         if port is None:
             raise BenchmarkError("remote host needs a port")
         report = _spawn_clients(
-            host, port, clients, per_session, workflow_type, timeout
+            host, port, clients, per_session, workflow_type, timeout,
+            trace_dir=trace_dir,
         )
         return RemoteNetBenchResult(clients=clients, report=report, runs=1)
 
@@ -467,15 +512,21 @@ def run_remote_bench(
     expected = aggregate_session_reports(
         [(r.session_id, r.csv_text()) for r in reference]
     )
+    run_id = (
+        remote_run_id(engine, clients, per_session, workflow_type)
+        if trace_dir is not None
+        else ""
+    )
     reports = []
     for _ in range(max(1, runs)):
         server = _shared_server(
-            ctx, engine, clients, per_session, workflow_type
+            ctx, engine, clients, per_session, workflow_type,
+            run_id=run_id,
         )
         with ServerThread(server) as (bound_host, bound_port):
             reports.append(_spawn_clients(
                 bound_host, bound_port, clients, per_session,
-                workflow_type, timeout,
+                workflow_type, timeout, trace_dir=trace_dir,
             ))
     return RemoteNetBenchResult(
         clients=clients,

@@ -41,7 +41,10 @@ from repro.net.protocol import (
     Message,
     Record,
     Stats,
+    StatsPush,
     StatsRequest,
+    StatsSubscribe,
+    StatsUnsubscribe,
     SubmitViz,
     TurnDone,
     TurnGrant,
@@ -49,6 +52,7 @@ from repro.net.protocol import (
     decode_body,
     split_frame,
 )
+from repro.obs.tracer import get_tracer
 from repro.workflow.spec import CreateViz, Interaction, Workflow
 
 #: Default socket timeout (seconds) — generous, but hangs must surface.
@@ -88,6 +92,7 @@ class NetClient:
         self.frame_log: List[str] = [] if log_frames else None
         self._sock: Optional[socket.socket] = None
         self._buffer = b""
+        self._correlated = False
 
     # ------------------------------------------------------------------
     def connect(self) -> "NetClient":
@@ -166,8 +171,14 @@ class NetClient:
         return messages
 
     # ------------------------------------------------------------------
-    def hello(self) -> Hello:
+    def hello(self, client_host: str = "") -> Hello:
         """Handshake; returns the server's HELLO.
+
+        ``client_host`` names this client for cross-host trace
+        correlation: it rides the outgoing HELLO, and when tracing is
+        enabled the server's ``run`` id (plus ``client_host``) is
+        stamped onto every local trace entry, so per-host trace files
+        stitch into one timeline with ``repro trace merge``.
 
         Raises a clear :class:`ProtocolError` on a version mismatch in
         either direction: a newer server's typed ``version`` ERROR frame
@@ -175,7 +186,7 @@ class NetClient:
         HELLO (decodable across versions) is rejected here by name
         instead of dying in the codec.
         """
-        self.send(Hello(role="client"))
+        self.send(Hello(role="client", host=client_host))
         answer = self.read_message()
         if not isinstance(answer, Hello):
             raise ProtocolError(f"expected hello, got {answer.TYPE!r}")
@@ -185,6 +196,16 @@ class NetClient:
                 f"server speaks protocol version {answer.version}; "
                 f"this client supports {supported}"
             )
+        tracer = get_tracer()
+        if tracer.enabled:
+            context = {}
+            if answer.run:
+                context["run"] = answer.run
+            if client_host:
+                context["host"] = client_host
+            if context:
+                tracer.set_context(**context)
+                self._correlated = True
         return answer
 
     def attach_scripted(
@@ -261,13 +282,55 @@ class NetClient:
     def collect(self) -> Tuple[List[QueryRecord], Detach]:
         """Read until the server's DETACH; returns (records, summary)."""
         records: List[QueryRecord] = []
+        tracer = get_tracer()
         while True:
             message = self.read_message()
             if isinstance(message, Record):
                 records.append(message.record)
+                if tracer.enabled and self._correlated:
+                    # The client-side trace of a *correlated* session:
+                    # one event per reassembled record at its evaluation
+                    # instant, so a per-client trace file has a virtual
+                    # timeline to merge on (repro trace merge). Gated on
+                    # correlation so uncorrelated traced runs keep their
+                    # pinned bytes (trace_tcp_shared.jsonl).
+                    tracer.event(
+                        "client.record",
+                        message.record.end_time,
+                        session=message.session_id,
+                        seq=message.seq,
+                    )
             elif isinstance(message, Detach):
                 return records, message
             # Progress frames are informational; skip.
+
+    # ------------------------------------------------------------------
+    # Streaming telemetry (stats_subscribe)
+    # ------------------------------------------------------------------
+    def subscribe_stats(self) -> None:
+        """Subscribe to pushed telemetry windows (instead of an ATTACH)."""
+        self.send(StatsSubscribe())
+
+    def unsubscribe_stats(self) -> None:
+        """Ask the server to end the stream (a final frame follows)."""
+        self.send(StatsUnsubscribe())
+
+    def iter_stats(self):
+        """Yield :class:`StatsPush` frames until the final one (excluded).
+
+        The generator returns when the server sends its ``final=True``
+        frame — after the shared run ends, or in answer to
+        :meth:`unsubscribe_stats`.
+        """
+        while True:
+            message = self.read_message()
+            if not isinstance(message, StatsPush):
+                raise ProtocolError(
+                    f"expected stats_push, got {message.TYPE!r}"
+                )
+            if message.final:
+                return
+            yield message
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +344,23 @@ def fetch_server_stats(
     with NetClient(host, port, timeout=timeout) as client:
         client.hello()
         return client.stats()
+
+
+def stream_server_stats(
+    host: str, port: int, *, timeout: float = DEFAULT_TIMEOUT
+) -> List[StatsPush]:
+    """Subscribe and collect the full pushed window stream of one run.
+
+    Blocks until the server's shared run ends (its final frame closes
+    the stream); returns every non-final STATS_PUSH in push order. The
+    frames are entirely virtual-axis data, so two runs of the same
+    configuration return byte-identical payloads — the over-the-wire
+    acceptance check of docs/observability.md.
+    """
+    with NetClient(host, port, timeout=timeout) as client:
+        client.hello()
+        client.subscribe_stats()
+        return list(client.iter_stats())
 
 
 def fetch_scripted_session(

@@ -45,6 +45,17 @@ typed catalog (one dataclass per tag) mirrors the session lifecycle:
 ``stats``       server → client: the snapshot — metrics registry
                 (counters/gauges/histograms) plus per-stage wall-time
                 profile, as produced by :func:`repro.obs.stats_payload`
+``stats_subscribe``  client → server (instead of ``attach``): stream the
+                windowed virtual-time series; like ``stats_request`` the
+                probe never joins the timeline. Requires the server's
+                streaming telemetry to be enabled (``--stats-window``)
+``stats_push``  server → client: one flushed telemetry window
+                (:mod:`repro.obs.timeseries` fields) plus any SLO alerts
+                it raised; a final frame (``final=true``, no window)
+                marks the end of the run's stream. Entirely virtual-axis
+                data — pushed bytes are deterministic
+``stats_unsubscribe``  client → server: stop the stream early; the
+                server confirms with a final ``stats_push`` and closes
 ``error``       protocol violation or session failure; sender closes.
                 Decodes across protocol versions; a version-mismatch
                 error carries ``data.supported_versions``.
@@ -197,17 +208,30 @@ class Hello(Message):
     software: str = "idebench-repro"
     engine: Optional[str] = None  # server → client: engine being served
     capabilities: Tuple[str, ...] = ()
+    #: Cross-host trace correlation (optional): the server's HELLO names
+    #: the run (``run``, a stable digest of its configuration) and each
+    #: side may name itself (``host``). Clients stamp both onto their
+    #: trace entries so ``repro trace merge`` can stitch per-host files
+    #: into one timeline. Empty strings are omitted from the payload —
+    #: handshake bytes without correlation are unchanged from v2.0.
+    run: str = ""
+    host: str = ""
 
     TYPE = "hello"
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "version": self.version,
             "role": self.role,
             "software": self.software,
             "engine": self.engine,
             "capabilities": list(self.capabilities),
         }
+        if self.run:
+            payload["run"] = self.run
+        if self.host:
+            payload["host"] = self.host
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Hello":
@@ -222,6 +246,8 @@ class Hello(Message):
                 software=payload.get("software", ""),
                 engine=payload.get("engine"),
                 capabilities=tuple(payload.get("capabilities") or ()),
+                run=str(payload.get("run", "") or ""),
+                host=str(payload.get("host", "") or ""),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ProtocolError(f"malformed hello payload: {error}") from error
@@ -580,6 +606,100 @@ class Stats(Message):
             raise ProtocolError(f"malformed stats frame: {error}") from error
 
 
+class StatsSubscribe(Message):
+    """Client → server: stream windowed telemetry (``repro top``).
+
+    Sent after the HELLO exchange *instead of* an ATTACH — a subscriber
+    is a probe, not a session: it never joins the timeline, so watching
+    a busy server cannot perturb any running session's bytes. The
+    server answers with a :class:`StatsPush` per flushed virtual-time
+    window (see :mod:`repro.obs.timeseries`); windows flushed before the
+    subscription are replayed first, so a late subscriber still sees the
+    whole deterministic stream. Requires the server's streaming
+    telemetry to be enabled (``repro serve --tcp --stats-window``);
+    otherwise the server answers with a typed ``error`` frame.
+    """
+
+    TYPE = "stats_subscribe"
+
+    def to_payload(self) -> dict:
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StatsSubscribe":
+        return cls()
+
+
+@dataclass(frozen=True)
+class StatsPush(Message):
+    """Server → subscriber: one flushed telemetry window (+ SLO alerts).
+
+    ``window`` is a :mod:`repro.obs.timeseries` window dict; ``alerts``
+    are the typed SLO alerts that window raised (``repro.obs.slo``).
+    The closing frame of a stream carries ``final=True`` and no window.
+    Every field is virtual-axis data — a pushed stream's bytes are a
+    pure function of the run configuration (the two-axis contract), so
+    over-the-wire windows compare byte-for-byte with the in-process
+    series.
+    """
+
+    seq: int
+    window: Optional[dict] = None
+    alerts: Tuple[dict, ...] = ()
+    final: bool = False
+
+    TYPE = "stats_push"
+
+    def to_payload(self) -> dict:
+        return {
+            "seq": self.seq,
+            "window": self.window,
+            "alerts": list(self.alerts),
+            "final": self.final,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StatsPush":
+        try:
+            window = payload.get("window")
+            if window is not None and not isinstance(window, dict):
+                raise TypeError(
+                    f"stats_push window must be an object, "
+                    f"got {type(window).__name__}"
+                )
+            alerts = payload.get("alerts") or ()
+            if not all(isinstance(alert, dict) for alert in alerts):
+                raise TypeError("stats_push alerts must be objects")
+            return cls(
+                seq=int(payload["seq"]),
+                window=window,
+                alerts=tuple(alerts),
+                final=bool(payload.get("final", False)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                f"malformed stats_push frame: {error}"
+            ) from error
+
+
+class StatsUnsubscribe(Message):
+    """Subscriber → server: stop the stream before the run ends.
+
+    The server confirms with a final :class:`StatsPush` (``final=True``)
+    and closes the connection; frames already in flight may still arrive
+    first.
+    """
+
+    TYPE = "stats_unsubscribe"
+
+    def to_payload(self) -> dict:
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StatsUnsubscribe":
+        return cls()
+
+
 @dataclass(frozen=True)
 class ErrorMessage(Message):
     """A protocol violation or session failure; the sender closes.
@@ -644,6 +764,9 @@ MESSAGE_TYPES: Dict[str, Type[Message]] = {
         Detach,
         StatsRequest,
         Stats,
+        StatsSubscribe,
+        StatsPush,
+        StatsUnsubscribe,
         ErrorMessage,
     )
 }

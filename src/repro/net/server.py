@@ -66,6 +66,8 @@ from repro.obs.profile import (
     STAGE_TURN_GRANT,
     get_profiler,
 )
+from repro.obs.slo import SloWatchdog
+from repro.obs.timeseries import TimeSeries, set_timeseries
 from repro.server.clock import AsyncClock
 from repro.server.manager import (
     SessionAbandoned,
@@ -89,7 +91,10 @@ from repro.net.protocol import (
     Progress,
     Record,
     Stats,
+    StatsPush,
     StatsRequest,
+    StatsSubscribe,
+    StatsUnsubscribe,
     SubmitViz,
     TurnDone,
     TurnGrant,
@@ -122,6 +127,11 @@ DEFAULT_BARRIER_TIMEOUT = 120.0
 #: Scripted shared-run slots own ids of this shape; client-driven
 #: sessions may not squat on them.
 _SCRIPTED_ID = re.compile(r"session-\d+")
+
+#: Stream-queue sentinels: the run finished (drain and send the final
+#: frame) vs. the subscriber asked to stop (send the final frame now).
+_STREAM_END = object()
+_STREAM_STOP = object()
 
 
 class TcpSessionServer:
@@ -162,6 +172,23 @@ class TcpSessionServer:
         participants to attach before aborting the run with typed
         errors (an attached-then-dead client would otherwise wedge the
         barrier forever).
+    stats_window:
+        Enable streaming telemetry: the shared run folds a
+        :class:`~repro.obs.timeseries.TimeSeries` with this virtual
+        window width, and ``stats_subscribe`` probes receive one
+        STATS_PUSH per flushed window (``repro top``). Shared mode only
+        — windows ride the global virtual timeline. ``None`` (default)
+        disables streaming; subscribers get a typed error.
+    slo_rules:
+        ``METRIC>THRESHOLD`` strings (:func:`repro.obs.slo.parse_rule`)
+        the streaming watchdog evaluates per window; alerts ride the
+        pushed frames (and the trace, when tracing is on).
+    run_id:
+        Optional deterministic run correlation id. When set, the
+        server's HELLO carries ``run``/``host`` fields that clients
+        stamp onto their trace entries (``repro trace merge``). Empty
+        (default) keeps handshake bytes identical to pre-correlation
+        servers.
     on_ready:
         Optional callback ``(host, port)`` invoked once listening.
     """
@@ -182,6 +209,9 @@ class TcpSessionServer:
         policy: Optional[str] = None,
         turn_timeout: float = DEFAULT_TURN_TIMEOUT,
         barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+        stats_window: Optional[float] = None,
+        slo_rules=(),
+        run_id: str = "",
         on_ready=None,
     ):
         if max_sessions is not None and max_sessions < 1:
@@ -213,6 +243,24 @@ class TcpSessionServer:
             )
         self.turn_timeout = turn_timeout
         self.barrier_timeout = barrier_timeout
+        self.run_id = run_id
+        if stats_window is not None and not share_engine:
+            raise BenchmarkError(
+                "streaming telemetry (stats_window) requires shared-"
+                "engine serving: windows are folded on the shared run's "
+                "global virtual timeline"
+            )
+        self._series: Optional[TimeSeries] = None
+        self._watchdog: Optional[SloWatchdog] = None
+        #: ``(window, alerts)`` pairs in flush order — the deterministic
+        #: stream every subscriber receives (late ones replay it first).
+        self._push_log: List[tuple] = []
+        self._push_queues: Set[asyncio.Queue] = set()
+        self._push_done = False
+        if stats_window is not None:
+            self._series = TimeSeries(window=stats_window)
+            self._watchdog = SloWatchdog(slo_rules)
+            self._series.add_listener(self._on_window)
         self.sessions_served = 0
         self._on_ready = on_ready
         self._dataset = ctx.dataset(ctx.settings.data_size, normalized)
@@ -290,6 +338,82 @@ class TcpSessionServer:
             self._done.set()
 
     # ------------------------------------------------------------------
+    # Streaming telemetry (stats_subscribe probes)
+    # ------------------------------------------------------------------
+    def _on_window(self, window: dict) -> None:
+        """Series listener: evaluate SLO rules, log, fan to subscribers.
+
+        Runs synchronously inside the shared run's event loop at each
+        virtual-window flush, so the push order *is* the flush order.
+        """
+        alerts = tuple(self._watchdog.evaluate(window))
+        item = (window, alerts)
+        self._push_log.append(item)
+        for queue in self._push_queues:
+            queue.put_nowait(item)
+
+    def _finish_stream(self) -> None:
+        """Shared run over: flush the tail and release every subscriber."""
+        if self._series is None or self._push_done:
+            return
+        self._series.finalize()  # no-op if the manager already did
+        self._push_done = True
+        for queue in self._push_queues:
+            queue.put_nowait(_STREAM_END)
+
+    async def _serve_stats_stream(self, reader, writer) -> None:
+        if self._series is None:
+            raise ProtocolError(
+                "streaming telemetry is disabled on this server; start "
+                "it with --stats-window to accept stats_subscribe probes"
+            )
+        queue: asyncio.Queue = asyncio.Queue()
+        # Snapshot + register with no await in between (single-threaded
+        # loop): a late subscriber replays every window already flushed,
+        # then follows live — no gap, no duplicate.
+        backlog = list(self._push_log)
+        done = self._push_done
+        if not done:
+            self._push_queues.add(queue)
+        watcher = asyncio.ensure_future(
+            self._watch_unsubscribe(reader, queue)
+        )
+        seq = 0
+        try:
+            for window, alerts in backlog:
+                await self._send(
+                    writer, StatsPush(seq=seq, window=window, alerts=alerts)
+                )
+                seq += 1
+            while not done:
+                item = await queue.get()
+                if item is _STREAM_END or item is _STREAM_STOP:
+                    break
+                window, alerts = item
+                await self._send(
+                    writer, StatsPush(seq=seq, window=window, alerts=alerts)
+                )
+                seq += 1
+            await self._send(writer, StatsPush(seq=seq, final=True))
+        except (ConnectionError, OSError):
+            pass  # subscriber vanished; nothing to answer
+        finally:
+            self._push_queues.discard(queue)
+            watcher.cancel()
+
+    async def _watch_unsubscribe(self, reader, queue: asyncio.Queue) -> None:
+        """Turn a STATS_UNSUBSCRIBE (or a dead socket) into a stop signal."""
+        try:
+            message = await read_message_async(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            queue.put_nowait(_STREAM_STOP)
+            return
+        if isinstance(message, StatsUnsubscribe):
+            queue.put_nowait(_STREAM_STOP)
+        # Anything else is ignored: the probe's only defined follow-up
+        # is an unsubscribe, and erroring mid-push would race the stream.
+
+    # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
     async def _accept(self, reader, writer) -> None:
@@ -334,9 +458,18 @@ class TcpSessionServer:
                     capabilities=(
                         (CAP_SHARED_ENGINE,) if self.share_engine else ()
                     ),
+                    run=self.run_id,
+                    host="server" if self.run_id else "",
                 ),
             )
             attach = await self._recv(reader)
+            if isinstance(attach, StatsSubscribe):
+                # Streaming probe: push every flushed telemetry window
+                # until the run ends or it unsubscribes. Like a stats
+                # probe it never joins the timeline and is not counted
+                # as a session.
+                await self._serve_stats_stream(reader, writer)
+                return
             if isinstance(attach, StatsRequest):
                 # Observability probe: answer with the live metrics /
                 # profile snapshot and hang up. The probe never joins
@@ -804,10 +937,18 @@ class _SharedRun:
                     f"never started"
                 )
                 slot.done.set()
+        # A run that never starts flushes no windows; release any
+        # waiting subscribers with an empty (final-only) stream.
+        self.server._finish_stream()
 
     # -- the run -------------------------------------------------------
     async def _execute(self) -> None:
         server = self.server
+        previous_series = (
+            set_timeseries(server._series)
+            if server._series is not None
+            else None
+        )
         try:
             specs, policies, hooks = [], [], {}
             for index in range(self.expected):
@@ -864,6 +1005,9 @@ class _SharedRun:
                 slot.records = results[index].records
                 slot.done.set()
         finally:
+            if server._series is not None:
+                set_timeseries(previous_series)
+                server._finish_stream()
             for _ in range(self.expected):
                 server._session_ended()
 

@@ -1,0 +1,133 @@
+"""``repro top`` — a live terminal view of a serving run's telemetry.
+
+Subscribes to a shared-engine server's streaming telemetry
+(STATS_SUBSCRIBE, :mod:`repro.net.protocol`) and renders each pushed
+virtual-time window as one dashboard line — active sessions, records/s
+(the paper's §4.7 throughput axis), TR-violation rate, queue depth,
+kernel-cache hit rate — plus any SLO alerts the window raised.
+
+Two-axis discipline, same as everywhere else in the observability layer:
+the *payloads* are virtual-axis data and byte-deterministic, while the
+*rendering cadence* is a wall-clock courtesy to the terminal —
+:class:`TopView` drops intermediate frames when they arrive faster than
+``interval`` wall seconds (clocked via
+:func:`repro.common.clock.perf_seconds`, so tests swap in a fake clock
+and never sleep). Alert frames and the final frame always render.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Optional
+
+from repro.common.clock import perf_seconds
+from repro.net.client import DEFAULT_TIMEOUT, NetClient
+
+_HEADER = (
+    "     vt  active  rec/s   %viol  q-depth  cache-hit  alerts"
+)
+
+
+def format_window(window: dict, alerts=()) -> str:
+    """One deterministic dashboard line for a flushed window."""
+    flags = ",".join(str(alert.get("rule", "?")) for alert in alerts)
+    return (
+        f"{window.get('vt_end', 0.0):7.1f}"
+        f"  {window.get('active_sessions', 0):6d}"
+        f"  {window.get('records_per_s', 0.0):5.1f}"
+        f"  {window.get('pct_tr_violated', 0.0):6.1f}"
+        f"  {window.get('queue_depth', 0):7d}"
+        f"  {window.get('kernel_hit_rate', 0.0):9.2f}"
+        f"  {flags or '-'}"
+    )
+
+
+class TopView:
+    """Rate-limited renderer for the pushed window stream.
+
+    ``out`` and ``clock`` are injectable for tests. A frame renders when
+    it is the first one, raises an alert, or arrives at least
+    ``interval`` wall seconds after the last rendered frame; dropped
+    frames are counted so :meth:`close` can say what the terminal never
+    saw. Rendering never alters the stream — the payload bytes stay the
+    deterministic ones the server pushed.
+    """
+
+    def __init__(
+        self,
+        *,
+        interval: float = 1.0,
+        out=None,
+        clock: Callable[[], float] = perf_seconds,
+    ):
+        self.interval = interval
+        self.rendered = 0
+        self.dropped = 0
+        self.alerts_seen = 0
+        self._last: Optional[dict] = None
+        self._last_emit: Optional[float] = None
+        self._out = out
+        self._clock = clock
+
+    def _emit(self, line: str) -> None:
+        out = self._out if self._out is not None else sys.stdout
+        print(line, file=out, flush=True)
+
+    def observe(self, window: dict, alerts=()) -> bool:
+        """Feed one pushed window; returns True if it rendered."""
+        self.alerts_seen += len(alerts)
+        self._last = window
+        now = self._clock()
+        throttled = (
+            not alerts
+            and self._last_emit is not None
+            and now - self._last_emit < self.interval
+        )
+        if throttled:
+            self.dropped += 1
+            return False
+        if self.rendered == 0:
+            self._emit(_HEADER)
+        self._last_emit = now
+        self.rendered += 1
+        self._emit(format_window(window, alerts))
+        return True
+
+    def close(self) -> None:
+        """Final render: the last window always reaches the terminal."""
+        if self._last is not None and self.dropped:
+            self._emit(format_window(self._last))
+            self.rendered += 1
+        self._emit(
+            f"-- stream ended: {self.rendered} rendered, "
+            f"{self.dropped} dropped, {self.alerts_seen} alerts --"
+        )
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    interval: float = 1.0,
+    timeout: float = DEFAULT_TIMEOUT,
+    out=None,
+    clock: Callable[[], float] = perf_seconds,
+) -> List[dict]:
+    """Subscribe to ``host:port`` and render the stream until it ends.
+
+    Returns the full list of window dicts received (every pushed frame,
+    rendered or not) so callers — and tests — can compare the payloads
+    against an in-process series byte-for-byte.
+    """
+    view = TopView(interval=interval, out=out, clock=clock)
+    windows: List[dict] = []
+    with NetClient(host, port, timeout=timeout) as client:
+        client.hello()
+        client.subscribe_stats()
+        try:
+            for push in client.iter_stats():
+                windows.append(push.window)
+                view.observe(push.window, push.alerts)
+        finally:
+            view.close()
+    return windows

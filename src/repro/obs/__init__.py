@@ -54,17 +54,30 @@ from repro.obs.sink import (
     RingBuffer,
     csv_summary,
     entry_line,
+    filter_entries,
     iter_jsonl,
+    merge_traces,
     render_summary_table,
     summarize,
     virtual_view,
     write_jsonl,
+)
+from repro.obs.slo import SloRule, SloWatchdog, parse_rule
+from repro.obs.timeseries import (
+    DEFAULT_WINDOW,
+    TimeSeries,
+    get_timeseries,
+    recompute,
+    replay,
+    series_lines,
+    set_timeseries,
 )
 from repro.obs.tracer import TRACE_SCHEMA_VERSION, Tracer, get_tracer, set_tracer
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_VT_BUCKETS",
+    "DEFAULT_WINDOW",
     "JsonlSink",
     "KNOWN_STAGES",
     "MetricsRegistry",
@@ -76,20 +89,31 @@ __all__ = [
     "STAGE_PREDICATE_EVAL",
     "STAGE_SCHEDULER",
     "STAGE_TURN_GRANT",
+    "SloRule",
+    "SloWatchdog",
     "StageProfiler",
     "TRACE_SCHEMA_VERSION",
+    "TimeSeries",
     "Tracer",
     "csv_summary",
     "entry_line",
     "export_metrics_text",
+    "filter_entries",
     "get_metrics",
     "get_profiler",
+    "get_timeseries",
     "get_tracer",
     "iter_jsonl",
+    "merge_traces",
     "observed",
+    "parse_rule",
+    "recompute",
     "render_summary_table",
+    "replay",
+    "series_lines",
     "set_metrics",
     "set_profiler",
+    "set_timeseries",
     "set_tracer",
     "stats_payload",
     "summarize",

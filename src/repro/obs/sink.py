@@ -113,6 +113,48 @@ def iter_jsonl(path: Union[str, Path]) -> Iterator[dict]:
             yield entry
 
 
+def filter_entries(
+    entries: Iterable[dict],
+    session: Optional[str] = None,
+    kind: Optional[str] = None,
+) -> Iterator[dict]:
+    """Yield entries matching the given ``session`` / ``kind`` (if set).
+
+    The `repro trace summary|export --session/--kind` selection: at
+    10⁵-session scale an unfiltered trace is noise. Filters compose
+    (logical AND); ``None`` means "don't filter on this field".
+    """
+    for entry in entries:
+        if session is not None and entry.get("session") != session:
+            continue
+        if kind is not None and entry.get("kind") != kind:
+            continue
+        yield entry
+
+
+def merge_traces(paths: Iterable[Union[str, Path]]) -> List[dict]:
+    """Stitch per-host trace files into one globally-ordered timeline.
+
+    Entries sort by ``(vt, host, seq)`` — virtual time is the shared
+    global axis (every host replays the same deterministic timeline), the
+    ``host`` context field breaks cross-host ties deterministically, and
+    ``seq`` preserves each host's own recording order. The result is a
+    pure function of the input files, so merged output is
+    byte-deterministic (``repro trace merge``).
+    """
+    merged: List[dict] = []
+    for path in paths:
+        merged.extend(iter_jsonl(path))
+    merged.sort(
+        key=lambda entry: (
+            float(entry.get("vt", 0.0)),
+            str(entry.get("host", "")),
+            int(entry.get("seq", 0)),
+        )
+    )
+    return merged
+
+
 def summarize(entries: Iterable[dict]) -> List[Dict[str, object]]:
     """Aggregate entries per span/event name, virtual-time fields only.
 

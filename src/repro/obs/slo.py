@@ -1,0 +1,140 @@
+"""Deterministic SLO watchdog over windowed virtual-time telemetry.
+
+Evaluates threshold rules against every flushed
+:class:`~repro.obs.timeseries.TimeSeries` window — the paper's §4.7
+metrics (violation rate, latency, throughput), time-resolved — and
+emits typed alert events — into the trace (``slo.alert`` events at the window's closing
+virtual time) and into pushed STATS snapshots (the ``alerts`` field of
+STATS_PUSH frames). Because windows are pure functions of the run
+configuration (the two-axis contract), so are the alerts: a rule that
+fires in window 7 of one run fires in window 7 of every repeat.
+
+Rules are compact strings, ``METRIC OP THRESHOLD``::
+
+    pct_tr_violated>75        # alert when >75% of a window's deadlines violate
+    mean_latency>2.5          # alert when answered latency exceeds 2.5 vt-seconds
+    kernel_hit_rate<0.5       # alert when the kernel cache degrades
+
+``METRIC`` is any numeric field of a window dict
+(:mod:`repro.obs.timeseries` documents the catalog); ``OP`` is ``>`` or
+``<``. Empty windows evaluate like any other (rates are 0.0 there), so a
+``<`` rule can deliberately page on silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import BenchmarkError
+from repro.obs.tracer import get_tracer
+
+#: Comparison operators a rule may use.
+SLO_OPS = (">", "<")
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One threshold rule over a window metric."""
+
+    metric: str
+    op: str
+    threshold: float
+    name: str = ""
+
+    def __post_init__(self):
+        if self.op not in SLO_OPS:
+            raise BenchmarkError(
+                f"unknown SLO operator {self.op!r} "
+                f"(choose from: {', '.join(SLO_OPS)})"
+            )
+
+    @property
+    def label(self) -> str:
+        """The rule's display/trace name (defaults to its source text)."""
+        return self.name or f"{self.metric}{self.op}{self.threshold:g}"
+
+    def check(self, window: dict) -> Optional[dict]:
+        """The typed alert this rule raises on ``window``, or ``None``."""
+        value = window.get(self.metric)
+        if not isinstance(value, (int, float)):
+            return None
+        fired = value > self.threshold if self.op == ">" else value < self.threshold
+        if not fired:
+            return None
+        return {
+            "rule": self.label,
+            "metric": self.metric,
+            "op": self.op,
+            "threshold": self.threshold,
+            "value": value,
+            "w": window.get("w"),
+            "vt": window.get("vt_end"),
+        }
+
+
+def parse_rule(text: str) -> SloRule:
+    """Parse ``METRIC>THRESHOLD`` / ``METRIC<THRESHOLD`` into a rule."""
+    for op in SLO_OPS:
+        metric, sep, threshold = text.partition(op)
+        if not sep:
+            continue
+        metric = metric.strip()
+        if not metric:
+            raise BenchmarkError(f"malformed SLO rule {text!r}: empty metric")
+        try:
+            return SloRule(metric=metric, op=op, threshold=float(threshold))
+        except ValueError as error:
+            raise BenchmarkError(
+                f"malformed SLO rule {text!r}: {error}"
+            ) from error
+    raise BenchmarkError(
+        f"malformed SLO rule {text!r} (expected METRIC>THRESHOLD or "
+        f"METRIC<THRESHOLD over a window field, e.g. pct_tr_violated>75)"
+    )
+
+
+class SloWatchdog:
+    """Evaluates rules per flushed window; collects and traces alerts.
+
+    Attach to a series with :meth:`attach` (a plain window listener) or
+    call :meth:`evaluate` manually per window. Alerts accumulate on
+    :attr:`alerts` in window order; each one is also recorded as an
+    ``slo.alert`` trace event at the window's closing virtual time when
+    tracing is enabled.
+    """
+
+    def __init__(self, rules: Sequence[Union[SloRule, str]] = ()):
+        self.rules: Tuple[SloRule, ...] = tuple(
+            rule if isinstance(rule, SloRule) else parse_rule(rule)
+            for rule in rules
+        )
+        self.alerts: List[dict] = []
+
+    def evaluate(self, window: dict) -> List[dict]:
+        """Check every rule against one window; returns the new alerts."""
+        fired = []
+        for rule in self.rules:
+            alert = rule.check(window)
+            if alert is not None:
+                fired.append(alert)
+        if fired:
+            tracer = get_tracer()
+            if tracer.enabled:
+                for alert in fired:
+                    tracer.event(
+                        "slo.alert",
+                        float(alert["vt"] or 0.0),
+                        rule=alert["rule"],
+                        metric=alert["metric"],
+                        value=alert["value"],
+                        threshold=alert["threshold"],
+                        w=alert["w"],
+                    )
+            self.alerts.extend(fired)
+        return fired
+
+    def attach(self, series) -> "SloWatchdog":
+        """Register this watchdog as a window listener on ``series``."""
+        series.add_listener(self.evaluate)
+        return self

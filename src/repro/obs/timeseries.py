@@ -1,0 +1,364 @@
+"""Deterministic virtual-time windowed telemetry series.
+
+IDEBench's argument is *time-resolved*: an interactive-exploration
+backend must be judged by how its §4.7 metrics — violations, latency,
+throughput — evolve while the population churns; cumulative counters
+flatten exactly the signal the paper cares about. This module folds the serving stack's event
+stream into fixed-width **virtual-time windows**, incrementally, in
+global virtual-time order (the scheduler's grant order), so a live run
+can stream its windows out (STATS_PUSH frames, ``repro top``) while the
+series stays a pure function of the run configuration.
+
+Two-axis contract (docs/observability.md): every field of a flushed
+window is derived from virtual time and deterministic run state — no
+wall readings — so window streams are golden-pinnable
+(``tests/golden/timeseries_serial.jsonl``) and byte-identical across
+repeated runs and across in-process vs over-the-wire consumption.
+
+Window *w* covers the half-open virtual interval
+``[w·width, (w+1)·width)``. Observations arrive in nondecreasing
+virtual-time order; the first observation at or past a window's end
+flushes it (and any empty windows in between), and :meth:`TimeSeries.finalize`
+flushes the trailing partial window. Per-window fields:
+
+``active_sessions``
+    sessions live at the window's flush point (a gauge);
+``sessions_started`` / ``sessions_finished``
+    lifecycle deltas inside the window;
+``records`` / ``tr_violations`` / ``pct_tr_violated``
+    evaluated deadlines, violations, and the violation rate in percent;
+``mean_latency``
+    mean answered-query latency (virtual seconds) inside the window;
+``records_per_s``
+    records over the window width — the §4.7 throughput axis;
+``turns`` / ``queue_depth``
+    scheduler grants inside the window and the maximum number of
+    sessions waiting for a turn at any grant;
+``kernel_hits`` / ``kernel_misses`` / ``kernel_hit_rate``
+    compiled-kernel cache activity deltas (cumulative counters sampled
+    at each turn grant).
+
+The incremental fold is pinned against :func:`recompute`, a
+from-scratch reference that rebuilds the same windows from the full
+event stream — ``tests/test_timeseries.py`` fuzzes bitwise equality of
+the two over growing, shrinking and empty windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.errors import BenchmarkError
+from repro.common.fingerprint import canonical_json
+
+#: Default window width in virtual seconds.
+DEFAULT_WINDOW = 1.0
+
+
+class TimeSeries:
+    """Incrementally folded virtual-time windowed series.
+
+    Observations must arrive in nondecreasing virtual-time order (the
+    serving stack's global grant order guarantees this). Flushed windows
+    accumulate on :attr:`windows` and fan out to listeners registered
+    with :meth:`add_listener` — the hook the SLO watchdog
+    (:mod:`repro.obs.slo`) and the STATS_PUSH stream attach to.
+
+    Disabled by default at the module level (:func:`get_timeseries`):
+    instrumented call sites pay one attribute check until a run installs
+    an enabled series via :func:`set_timeseries`.
+    """
+
+    def __init__(self, window: float = DEFAULT_WINDOW, enabled: bool = True):
+        if window <= 0:
+            raise BenchmarkError(
+                f"time-series window must be positive, got {window!r}"
+            )
+        self.window = float(window)
+        self.enabled = enabled
+        #: Flushed windows, oldest first.
+        self.windows: List[dict] = []
+        self._listeners: List[Callable[[dict], None]] = []
+        self._index = 0
+        self._finalized = False
+        # Run-level gauges (persist across windows).
+        self._active = 0
+        self._kernel_hits = 0
+        self._kernel_misses = 0
+        # Per-window accumulators (reset at each flush).
+        self._reset_window()
+        self._kernel_seen = False
+        self._kernel_hits_start = 0
+        self._kernel_misses_start = 0
+
+    def _reset_window(self) -> None:
+        self._records = 0
+        self._violations = 0
+        self._latency_sum = 0.0
+        self._answered = 0
+        self._turns = 0
+        self._queue_depth = 0
+        self._started = 0
+        self._finished = 0
+
+    # -- folding hooks --------------------------------------------------
+
+    def advance(self, vt: float) -> None:
+        """Flush every window whose end lies at or before ``vt``."""
+        if self._finalized:
+            raise BenchmarkError("time series is finalized")
+        while (self._index + 1) * self.window <= vt:
+            self._flush()
+
+    def observe_record(
+        self, vt: float, tr_violated: bool, latency: float = 0.0
+    ) -> None:
+        """Fold one evaluated deadline at virtual time ``vt``."""
+        self.advance(vt)
+        self._records += 1
+        if tr_violated:
+            self._violations += 1
+        else:
+            self._latency_sum += latency
+            self._answered += 1
+
+    def observe_turn(self, vt: float, queue_depth: int = 0) -> None:
+        """Fold one scheduler grant; ``queue_depth`` = sessions waiting."""
+        self.advance(vt)
+        self._turns += 1
+        if queue_depth > self._queue_depth:
+            self._queue_depth = queue_depth
+
+    def observe_kernel(self, vt: float, hits: int, misses: int) -> None:
+        """Sample the kernel cache's cumulative hit/miss counters.
+
+        The first sample is the series' baseline: the cache counters are
+        process-global, so without it the first window's delta would
+        absorb whatever warmed the cache before this run — and the
+        windows would no longer be a pure function of the run.
+        """
+        self.advance(vt)
+        if not self._kernel_seen:
+            self._kernel_seen = True
+            self._kernel_hits_start = int(hits)
+            self._kernel_misses_start = int(misses)
+        self._kernel_hits = int(hits)
+        self._kernel_misses = int(misses)
+
+    def session_started(self, vt: float) -> None:
+        self.advance(vt)
+        self._active += 1
+        self._started += 1
+
+    def session_finished(self, vt: float) -> None:
+        self.advance(vt)
+        self._active -= 1
+        self._finished += 1
+
+    def finalize(self) -> None:
+        """Flush the trailing partial window; the series is then frozen."""
+        if self._finalized:
+            return
+        self._flush()
+        self._finalized = True
+
+    # -- flushing -------------------------------------------------------
+
+    def _flush(self) -> None:
+        index = self._index
+        width = self.window
+        hits = self._kernel_hits - self._kernel_hits_start
+        misses = self._kernel_misses - self._kernel_misses_start
+        lookups = hits + misses
+        window = {
+            "w": index,
+            "vt_start": index * width,
+            "vt_end": (index + 1) * width,
+            "active_sessions": self._active,
+            "sessions_started": self._started,
+            "sessions_finished": self._finished,
+            "records": self._records,
+            "tr_violations": self._violations,
+            "pct_tr_violated": (
+                100.0 * self._violations / self._records
+                if self._records
+                else 0.0
+            ),
+            "mean_latency": (
+                self._latency_sum / self._answered if self._answered else 0.0
+            ),
+            "records_per_s": self._records / width,
+            "turns": self._turns,
+            "queue_depth": self._queue_depth,
+            "kernel_hits": hits,
+            "kernel_misses": misses,
+            "kernel_hit_rate": (hits / lookups if lookups else 0.0),
+        }
+        self._kernel_hits_start = self._kernel_hits
+        self._kernel_misses_start = self._kernel_misses
+        self._reset_window()
+        self._index += 1
+        self.windows.append(window)
+        for listener in self._listeners:
+            listener(window)
+
+    def add_listener(self, listener: Callable[[dict], None]) -> None:
+        """Call ``listener(window)`` at every window flush."""
+        self._listeners.append(listener)
+
+    # -- access ---------------------------------------------------------
+
+    def lines(self) -> Iterator[str]:
+        """Canonical-JSON lines of the flushed windows (golden format)."""
+        for window in self.windows:
+            yield canonical_json(window)
+
+    def text(self) -> str:
+        """All flushed windows as one JSONL blob (trailing newline)."""
+        return "".join(line + "\n" for line in self.lines())
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+
+#: Event tuples accepted by :func:`replay` / :func:`recompute`:
+#: ``("record", vt, tr_violated, latency)``, ``("turn", vt, depth)``,
+#: ``("kernel", vt, hits, misses)``, ``("start", vt)``, ``("finish", vt)``.
+EVENT_KINDS = ("record", "turn", "kernel", "start", "finish")
+
+_EVENT_METHODS = {
+    "record": "observe_record",
+    "turn": "observe_turn",
+    "kernel": "observe_kernel",
+    "start": "session_started",
+    "finish": "session_finished",
+}
+
+
+def replay(
+    events: Sequence[Tuple], window: float = DEFAULT_WINDOW
+) -> TimeSeries:
+    """Fold an event stream incrementally through a fresh series."""
+    series = TimeSeries(window=window)
+    for event in events:
+        kind, args = event[0], event[1:]
+        method = _EVENT_METHODS.get(kind)
+        if method is None:
+            raise BenchmarkError(f"unknown time-series event kind {kind!r}")
+        getattr(series, method)(*args)
+    series.finalize()
+    return series
+
+
+def recompute(
+    events: Sequence[Tuple], window: float = DEFAULT_WINDOW
+) -> List[dict]:
+    """From-scratch reference recompute of the windows of ``events``.
+
+    Rebuilds every window by bucketing the *full* event stream, without
+    incremental state — the specification the incremental fold is fuzzed
+    against (bitwise equality of canonical lines). The window-boundary
+    arithmetic is the same ``(w+1)·width <= vt`` test the incremental
+    path uses, so float edge cases cannot diverge between the two.
+    """
+    if window <= 0:
+        raise BenchmarkError(
+            f"time-series window must be positive, got {window!r}"
+        )
+    # Assign each event to its window with the shared boundary rule.
+    index = 0
+    buckets: List[List[Tuple]] = [[]]
+    for event in events:
+        if event[0] not in _EVENT_METHODS:
+            raise BenchmarkError(
+                f"unknown time-series event kind {event[0]!r}"
+            )
+        vt = event[1]
+        while (index + 1) * window <= vt:
+            index += 1
+            buckets.append([])
+        buckets[index].append(event)
+    windows: List[dict] = []
+    active = 0
+    # Same first-sample baseline rule as the incremental fold: the
+    # cumulative cache counters start wherever the process left them.
+    first_kernel = next(
+        (event for event in events if event[0] == "kernel"), None
+    )
+    kernel_hits = int(first_kernel[2]) if first_kernel else 0
+    kernel_misses = int(first_kernel[3]) if first_kernel else 0
+    last_hits, last_misses = kernel_hits, kernel_misses
+    for w, bucket in enumerate(buckets):
+        records = violations = answered = turns = depth = 0
+        started = finished = 0
+        latency_sum = 0.0
+        for event in bucket:
+            kind = event[0]
+            if kind == "record":
+                records += 1
+                if event[2]:
+                    violations += 1
+                else:
+                    latency_sum += event[3] if len(event) > 3 else 0.0
+                    answered += 1
+            elif kind == "turn":
+                turns += 1
+                d = event[2] if len(event) > 2 else 0
+                if d > depth:
+                    depth = d
+            elif kind == "kernel":
+                kernel_hits, kernel_misses = int(event[2]), int(event[3])
+            elif kind == "start":
+                active += 1
+                started += 1
+            else:  # finish
+                active -= 1
+                finished += 1
+        hits = kernel_hits - last_hits
+        misses = kernel_misses - last_misses
+        last_hits, last_misses = kernel_hits, kernel_misses
+        lookups = hits + misses
+        windows.append({
+            "w": w,
+            "vt_start": w * window,
+            "vt_end": (w + 1) * window,
+            "active_sessions": active,
+            "sessions_started": started,
+            "sessions_finished": finished,
+            "records": records,
+            "tr_violations": violations,
+            "pct_tr_violated": (
+                100.0 * violations / records if records else 0.0
+            ),
+            "mean_latency": latency_sum / answered if answered else 0.0,
+            "records_per_s": records / window,
+            "turns": turns,
+            "queue_depth": depth,
+            "kernel_hits": hits,
+            "kernel_misses": misses,
+            "kernel_hit_rate": hits / lookups if lookups else 0.0,
+        })
+    return windows
+
+
+def series_lines(windows: Sequence[dict]) -> List[str]:
+    """Canonical-JSON lines for a list of window dicts."""
+    return [canonical_json(window) for window in windows]
+
+
+#: Process-wide series. Disabled by default: the serving stack's feeding
+#: call sites do ``series = get_timeseries()`` + one ``.enabled`` check
+#: and nothing more, so golden-pinned report bytes are untouched.
+_GLOBAL = TimeSeries(enabled=False)
+
+
+def get_timeseries() -> TimeSeries:
+    return _GLOBAL
+
+
+def set_timeseries(series: TimeSeries) -> TimeSeries:
+    """Swap the global series (per-run isolation); returns the old one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = series
+    return previous

@@ -111,6 +111,23 @@ class Tracer:
         )
         self._seq = 0
         self._sinks: List[Callable[[dict], None]] = []
+        #: Correlation fields stamped onto every entry (e.g. ``run``,
+        #: ``host``) — the cross-host axis ``repro trace merge`` stitches
+        #: on. Empty by default, so single-host traces are byte-identical
+        #: to pre-context ones.
+        self.context: Dict[str, object] = {}
+
+    def set_context(self, **fields) -> None:
+        """Stamp ``fields`` (run id, host id, ...) onto future entries.
+
+        Values must be deterministic: they land in the virtual view and
+        therefore in golden-comparable bytes. ``None`` values clear keys.
+        """
+        for key, value in fields.items():
+            if value is None:
+                self.context.pop(key, None)
+            else:
+                self.context[key] = value
 
     # -- recording ----------------------------------------------------
 
@@ -123,6 +140,8 @@ class Tracer:
             "vt": float(vt),
         }
         self._seq += 1
+        if self.context:
+            entry.update(self.context)
         if session is not None:
             entry["session"] = session
         if attrs:

@@ -49,10 +49,12 @@ from repro.common.clock import VirtualClock, perf_seconds
 from repro.common.config import BenchmarkSettings
 from repro.common.errors import BenchmarkError
 from repro.common.rng import derive_rng, derive_session_seed
+from repro.engines.kernel_cache import kernel_cache
 from repro.engines.scheduler import FairSessionPolicy, WeightedSharingPolicy
 from repro.obs.metrics import get_metrics
 from repro.obs.profile import STAGE_PENDING_STALL, get_profiler
 from repro.obs.sink import RingBuffer
+from repro.obs.timeseries import get_timeseries
 from repro.obs.tracer import get_tracer
 from repro.server.clock import AsyncClock
 from repro.server.session import SessionResult, SessionSpec, SessionStream
@@ -243,7 +245,9 @@ class _ManagerCore:
         if self._trace_ring is not None:
             self._trace_ring.append((time, label))
 
-    def _turn_granted(self, event_time: float, session_id: str) -> None:
+    def _turn_granted(
+        self, event_time: float, session_id: str, queue_depth: int = 0
+    ) -> None:
         """Per-grant side effects, identical under both schedulers."""
         self._trace_mark(event_time, session_id)
         tracer = get_tracer()
@@ -253,8 +257,30 @@ class _ManagerCore:
                 "repro_turns_total",
                 help="Step turns granted by the global virtual timeline.",
             ).inc()
+        series = get_timeseries()
+        if series.enabled:
+            # Windowed telemetry rides the grant sequence: scheduler
+            # pressure (sessions waiting for a turn) and the compiled-
+            # kernel cache's cumulative counters, both at deterministic
+            # virtual instants (docs/observability.md).
+            series.observe_turn(event_time, queue_depth=queue_depth)
+            cache = kernel_cache()
+            series.observe_kernel(event_time, cache.hits, cache.misses)
         if self.shared:
             self._shared_engine.scheduler.set_group(session_id)
+
+
+def _timeseries_record(session_id: str, record) -> None:
+    """Metric-stream subscriber folding evaluated deadlines into the
+    global windowed series (spool mode feeds through the aggregate
+    instead — see :class:`~repro.server.spool.ServingAggregate`)."""
+    series = get_timeseries()
+    if series.enabled:
+        series.observe_record(
+            record.end_time,
+            record.tr_violated,
+            latency=record.end_time - record.start_time,
+        )
 
 
 class SessionManager(_ManagerCore):
@@ -400,6 +426,8 @@ class SessionManager(_ManagerCore):
             if spool is not None:
                 stream.subscribe(spool.append)
                 stream.subscribe(self.aggregate.observe_record)
+            else:
+                stream.subscribe(_timeseries_record)
             self.streams[spec.session_id] = stream
         self._trace_ring = _make_trace_ring(trace_capture)
         self.wall_seconds: float = 0.0
@@ -456,6 +484,10 @@ class SessionManager(_ManagerCore):
             self._shared_engine.workflow_start()
         started = perf_seconds()
         if self._scheduler == SCHEDULER_TASKS:
+            series = get_timeseries()
+            if series.enabled:
+                for _ in drivers:
+                    series.session_started(0.0)
             for index in range(len(self._specs)):
                 self._timeline.register(index)
             await asyncio.gather(
@@ -466,6 +498,9 @@ class SessionManager(_ManagerCore):
             )
         else:
             await self._run_calendar(drivers)
+        series = get_timeseries()
+        if series.enabled:
+            series.finalize()
         self.wall_seconds = perf_seconds() - started
         if self.shared:
             self._shared_engine.workflow_end()
@@ -506,6 +541,13 @@ class SessionManager(_ManagerCore):
         if self.aggregate is not None:
             for _ in drivers:
                 self.aggregate.session_started()
+        series = get_timeseries()
+        if series.enabled:
+            # A closed population is all live at vt 0; records fold via
+            # the streams (or the aggregate in spool mode), lifecycle and
+            # turns fold here in the grant loop.
+            for _ in drivers:
+                series.session_started(0.0)
         # Admission in index order — the same serialized declare order
         # the task path produces (no grant can precede full declaration).
         for index, driver in enumerate(drivers):
@@ -517,7 +559,9 @@ class SessionManager(_ManagerCore):
             hook = self._hooks.get(index)
             if self._pacer is not None:
                 await self._pacer.sleep_until(event_time)
-            self._turn_granted(event_time, spec.session_id)
+            self._turn_granted(
+                event_time, spec.session_id, queue_depth=len(heap)
+            )
             try:
                 if hook is None:
                     driver.step()
@@ -526,12 +570,16 @@ class SessionManager(_ManagerCore):
                     records = driver.step()
                     await hook.on_step(event_time, records)
             except SessionAbandoned:
-                self._calendar_abandon(index, driver)
+                self._calendar_abandon(index, driver, now=event_time)
                 continue
-            await self._calendar_admit(index, driver, heap)
+            await self._calendar_admit(index, driver, heap, now=event_time)
 
     async def _calendar_admit(
-        self, index: int, driver: SessionDriver, heap: List[Tuple[float, int]]
+        self,
+        index: int,
+        driver: SessionDriver,
+        heap: List[Tuple[float, int]],
+        now: float = 0.0,
     ) -> None:
         """Resolve input stalls, then declare the session's next event."""
         hook = self._hooks.get(index)
@@ -547,15 +595,17 @@ class SessionManager(_ManagerCore):
                     with get_profiler().stage(STAGE_PENDING_STALL):
                         await hook.wait_input(driver)
         except SessionAbandoned:
-            self._calendar_abandon(index, driver)
+            self._calendar_abandon(index, driver, now=now)
             return
         event_time = driver.next_event_time()
         if event_time is None:
-            self._calendar_finish(index, driver)
+            self._calendar_finish(index, driver, now=now)
         else:
             heapq.heappush(heap, (event_time, index))
 
-    def _calendar_abandon(self, index: int, driver: SessionDriver) -> None:
+    def _calendar_abandon(
+        self, index: int, driver: SessionDriver, now: float = 0.0
+    ) -> None:
         # Mirror of the task path's SessionAbandoned handler: cancel the
         # session's in-flight queries and sweep its scheduler group.
         spec = self._specs[index]
@@ -563,9 +613,16 @@ class SessionManager(_ManagerCore):
         if self.shared:
             self._shared_engine.scheduler.cancel_group(spec.session_id)
         self.abandoned.append(spec.session_id)
-        self._calendar_finish(index, driver)
+        self._calendar_finish(index, driver, now=now)
 
-    def _calendar_finish(self, index: int, driver: SessionDriver) -> None:
+    def _calendar_finish(
+        self, index: int, driver: SessionDriver, now: float = 0.0
+    ) -> None:
+        series = get_timeseries()
+        if series.enabled:
+            # Folded at the global processing instant, which keeps the
+            # series' virtual-time axis monotone.
+            series.session_finished(now)
         if self.aggregate is None:
             return
         self.aggregate.session_finished(
@@ -579,6 +636,7 @@ class SessionManager(_ManagerCore):
         # evaluated — step() is the only delivery path.
         spec = self._specs[index]
         hook = self._hooks.get(index)
+        last_event = 0.0
         try:
             while True:
                 if hook is not None:
@@ -595,7 +653,14 @@ class SessionManager(_ManagerCore):
                 if event_time is None:
                     break
                 await self._timeline.acquire(index, event_time)
-                self._turn_granted(event_time, spec.session_id)
+                last_event = event_time
+                # All other live sessions wait for this grant — the same
+                # count the calendar path reads off its heap.
+                self._turn_granted(
+                    event_time,
+                    spec.session_id,
+                    queue_depth=len(self._timeline._declared) - 1,
+                )
                 if hook is None:
                     driver.step()
                 else:
@@ -615,6 +680,9 @@ class SessionManager(_ManagerCore):
                 self._shared_engine.scheduler.cancel_group(spec.session_id)
             self.abandoned.append(spec.session_id)
         finally:
+            series = get_timeseries()
+            if series.enabled:
+                series.session_finished(last_event)
             await self._timeline.retire(index)
 
     def _unique_engines(self) -> List:
@@ -1224,6 +1292,9 @@ class OpenSystemManager(_ManagerCore):
                 await asyncio.gather(*tasks)
         else:
             await self._run_calendar(arrival_iter)
+        series = get_timeseries()
+        if series.enabled:
+            series.finalize()
         self.wall_seconds = perf_seconds() - started
         if self.shared:
             self._shared_engine.workflow_end()
@@ -1274,15 +1345,25 @@ class OpenSystemManager(_ManagerCore):
                     ).inc()
                 if self.aggregate is not None:
                     self.aggregate.session_started()
-                self._calendar_declare(arrival, driver, spec, heap, live)
+                series = get_timeseries()
+                if series.enabled:
+                    series.session_started(arrival.arrival_time)
+                self._calendar_declare(
+                    arrival, driver, spec, heap, live,
+                    now=arrival.arrival_time,
+                )
                 pending = next(arrival_iter, None)
                 if pending is not None:
                     heapq.heappush(heap, (pending.arrival_time, _SPAWNER))
             else:
                 driver, spec, arrival = live[index]
-                self._turn_granted(event_time, spec.session_id)
+                self._turn_granted(
+                    event_time, spec.session_id, queue_depth=len(heap)
+                )
                 driver.step()
-                self._calendar_declare(arrival, driver, spec, heap, live)
+                self._calendar_declare(
+                    arrival, driver, spec, heap, live, now=event_time
+                )
 
     def _calendar_declare(
         self,
@@ -1291,6 +1372,7 @@ class OpenSystemManager(_ManagerCore):
         spec: SessionSpec,
         heap: List[Tuple[float, int]],
         live: Dict[int, Tuple[SessionDriver, SessionSpec, SessionArrival]],
+        now: float = 0.0,
     ) -> None:
         """Declare a session's next event, or retire it (done/departed)."""
         event_time = driver.next_event_time()
@@ -1301,7 +1383,9 @@ class OpenSystemManager(_ManagerCore):
         live.pop(arrival.index, None)
         # A remaining event at/past the departure instant means the user
         # walked away mid-workload (the task path's departure branch).
-        self._retire_session(arrival, driver, spec, departed=event_time is not None)
+        self._retire_session(
+            arrival, driver, spec, departed=event_time is not None, now=now
+        )
 
     def _retire_session(
         self,
@@ -1309,6 +1393,7 @@ class OpenSystemManager(_ManagerCore):
         driver: SessionDriver,
         spec: SessionSpec,
         departed: bool,
+        now: float = 0.0,
     ) -> None:
         if departed:
             tracer = get_tracer()
@@ -1321,6 +1406,11 @@ class OpenSystemManager(_ManagerCore):
             driver.abandon()
             if self.shared:
                 self._shared_engine.scheduler.cancel_group(spec.session_id)
+        series = get_timeseries()
+        if series.enabled:
+            # Folded at the global processing instant (monotone), even
+            # for departures whose nominal instant lies earlier.
+            series.session_finished(now)
         if self.spool is None:
             self._results[arrival.index] = SessionResult(
                 spec,
@@ -1361,6 +1451,9 @@ class OpenSystemManager(_ManagerCore):
                         "repro_sessions_spawned_total",
                         help="Open-system sessions spawned mid-run.",
                     ).inc()
+                series = get_timeseries()
+                if series.enabled:
+                    series.session_started(arrival.arrival_time)
                 self._timeline.register(arrival.index)
                 tasks.append(
                     asyncio.ensure_future(
@@ -1378,6 +1471,8 @@ class OpenSystemManager(_ManagerCore):
         if self.spool is not None:
             stream.subscribe(self.spool.append)
             stream.subscribe(self.aggregate.observe_record)
+        else:
+            stream.subscribe(_timeseries_record)
         self.streams[spec.session_id] = stream
         if self.shared:
             engine = self._shared_engine
@@ -1407,6 +1502,7 @@ class OpenSystemManager(_ManagerCore):
         self, arrival: SessionArrival, driver: SessionDriver, spec: SessionSpec
     ) -> None:
         departed = False
+        last_event = arrival.arrival_time
         try:
             while True:
                 event_time = driver.next_event_time()
@@ -1416,10 +1512,17 @@ class OpenSystemManager(_ManagerCore):
                     departed = True
                     break
                 await self._timeline.acquire(arrival.index, event_time)
-                self._turn_granted(event_time, spec.session_id)
+                last_event = event_time
+                self._turn_granted(
+                    event_time,
+                    spec.session_id,
+                    queue_depth=len(self._timeline._declared) - 1,
+                )
                 driver.step()
         finally:
-            self._retire_session(arrival, driver, spec, departed=departed)
+            self._retire_session(
+                arrival, driver, spec, departed=departed, now=last_event
+            )
             await self._timeline.retire(arrival.index)
 
     # ------------------------------------------------------------------

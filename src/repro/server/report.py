@@ -23,11 +23,11 @@ from __future__ import annotations
 import csv
 import io
 import math
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
+from repro.common.clock import perf_seconds
 from repro.common.fingerprint import CACHE_SCHEMA_VERSION
 from repro.common.fingerprint import fmt_cell as _fmt
 from repro.server.manager import ArrivalProcess, OpenSystemManager, SessionManager
@@ -127,8 +127,9 @@ class FollowPrinter:
     :meth:`close` so short runs still show their totals.
 
     ``clock`` and ``out`` are injectable for tests; the default clock is
-    :func:`time.perf_counter` — rate limiting is a wall-clock courtesy
-    to the terminal and never touches virtual time or report bytes.
+    :func:`repro.common.clock.perf_seconds` (swappable process-wide via
+    ``set_perf_source``) — rate limiting is a wall-clock courtesy to the
+    terminal and never touches virtual time or report bytes.
     """
 
     def __init__(
@@ -138,7 +139,7 @@ class FollowPrinter:
         threshold: int = FOLLOW_AGGREGATE_THRESHOLD,
         interval: float = 1.0,
         out=None,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Callable[[], float] = perf_seconds,
     ):
         self.aggregate_mode = expected_sessions >= threshold
         self.interval = interval

@@ -38,6 +38,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.common.errors import BenchmarkError
 from repro.common.fingerprint import canonical_json
+from repro.obs.timeseries import get_timeseries
 
 
 def _record_to_dict(record) -> dict:
@@ -159,6 +160,15 @@ class ServingAggregate:
         self.missing_bins_sum += record.metrics.missing_bins
         if record.end_time > self.virtual_makespan:
             self.virtual_makespan = record.end_time
+        series = get_timeseries()
+        if series.enabled:
+            # In spool mode the aggregate is the record fan-out point, so
+            # the windowed series (repro.obs.timeseries) folds here too.
+            series.observe_record(
+                record.end_time,
+                record.tr_violated,
+                latency=record.end_time - record.start_time,
+            )
 
     def session_started(self) -> None:
         self.active_sessions += 1

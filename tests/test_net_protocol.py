@@ -337,6 +337,7 @@ class TestCatalog:
             "hello", "attach", "submit_viz", "interact",
             "record", "progress", "barrier", "turn_grant", "turn_done",
             "detach", "stats_request", "stats", "error",
+            "stats_subscribe", "stats_push", "stats_unsubscribe",
         }
 
     def test_canonical_encoding_is_stable(self):

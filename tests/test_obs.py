@@ -184,6 +184,27 @@ class TestMetricsSnapshotFixpoint:
         text = registry.render_prometheus()
         assert 'le="+Inf"' in text and "h_count 1" in text
 
+    def test_prometheus_histogram_exposition_format_pinned(self):
+        # Format pin: cumulative buckets, the +Inf bucket, and the
+        # _sum/_count lines — exactly what scrapers parse. Any drift
+        # here silently breaks downstream dashboards.
+        registry = MetricsRegistry()
+        h = registry.histogram(
+            "h", bounds=[0.1, 1.0], help="Answered-query latency."
+        )
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(99.0)
+        assert registry.render_prometheus() == (
+            "# HELP h Answered-query latency.\n"
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 1\n'
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 99.55\n"
+            "h_count 3\n"
+        )
+
     def test_stats_payload_shape(self):
         registry = MetricsRegistry()
         registry.counter("x").inc()

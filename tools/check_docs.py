@@ -147,6 +147,11 @@ REQUIRED_SECTIONS = {
         "tests/golden/tcp_shared.txt",
         "stats_request",
         "### Stats probes",
+        "### Streaming telemetry",
+        "stats_subscribe",
+        "stats_push",
+        "stats_unsubscribe",
+        "--stats-window",
     ],
     "docs/kernels.md": [
         "## The compile pipeline",
@@ -174,6 +179,14 @@ REQUIRED_SECTIONS = {
         "repro trace summary",
         "BENCH_obs.json",
         "--metrics-out",
+        "## Windowed virtual-time series",
+        "## Streaming STATS subscriptions",
+        "## SLO watchdog",
+        "## Cross-host trace correlation",
+        "tests/golden/timeseries_serial.jsonl",
+        "repro trace merge",
+        "repro top",
+        "BENCH_obs_stream.json",
     ],
     "README.md": [
         "bench-adaptive",
@@ -191,6 +204,9 @@ REQUIRED_SECTIONS = {
         "--metrics-out",
         "--log-level",
         "repro trace summary",
+        "repro trace merge",
+        "repro top",
+        "--stats-window",
         "docs/observability.md",
         "--no-kernels",
         "REPRO_KERNELS=off",

@@ -218,6 +218,41 @@ def case_trace_tcp_shared(ctx) -> str:
     return "\n".join(lines) + "\n"
 
 
+def case_timeseries_serial(ctx) -> str:
+    """Windowed virtual-time telemetry of a shared-engine server run.
+
+    Pins the incremental time-series fold (docs/observability.md): a
+    fresh :class:`TimeSeries` is installed for the run, the session
+    manager feeds it lifecycle/turn/record events in global virtual-time
+    order, and each flushed window's canonical JSON is pinned. Every
+    field is virtual-axis (no wall keys), so the bytes are
+    machine-independent and must equal a from-scratch recompute.
+    """
+    from repro.engines.kernel_cache import clear_kernel_cache
+    from repro.obs.timeseries import TimeSeries, set_timeseries
+    from repro.server import SessionManager
+
+    def shared_run():
+        SessionManager.for_engine(
+            ctx, "idea-sim", 2, per_session=1, share_engine=True
+        ).run()
+
+    # The kernel hit/miss deltas depend on process state: the context's
+    # lazy computations (oracle, scaled tables) touch the cache on first
+    # use. One throwaway run warms all of it; measuring then starts from
+    # a cleared cache — the same two steps a rebuild in any process must
+    # take to reproduce these bytes.
+    shared_run()
+    clear_kernel_cache()
+    series = TimeSeries(window=5.0)
+    previous = set_timeseries(series)
+    try:
+        shared_run()
+    finally:
+        set_timeseries(previous)
+    return series.text()
+
+
 #: File name → builder. Each builder gets a fresh-or-shared context and
 #: returns the complete file content as text.
 GOLDEN_CASES = {
@@ -229,6 +264,7 @@ GOLDEN_CASES = {
     "tcp_shared.txt": case_tcp_shared,
     "trace_serial.jsonl": case_trace_serial,
     "trace_tcp_shared.jsonl": case_trace_tcp_shared,
+    "timeseries_serial.jsonl": case_timeseries_serial,
 }
 
 
