@@ -1,0 +1,119 @@
+"""Committed lint baseline: grandfathered findings, matched by content
+(part of the static gate on §1's reproducibility contract).
+
+The baseline lets the lint gate turn on *hard* while known debt still
+exists: every finding recorded in the committed file is suppressed, and
+anything new fails. Entries key on ``(path, rule, snippet)`` — the
+stripped text of the offending line — with a count, so reformatting or
+shifting a file never breaks the match, while a *new* instance of the
+same pattern in the same file does (the count budget runs out).
+
+The file lives at ``tools/lint_baseline.json`` (regenerate with
+``tools/regen_lint_baseline.py``, in the style of ``regen_golden.py``)
+and is canonical JSON, so regeneration is byte-deterministic and diffs
+are reviewable. A clean tree has ``"entries": []`` — the current state,
+kept that way by CI's ``repro lint src --strict`` gate, which also fails
+on *stale* entries so the baseline can only ever shrink.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Repo-relative location ``repro lint`` tries by default.
+DEFAULT_BASELINE_PATH = Path("tools") / "lint_baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+class Baseline:
+    """A mutable matching budget built from the committed entries."""
+
+    def __init__(self, entries: Sequence[dict] = ()):
+        self._budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in entries:
+            key = (entry["path"], entry["rule"], entry.get("snippet", ""))
+            self._budget[key] = self._budget.get(key, 0) + int(
+                entry.get("count", 1)
+            )
+        self._initial = dict(self._budget)
+
+    def absorb(self, finding: Finding) -> bool:
+        """Consume one unit of budget for ``finding`` if any remains."""
+        key = (finding.path, finding.rule, finding.snippet)
+        remaining = self._budget.get(key, 0)
+        if remaining <= 0:
+            return False
+        self._budget[key] = remaining - 1
+        return True
+
+    def stale_entries(self) -> List[dict]:
+        """Entries (or counts) that matched nothing this run."""
+        stale = []
+        for key in sorted(self._budget):
+            remaining = self._budget[key]
+            if remaining > 0:
+                path, rule, snippet = key
+                stale.append({"path": path, "rule": rule,
+                              "snippet": snippet, "count": remaining})
+        return stale
+
+    def entry_count(self) -> int:
+        return sum(self._initial.values())
+
+
+def findings_to_entries(findings: Sequence[Finding]) -> List[dict]:
+    """Collapse findings into sorted, counted baseline entries."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for finding in findings:
+        key = (finding.path, finding.rule, finding.snippet)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        {"path": path, "rule": rule, "snippet": snippet, "count": count}
+        for (path, rule, snippet), count in sorted(counts.items())
+    ]
+
+
+def save_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> bytes:
+    """Write the canonical baseline file for ``findings``; returns bytes."""
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "entries": findings_to_entries(findings),
+    }
+    data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    Path(path).write_bytes(data)
+    return data
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Load and validate a committed baseline file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    version = payload.get("version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path} has schema version {version!r}; this tool "
+            f"reads version {BASELINE_SCHEMA_VERSION}"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'entries' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict) or "path" not in entry or "rule" not in entry:
+            raise BaselineError(
+                f"baseline {path}: each entry needs 'path' and 'rule'"
+            )
+    return Baseline(entries)

@@ -1,0 +1,57 @@
+"""Finding records produced by the determinism lint pass.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+are value objects with a total order (path, line, column, rule id) so
+every reporter — text, JSON, the baseline file — emits them in the same
+deterministic sequence regardless of scan order. The linter that checks
+byte-determinism (§1's reproducibility goal) must itself be
+byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the posix-style path the file was scanned under (relative
+    paths stay relative, so output is stable across machines). ``snippet``
+    is the stripped source line — it doubles as the content anchor for
+    baseline matching, which keys on *what* the offending line says, not
+    on where it currently sits.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (the ``--json`` reporter's schema)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=data["rule"],
+            message=data["message"],
+            snippet=data.get("snippet", ""),
+        )

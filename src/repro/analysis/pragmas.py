@@ -1,0 +1,145 @@
+"""``# repro: allow[...]`` pragma suppressions for the determinism lint
+(the static gate on §1's reproducibility contract).
+
+A finding can be silenced in source, next to the code it concerns, with a
+written justification::
+
+    self._origin = time.monotonic()  # repro: allow[DET001] -- wall pacing only
+
+The pragma suppresses the named rule(s) on its own line, or — when it is
+the only thing on its line — on the next source line below it (for lines
+too long to carry a trailing comment). Several ids may be listed,
+comma-separated: ``allow[DET001,DET003]``.
+
+Two hygiene guarantees are enforced by the engine (as ``DET000``
+findings, which cannot themselves be suppressed):
+
+* every pragma must carry a ``-- reason`` — an unexplained suppression
+  is itself a defect; and
+* every pragma must actually suppress something — stale pragmas rot into
+  false documentation once the offending code moves or is fixed.
+
+Comments are located with :mod:`tokenize`, not string matching, so a
+pragma-shaped string *literal* never counts as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: The pragma grammar (anchored: the pragma must *start* the comment, so
+#: prose that merely mentions the syntax never parses as one).
+_PRAGMA_RE = re.compile(
+    r"^#\s*repro:\s*allow\[(?P<ids>[^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+#: Looser shape used to catch misspelled/malformed attempts (e.g. a
+#: missing ``]`` or an unknown verb) so they fail loudly instead of
+#: silently not suppressing.
+_PRAGMA_ATTEMPT_RE = re.compile(r"^#\s*repro:")
+
+_RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int  #: line the comment sits on (1-based)
+    rule_ids: tuple
+    reason: str
+    #: lines the pragma applies to (its own, plus the next line when the
+    #: pragma stands alone).
+    applies_to: tuple = ()
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, line: int, rule_id: str) -> bool:
+        return line in self.applies_to and rule_id in self.rule_ids
+
+
+@dataclass
+class PragmaSheet:
+    """All pragmas of one module, plus malformed-pragma problems."""
+
+    pragmas: List[Pragma] = field(default_factory=list)
+    #: (line, message) pairs for comments that tried to be pragmas but
+    #: failed to parse — reported as DET000 by the engine.
+    problems: List[tuple] = field(default_factory=list)
+
+    def suppresses(self, line: int, rule_id: str) -> Optional[Pragma]:
+        """Return the pragma covering ``(line, rule_id)``, marking it used."""
+        for pragma in self.pragmas:
+            if pragma.covers(line, rule_id):
+                pragma.used = True
+                return pragma
+        return None
+
+    def unused(self) -> List[Pragma]:
+        return [pragma for pragma in self.pragmas if not pragma.used]
+
+
+def _comment_tokens(source: str) -> Dict[int, tuple]:
+    """Map line number → (comment text, whether the line is comment-only)."""
+    comments: Dict[int, tuple] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return comments
+    code_lines = set()
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments[tok.start[0]] = (tok.string, tok.start[1])
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            code_lines.add(tok.start[0])
+    return {
+        line: (text, line not in code_lines)
+        for line, (text, _col) in comments.items()
+    }
+
+
+def parse_pragmas(source: str) -> PragmaSheet:
+    """Extract every pragma (and malformed attempt) from ``source``."""
+    sheet = PragmaSheet()
+    for line, (comment, standalone) in sorted(_comment_tokens(source).items()):
+        if not _PRAGMA_ATTEMPT_RE.search(comment):
+            continue
+        match = _PRAGMA_RE.search(comment)
+        if not match:
+            sheet.problems.append(
+                (line, "malformed pragma: expected "
+                       "'# repro: allow[RULE-ID] -- reason'")
+            )
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        bad = [rule_id for rule_id in ids if not _RULE_ID_RE.match(rule_id)]
+        if not ids or bad:
+            sheet.problems.append(
+                (line, f"pragma names invalid rule id(s) {bad or ['<empty>']}; "
+                       "ids look like DET001")
+            )
+            continue
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            sheet.problems.append(
+                (line, "pragma is missing its justification: append "
+                       "'-- <why this is deterministic>'")
+            )
+            continue
+        applies = (line, line + 1) if standalone else (line,)
+        sheet.pragmas.append(
+            Pragma(line=line, rule_ids=ids, reason=reason, applies_to=applies)
+        )
+    return sheet

@@ -1198,6 +1198,47 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """``repro lint``: statically enforce the byte-determinism contract.
+
+    Exit-code contract (documented in docs/determinism.md and relied on
+    by CI): 0 = clean, 1 = findings (or, under ``--strict``, stale
+    baseline entries), 2 = usage error (bad path, unparseable source or
+    baseline). Argparse itself exits 2 on bad flags, completing the
+    contract.
+    """
+    from repro.analysis import (
+        BaselineError,
+        DEFAULT_BASELINE_PATH,
+        load_baseline,
+        render_json,
+        render_rule_table,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        print(render_rule_table(), end="")
+        return 0
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+        if baseline_path.exists():
+            try:
+                baseline = load_baseline(baseline_path)
+            except BaselineError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        elif args.baseline:
+            print(f"error: baseline file not found: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+    result = run_lint(args.paths, baseline=baseline)
+    render = render_json if args.json_out else render_text
+    print(render(result, strict=args.strict), end="")
+    return result.exit_code(args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="idebench-repro",
@@ -1645,6 +1686,38 @@ def build_parser() -> argparse.ArgumentParser:
                               "merge: merged JSONL path (stdout if "
                               "omitted)")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically enforce the byte-determinism contract "
+             "(AST rules DET001-DET006; see docs/determinism.md)",
+        description="Determinism sentinel: lints python sources against "
+                    "the byte-determinism contract (wall-clock reads, "
+                    "salted hash(), unstable iteration, unseeded RNG, "
+                    "set-repr seeding, trace wall leaks). Exit codes: "
+                    "0 clean, 1 findings, 2 usage error.",
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"], metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: src)")
+    p_lint.add_argument("--json", action="store_true", dest="json_out",
+                        help="emit the machine-readable JSON report "
+                             "instead of text")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="also fail (exit 1) on stale baseline "
+                             "entries — the CI gate mode")
+    p_lint.add_argument("--baseline", default=None, metavar="JSON",
+                        help="baseline file of grandfathered findings "
+                             "(default: tools/lint_baseline.json if "
+                             "present)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        dest="no_baseline",
+                        help="ignore any baseline file: report every "
+                             "finding")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        dest="list_rules",
+                        help="print the rule catalog and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_cache = sub.add_parser(
         "cache",

@@ -70,6 +70,7 @@ WALL_KEYS = ("wall",)
 
 def virtual_view(entry: dict) -> dict:
     """The golden-pinnable projection of a trace entry (no wall fields)."""
+    # repro: allow[DET003] -- order-preserving projection: every serialization of the result (entry_line -> canonical_json) sorts keys, so entry insertion order never reaches bytes
     return {k: v for k, v in entry.items() if k not in WALL_KEYS}
 
 

@@ -123,7 +123,7 @@ class Tracer:
         Values must be deterministic: they land in the virtual view and
         therefore in golden-comparable bytes. ``None`` values clear keys.
         """
-        for key, value in fields.items():
+        for key, value in sorted(fields.items()):
             if value is None:
                 self.context.pop(key, None)
             else:

@@ -52,8 +52,10 @@ class AsyncClock:
         so the first event is never delayed by setup cost.
         """
         if self._origin is None:
+            # repro: allow[DET001] -- pacing only: anchors wall sleep scheduling; no result, report or trace byte derives from this read
             self._origin = time.monotonic() - virtual_time / self.accel
         target = self._origin + virtual_time / self.accel
+        # repro: allow[DET001] -- pacing only: computes how long to sleep; results are a pure function of virtual time regardless of accel
         delay = target - time.monotonic()
         if delay > 0:
             await asyncio.sleep(delay)

@@ -500,7 +500,8 @@ class AdaptiveBenchCell:
     from_cache: bool = False
 
     def payload(self) -> dict:
-        data = {k: v for k, v in self.__dict__.items() if k != "from_cache"}
+        data = {k: v for k, v in sorted(self.__dict__.items())
+                if k != "from_cache"}
         return data
 
     @classmethod
@@ -560,7 +561,7 @@ def _adaptive_cell(
     latencies = [r.end_time - r.start_time for r in answered]
     counts: dict = {}
     for result in results:
-        for kind, count in result.interaction_counts.items():
+        for kind, count in sorted(result.interaction_counts.items()):
             counts[kind] = counts.get(kind, 0) + count
     return AdaptiveBenchCell(
         engine=engine,

@@ -187,7 +187,7 @@ class ServingAggregate:
         if departed:
             self.sessions_departed += 1
         self.total_steps += steps
-        for kind, count in interaction_counts.items():
+        for kind, count in sorted(interaction_counts.items()):
             self.interaction_counts[kind] = (
                 self.interaction_counts.get(kind, 0) + count
             )

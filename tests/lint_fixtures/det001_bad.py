@@ -1,0 +1,23 @@
+"""Known-bad: direct wall-clock reads (DET001)."""
+
+import time
+from datetime import date, datetime
+from time import perf_counter
+
+
+def stamp_started(record):
+    record["started"] = time.time()  # LINT: DET001
+    record["mono"] = time.monotonic()  # LINT: DET001
+    record["mono_ns"] = time.monotonic_ns()  # LINT: DET001
+    return record
+
+
+def elapsed(previous):
+    return perf_counter() - previous  # LINT: DET001
+
+
+def report_header():
+    today = date.today()  # LINT: DET001
+    now = datetime.now()  # LINT: DET001
+    utc = datetime.utcnow()  # LINT: DET001
+    return f"{today} {now} {utc}"

@@ -1,0 +1,28 @@
+"""Known-good: wall time routed through the clock authority (DET001).
+
+``perf_seconds`` is swappable in tests and the only sanctioned wall
+source; simulation time comes from a ``Clock``. Mentioning the banned
+names in strings or docs ("time.time is forbidden") is not a read.
+"""
+
+from repro.common.clock import VirtualClock, perf_seconds
+
+BANNED_DOC = "never call time.time() or datetime.now() directly"
+
+
+def stamp_started(record):
+    record["started"] = perf_seconds()
+    return record
+
+
+def elapsed(previous):
+    return perf_seconds() - previous
+
+
+def virtual_now(clock: VirtualClock) -> float:
+    return clock.now()
+
+
+def strftime_like(moment: float) -> str:
+    # Arithmetic on an already-sanctioned stamp is fine.
+    return f"{moment:.6f}"

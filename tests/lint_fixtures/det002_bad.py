@@ -1,0 +1,18 @@
+"""Known-bad: salted builtin hash() outside __hash__ (DET002)."""
+
+
+def cache_key(query) -> int:
+    return hash(query)  # LINT: DET002
+
+
+def shard_for(name: str, shards: int) -> int:
+    return hash(name) % shards  # LINT: DET002
+
+
+MODULE_LEVEL_KEY = hash(("repro", "lint"))  # LINT: DET002
+
+
+class Record:
+    def digest(self):
+        # A method named anything but __hash__ gets no exemption.
+        return hash(self.__class__.__name__)  # LINT: DET002

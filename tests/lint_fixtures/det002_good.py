@@ -1,0 +1,28 @@
+"""Known-good: hash() only where it belongs (DET002).
+
+``__hash__`` implementations may (must) use builtin ``hash`` — that
+value never leaves the process. Everything persisted or cross-process
+uses the canonical sha256 digests of ``repro.common.fingerprint``.
+"""
+
+from repro.common.fingerprint import stable_digest
+
+
+class Predicate:
+    def __init__(self, field, values):
+        self.field = field
+        self.values = tuple(values)
+
+    def __eq__(self, other):
+        return (self.field, self.values) == (other.field, other.values)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.field, self.values))
+
+
+def cache_key(query) -> str:
+    return stable_digest({"query": query})
+
+
+def shard_for(name: str, shards: int) -> int:
+    return int(stable_digest(name, length=8), 16) % shards

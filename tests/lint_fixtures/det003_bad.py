@@ -1,0 +1,40 @@
+"""Known-bad: unstable iteration in serialization-tier code (DET003)."""
+
+
+def render_rows(cells: dict) -> list:
+    rows = []
+    for key, value in cells.items():  # LINT: DET003
+        rows.append(f"{key},{value}")
+    return rows
+
+
+def render_headers(cells: dict) -> str:
+    return ",".join(cells.keys())  # LINT: DET003
+
+
+def dump_values(cells: dict) -> list:
+    return list(cells.values())  # LINT: DET003
+
+
+def serialize_tags(tags: set) -> str:
+    parts = [str(tag) for tag in tags]  # LINT: DET003
+    return "|".join(parts)
+
+
+def spread_engines(engines: frozenset) -> tuple:
+    return (*engines,)  # LINT: DET003
+
+
+def walk_literal() -> list:
+    out = []
+    for name in {"tr", "margin", "cosine"}:  # LINT: DET003
+        out.append(name)
+    return out
+
+
+def freeze_pairs(cells: dict) -> dict:
+    return {k: v for k, v in cells.items() if v}  # LINT: DET003
+
+
+def first_tag(tags):
+    return next(iter(set(tags)))  # LINT: DET003

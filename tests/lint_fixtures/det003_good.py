@@ -1,0 +1,43 @@
+"""Known-good: order-stable consumption of sets and dict views (DET003)."""
+
+
+def render_rows(cells: dict) -> list:
+    rows = []
+    for key, value in sorted(cells.items()):
+        rows.append(f"{key},{value}")
+    return rows
+
+
+def render_headers(cells: dict) -> str:
+    return ",".join(sorted(cells.keys()))
+
+
+def count_cells(cells: dict) -> int:
+    # Order-insensitive reducers never leak iteration order.
+    return len(cells.values())
+
+
+def total(counters: dict) -> int:
+    return sum(counters.values())
+
+
+def bounds(cells: dict) -> tuple:
+    return (min(cells.values()), max(cells.values()))
+
+
+def is_known(name: str) -> bool:
+    # Membership tests observe no order.
+    return name in {"tr", "margin", "cosine"}
+
+
+def set_algebra(a: set, b: set) -> set:
+    # Building sets from sets stays unordered end to end.
+    return (a | b) - (a & b)
+
+
+def sorted_comprehension(cells: dict) -> list:
+    return sorted(f"{k}={v}" for k, v in cells.items())
+
+
+def rebuild(cells: dict) -> dict:
+    return dict(cells.items())

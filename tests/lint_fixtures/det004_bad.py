@@ -1,0 +1,34 @@
+"""Known-bad: unseeded global RNG draws (DET004)."""
+
+import random
+
+import numpy as np
+import numpy.random as npr
+from random import shuffle
+
+
+def jitter() -> float:
+    return random.random()  # LINT: DET004
+
+
+def pick(items):
+    return random.choice(items)  # LINT: DET004
+
+
+def noise(n: int):
+    return np.random.normal(size=n)  # LINT: DET004
+
+
+def legacy_rng():
+    return npr.rand()  # LINT: DET004
+
+
+def reorder(items):
+    shuffle(items)  # LINT: DET004
+    return items
+
+
+def reseed_global():
+    # Seeding the *global* RNG is still a DET004 finding: the global
+    # stream is shared, so any other caller perturbs the sequence.
+    random.seed(1234)  # LINT: DET004

@@ -1,0 +1,26 @@
+"""Known-good: every RNG draw goes through a derived, purpose-keyed
+generator (DET004)."""
+
+from repro.common.rng import derive_rng
+
+
+def jitter(root_seed: int) -> float:
+    rng = derive_rng(root_seed, "lint-fixture", "jitter")
+    return rng.random()
+
+
+def pick(root_seed: int, items):
+    rng = derive_rng(root_seed, "lint-fixture", "pick")
+    return items[rng.integers(0, len(items))]
+
+
+def noise(root_seed: int, n: int):
+    rng = derive_rng(root_seed, "lint-fixture", "noise")
+    return rng.normal(size=n)
+
+
+def reorder(root_seed: int, items):
+    rng = derive_rng(root_seed, "lint-fixture", "reorder")
+    out = list(items)
+    rng.shuffle(out)
+    return out

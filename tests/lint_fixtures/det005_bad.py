@@ -1,0 +1,34 @@
+"""Known-bad: set/frozenset stringification flowing into digests or
+seed derivation (DET005).
+
+``repr()`` of a set prints elements in hash-table order, which moves
+with PYTHONHASHSEED — feeding it to hashlib or a seed-derivation helper
+makes the digest (and everything keyed off it) nondeterministic.
+"""
+
+import hashlib
+
+from repro.common.rng import derive_rng, derive_seed
+
+
+def digest_tags(tags: set) -> str:
+    return hashlib.sha256(repr(tags).encode()).hexdigest()  # LINT: DET005
+
+
+def digest_engines() -> str:
+    engines = frozenset(["tr", "margin", "cosine"])
+    h = hashlib.md5()
+    h.update(str(engines).encode())  # LINT: DET005
+    return h.hexdigest()
+
+
+def rotation_seed(root_seed: int, values: frozenset) -> int:
+    return derive_seed(root_seed, f"rotation:{values}")  # LINT: DET005
+
+
+def rotation_rng(root_seed: int, values: set):
+    return derive_rng(root_seed, values)  # LINT: DET005
+
+
+def seed_from_literal(root_seed: int) -> int:
+    return derive_seed(root_seed, {"a", "b", "c"})  # LINT: DET005

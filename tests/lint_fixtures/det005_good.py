@@ -1,0 +1,25 @@
+"""Known-good: set contents are sorted (or canonicalized) before any
+stringification reaches a digest or seed (DET005)."""
+
+import hashlib
+
+from repro.common.fingerprint import stable_digest
+from repro.common.rng import derive_seed
+
+
+def digest_tags(tags: set) -> str:
+    return hashlib.sha256(repr(sorted(tags)).encode()).hexdigest()
+
+
+def digest_engines() -> str:
+    engines = frozenset(["tr", "margin", "cosine"])
+    return stable_digest(sorted(engines))
+
+
+def rotation_seed(root_seed: int, values: frozenset) -> int:
+    canonical = ",".join(sorted(str(v) for v in values))
+    return derive_seed(root_seed, f"rotation:{canonical}")
+
+
+def seed_from_parts(root_seed: int, field: str) -> int:
+    return derive_seed(root_seed, "rotation", field)

@@ -1,0 +1,23 @@
+"""Known-bad: wall-time-ish attributes leaking into trace events
+outside the reserved ``"wall"`` key (DET006).
+
+Trace attrs are golden-pinned; any wall-clock-derived value in them
+breaks byte-reproducibility. Wall timings belong under the segregated
+``"wall"`` key written by the tracer itself.
+"""
+
+
+def record(tracer, vt, elapsed, started):
+    tracer.event("op.done", vt, elapsed_s=elapsed)  # LINT: DET006
+    tracer.event("op.done", vt, wall_start=started)  # LINT: DET006
+    tracer.event("op.done", vt, timestamp=started)  # LINT: DET006
+
+
+def record_span(tracer, vt, t0, t1):
+    with tracer.span("op", vt) as span:
+        span.set("perf_seconds", t1 - t0)  # LINT: DET006
+        span.set("clock_skew", t1 - t0)  # LINT: DET006
+
+
+def record_kw_span(tracer, vt, dt):
+    tracer.span("op", vt, monotonic_delta=dt)  # LINT: DET006

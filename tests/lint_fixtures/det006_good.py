@@ -1,0 +1,19 @@
+"""Known-good: trace attrs carry only virtual-time/derived values;
+wall measurements stay out of event attrs entirely (DET006)."""
+
+
+def record(tracer, vt, rows, digest):
+    tracer.event("op.done", vt, rows=rows, digest=digest)
+    tracer.event("op.done", vt, session="s-01", progress=0.5)
+
+
+def record_span(tracer, vt, rows):
+    with tracer.span("op", vt) as span:
+        span.set("rows", rows)
+        span.set("bin_count", 32)
+
+
+def virtual_duration(tracer, vt_start, vt_end):
+    # Durations measured in *virtual* time are deterministic by
+    # construction and are fine as regular attrs.
+    tracer.event("op.done", vt_end, vt_duration=vt_end - vt_start)

@@ -1,0 +1,31 @@
+"""Known-bad pragma usage: every problem here surfaces as a DET000
+meta-finding (unsuppressible).
+
+Lint with a DET001-only policy.
+"""
+
+import time
+
+
+def missing_reason() -> float:
+    # A pragma without a ``-- reason`` suppresses nothing and is itself
+    # a finding, so the wall read below still fires too.
+    # repro: allow[DET001]  # LINT: DET000
+    return time.time()  # LINT: DET001
+
+
+def bad_rule_id() -> float:
+    # repro: allow[det1] -- lowercase id is not a rule id  # LINT: DET000
+    return time.time()  # LINT: DET001
+
+
+def malformed_attempt() -> float:
+    # repro: allowDET001 -- missing brackets  # LINT: DET000
+    return time.time()  # LINT: DET001
+
+
+# An unused pragma (nothing on this or the next line triggers DET001)
+# is reported so suppressions cannot silently outlive their finding.
+# repro: allow[DET001] -- stale suppression, nothing fires here  # LINT: DET000
+def clean() -> int:
+    return 7

@@ -1,0 +1,22 @@
+"""Known-good pragma usage: every suppression is well-formed, carries a
+reason, and is used — so the file lints clean.
+
+Lint with a DET001-only policy.
+"""
+
+import time
+
+
+def trailing_pragma() -> float:
+    return time.time()  # repro: allow[DET001] -- fixture: demonstrates a used trailing pragma
+
+
+def standalone_pragma() -> float:
+    # repro: allow[DET001] -- fixture: demonstrates a standalone pragma covering the next line
+    return time.time()
+
+
+def multi_rule_pragma() -> float:
+    # A pragma may list several rule ids; each listed id counts as used
+    # if any of them suppresses a finding on the covered line.
+    return time.time()  # repro: allow[DET001,DET006] -- fixture: multi-id pragma, DET001 arm is used

@@ -1,0 +1,29 @@
+"""Regression fixture: the PR-1 SetPredicate seed bug, as DET005 bait.
+
+The original bug: ``SetPredicate`` held its values in a ``frozenset``
+and relied on the default dataclass ``repr``, which prints set elements
+in hash-table order. Engine-rotation seeds were derived from
+``str(query)``, so two runs with different PYTHONHASHSEED values drew
+different rotation orders and produced different transcripts. The fix
+was a canonical ``__repr__`` over ``sorted(self.values)``.
+
+This file reconstructs the *pre-fix* shape with the stringification
+inlined at the seed-derivation sink, which is exactly what DET005
+exists to catch. Lint with a DET005-only policy.
+"""
+
+from repro.common.rng import derive_seed
+
+
+def rotation_seed_pre_fix(root_seed: int, field: str, raw_values) -> int:
+    values = frozenset(raw_values)
+    # Pre-fix shape: the frozenset is stringified straight into the
+    # seed purpose, so the seed moves with PYTHONHASHSEED.
+    return derive_seed(root_seed, f"rotate:{field}:{values}")  # LINT: DET005
+
+
+def rotation_seed_post_fix(root_seed: int, field: str, raw_values) -> int:
+    values = frozenset(raw_values)
+    canonical = ",".join(sorted(str(v) for v in values))
+    # Post-fix shape: canonicalized before stringification — no finding.
+    return derive_seed(root_seed, f"rotate:{field}:{canonical}")

@@ -1,0 +1,93 @@
+"""Marker-driven rule tests over the fixture corpus.
+
+Every file in ``tests/lint_fixtures/`` annotates its expected findings
+inline (``# LINT: DET001`` on the offending line, ``# LINT-NEXT: ...``
+for the line below — see the corpus README). Each fixture is linted
+under a policy enabling *only* its rule, and the multiset of
+``(line, rule)`` findings must match the markers exactly: known-bad
+files flag every marked line and nothing else; known-good files flag
+nothing.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import run_lint
+from repro.analysis.policy import Policy
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+#: (fixture filename, the single rule its policy enables)
+CASES = [
+    ("det001_bad.py", "DET001"),
+    ("det001_good.py", "DET001"),
+    ("det002_bad.py", "DET002"),
+    ("det002_good.py", "DET002"),
+    ("det003_bad.py", "DET003"),
+    ("det003_good.py", "DET003"),
+    ("det004_bad.py", "DET004"),
+    ("det004_good.py", "DET004"),
+    ("det005_bad.py", "DET005"),
+    ("det005_good.py", "DET005"),
+    ("det006_bad.py", "DET006"),
+    ("det006_good.py", "DET006"),
+    ("pragmas_bad.py", "DET001"),
+    ("pragmas_good.py", "DET001"),
+    ("regress_pr1_setpredicate.py", "DET005"),
+]
+
+_MARKER = re.compile(r"# LINT: ([A-Z0-9,]+)")
+_MARKER_NEXT = re.compile(r"# LINT-NEXT: ([A-Z0-9,]+)")
+
+
+def expected_findings(path: Path):
+    expected = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        match = _MARKER.search(line)
+        if match:
+            expected.extend((lineno, rule) for rule in match.group(1).split(","))
+        match = _MARKER_NEXT.search(line)
+        if match:
+            expected.extend(
+                (lineno + 1, rule) for rule in match.group(1).split(",")
+            )
+    return sorted(expected)
+
+
+def test_corpus_is_complete():
+    """Every fixture on disk is covered by a case (and vice versa)."""
+    on_disk = {p.name for p in FIXTURES.glob("*.py")}
+    in_cases = {name for name, _rule in CASES}
+    assert on_disk == in_cases
+
+
+def test_every_rule_has_bad_and_good_fixtures():
+    """Acceptance criterion: >=1 failing bad + >=1 passing good per rule."""
+    for i in range(1, 7):
+        rule = f"DET00{i}"
+        bad = FIXTURES / f"det00{i}_bad.py"
+        good = FIXTURES / f"det00{i}_good.py"
+        assert expected_findings(bad), f"{rule} bad fixture marks no findings"
+        assert not expected_findings(good)
+
+
+@pytest.mark.parametrize("name,rule", CASES, ids=[c[0] for c in CASES])
+def test_fixture_matches_markers(name, rule):
+    path = FIXTURES / name
+    result = run_lint([path], policy=Policy(base=(rule,), tiers=()))
+    assert not result.parse_errors
+    got = sorted((f.line, f.rule) for f in result.findings)
+    assert got == expected_findings(path)
+
+
+def test_regression_pr1_set_repr_seed_is_caught():
+    """The historical PR-1 bug shape — frozenset repr flowing into
+    engine-rotation seed derivation — must be a DET005 finding."""
+    path = FIXTURES / "regress_pr1_setpredicate.py"
+    result = run_lint([path], policy=Policy(base=("DET005",), tiers=()))
+    rules = {f.rule for f in result.findings}
+    assert rules == {"DET005"}
+    (finding,) = result.findings
+    assert "derive_seed" in finding.snippet

@@ -1,0 +1,38 @@
+"""The tree must satisfy its own determinism contract.
+
+This is the in-process equivalent of CI's ``repro lint src --strict``
+gate: zero unsuppressed findings, no stale baseline entries, and every
+pragma suppression in ``src/`` carries a written reason.
+"""
+
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_PATH, load_baseline
+from repro.analysis.engine import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _lint_src():
+    baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE_PATH)
+    return run_lint([REPO_ROOT / "src"], baseline=baseline)
+
+
+def test_src_lints_clean_under_strict():
+    result = _lint_src()
+    assert not result.parse_errors, result.parse_errors
+    report = "\n".join(
+        f"{f.location()}: {f.rule}: {f.message}" for f in result.findings
+    )
+    assert not result.findings, f"determinism lint found:\n{report}"
+    assert not result.stale_baseline, (
+        "stale baseline entries — regenerate with tools/regen_lint_baseline.py"
+    )
+    assert result.exit_code(strict=True) == 0
+    assert result.files_scanned > 50
+
+
+def test_every_suppression_has_a_reason():
+    result = _lint_src()
+    for finding, pragma in result.pragma_suppressed:
+        assert pragma.reason.strip(), f"reasonless pragma at {finding.location()}"

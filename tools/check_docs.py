@@ -188,6 +188,22 @@ REQUIRED_SECTIONS = {
         "repro top",
         "BENCH_obs_stream.json",
     ],
+    "docs/determinism.md": [
+        "## The invariants",
+        "## The lint pass",
+        "### Rule catalog",
+        "### Tier policy",
+        "### Suppressions: the `repro: allow` pragma",
+        "### The baseline",
+        "### Exit codes",
+        "repro lint src --strict",
+        "tools/lint_baseline.json",
+        "tools/regen_lint_baseline.py",
+        "tests/lint_fixtures/regress_pr1_setpredicate.py",
+        "DET001",
+        "DET006",
+        "PYTHONHASHSEED",
+    ],
     "README.md": [
         "bench-adaptive",
         "repro cache",
@@ -211,6 +227,8 @@ REQUIRED_SECTIONS = {
         "--no-kernels",
         "REPRO_KERNELS=off",
         "docs/kernels.md",
+        "repro lint",
+        "docs/determinism.md",
     ],
 }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate the determinism-lint baseline ``tools/lint_baseline.json``.
+
+The baseline grandfathers known lint findings by content (path, rule,
+offending-line text) so the ``repro lint src --strict`` CI gate can stay
+*hard* while debt is paid down incrementally — anything not in the file
+fails the build. The current tree is clean, so the committed baseline is
+empty; keep it that way by fixing (or pragma-justifying, with a reason)
+new findings rather than re-baselining them.
+
+After an *intentional* grandfathering decision, refresh with::
+
+    PYTHONPATH=src python tools/regen_lint_baseline.py
+
+and commit the updated file together with the change that caused it —
+the same workflow as ``tools/regen_golden.py``. ``--strict`` fails on
+stale entries, so the baseline can only ever shrink without this script.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "tools" / "lint_baseline.json"
+
+if str(REPO_ROOT / "src") not in sys.path:  # direct invocation convenience
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    from repro.analysis import run_lint, save_baseline
+
+    # No baseline applied: the scan must see every unsuppressed finding,
+    # including ones the current file grandfathers.
+    result = run_lint([str(REPO_ROOT / "src")])
+    if result.parse_errors:
+        for path, message in result.parse_errors:
+            print(f"error: {path}: {message}", file=sys.stderr)
+        return 2
+    findings = [
+        finding for finding in result.findings
+        # Hygiene findings (DET000) are never baselinable — a malformed
+        # or unused pragma must be fixed, not grandfathered.
+        if finding.rule != "DET000"
+    ]
+    # Findings are recorded relative to the repo root, matching how CI
+    # invokes the linter (`repro lint src --strict` from the checkout).
+    rel = [
+        type(finding)(
+            path=str(Path(finding.path).resolve().relative_to(REPO_ROOT).as_posix()),
+            line=finding.line, col=finding.col, rule=finding.rule,
+            message=finding.message, snippet=finding.snippet,
+        )
+        for finding in findings
+    ]
+    before = BASELINE_PATH.read_bytes() if BASELINE_PATH.exists() else None
+    data = save_baseline(BASELINE_PATH, rel)
+    status = "unchanged" if before == data else "updated"
+    print(f"{status}: {BASELINE_PATH.relative_to(REPO_ROOT)} "
+          f"({len(rel)} grandfathered finding(s), {len(data)} bytes)")
+    if result.findings and not rel:
+        print("note: only DET000 hygiene findings present; fix them "
+              "directly", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
